@@ -1,0 +1,25 @@
+"""Ablation — incremental core maintenance vs per-snapshot rebuild (Section 5).
+
+Compares IncAVT as designed (incremental core maintenance plus restricted
+candidate pools) against a variant that rebuilds its index and re-solves with
+Greedy at every snapshot.  Expectation: on smoothly-evolving data the
+incremental variant does far less candidate work for comparable follower
+quality, which is exactly the paper's argument for exploiting smoothness.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_ablation_maintenance
+
+
+def test_ablation_maintenance(benchmark, bench_profile, record_report):
+    table, report = benchmark.pedantic(
+        lambda: experiment_ablation_maintenance(bench_profile), rounds=1, iterations=1
+    )
+    record_report("ablation_maintenance", report, table.to_csv())
+
+    incremental = table.filter(algorithm="IncAVT(incremental)").rows()[0]
+    rebuild = table.filter(algorithm="IncAVT(rebuild)").rows()[0]
+    assert incremental["visited"] <= rebuild["visited"]
+    if rebuild["followers"]:
+        assert incremental["followers"] >= 0.5 * rebuild["followers"]

@@ -1,0 +1,24 @@
+"""Ablation — Theorem-3 candidate pruning (Section 4.1 design choice).
+
+Compares the optimised Greedy tracker against the same tracker with the
+K-order positional pruning disabled.  Expectation: identical follower counts
+(pruning is a pure optimisation) with strictly fewer candidate evaluations and
+visited vertices when pruning is enabled.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_ablation_pruning
+
+
+def test_ablation_pruning(benchmark, bench_profile, record_report):
+    table, report = benchmark.pedantic(
+        lambda: experiment_ablation_pruning(bench_profile), rounds=1, iterations=1
+    )
+    record_report("ablation_pruning", report, table.to_csv())
+
+    pruned = table.filter(algorithm="Greedy(pruned)").rows()[0]
+    unpruned = table.filter(algorithm="Greedy(unpruned)").rows()[0]
+    assert pruned["followers"] == unpruned["followers"]
+    assert pruned["candidates"] <= unpruned["candidates"]
+    assert pruned["visited"] <= unpruned["visited"]

@@ -1,0 +1,28 @@
+"""Figure 3 — running time of OLAK, Greedy, IncAVT and RCM as ``k`` varies.
+
+Paper expectation: IncAVT is one to two orders of magnitude faster than the
+other approaches on the smoothly-evolving (perturbation-based) datasets, the
+optimised Greedy beats OLAK everywhere, and no consistent trend appears as a
+function of ``k``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig03_time_vs_k
+
+
+def test_fig03_time_vs_k(benchmark, bench_profile, record_report):
+    table, report = benchmark.pedantic(
+        lambda: experiment_fig03_time_vs_k(bench_profile), rounds=1, iterations=1
+    )
+    record_report("fig03_time_vs_k", report, table.to_csv())
+
+    # Shape check: on every perturbation-based (smooth) dataset the incremental
+    # tracker must beat the per-snapshot OLAK baseline overall.
+    smooth = {"email_enron", "gnutella", "deezer"}
+    for dataset in table.distinct("dataset"):
+        if dataset not in smooth:
+            continue
+        olak = sum(row["time_s"] for row in table.filter(dataset=dataset, algorithm="OLAK"))
+        incavt = sum(row["time_s"] for row in table.filter(dataset=dataset, algorithm="IncAVT"))
+        assert incavt < olak, f"IncAVT should be faster than OLAK on {dataset}"

@@ -1,0 +1,25 @@
+"""Figure 4 — visited candidate anchored vertices as ``k`` varies.
+
+Paper expectation: OLAK visits the most candidate vertices, the optimised
+Greedy visits fewer thanks to Theorem-3 pruning and shell-local follower
+computation, and IncAVT visits the fewest because it only probes the region
+each snapshot delta touched.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig04_visited_vs_k
+
+
+def test_fig04_visited_vs_k(benchmark, bench_profile, record_report):
+    table, report = benchmark.pedantic(
+        lambda: experiment_fig04_visited_vs_k(bench_profile), rounds=1, iterations=1
+    )
+    record_report("fig04_visited_vs_k", report, table.to_csv())
+
+    for dataset in table.distinct("dataset"):
+        olak = sum(row["visited"] for row in table.filter(dataset=dataset, algorithm="OLAK"))
+        greedy = sum(row["visited"] for row in table.filter(dataset=dataset, algorithm="Greedy"))
+        incavt = sum(row["visited"] for row in table.filter(dataset=dataset, algorithm="IncAVT"))
+        assert olak > greedy, f"OLAK should visit more candidates than Greedy on {dataset}"
+        assert greedy >= incavt, f"Greedy should visit at least as many candidates as IncAVT on {dataset}"

@@ -1,0 +1,37 @@
+"""Figure 5 — cumulative running time as the number of snapshots ``T`` grows.
+
+Paper expectation: every algorithm's cumulative cost grows with ``T``; IncAVT
+grows the slowest on smoothly-evolving datasets because each extra snapshot
+only costs a delta-sized update, so its advantage widens as ``T`` increases.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig05_time_vs_T
+
+
+def test_fig05_time_vs_T(benchmark, bench_profile, record_report):
+    table, report = benchmark.pedantic(
+        lambda: experiment_fig05_time_vs_T(bench_profile), rounds=1, iterations=1
+    )
+    record_report("fig05_time_vs_T", report, table.to_csv())
+
+    # Cumulative series must be non-decreasing in T for every algorithm.
+    for dataset in table.distinct("dataset"):
+        for algorithm in table.distinct("algorithm"):
+            rows = sorted(
+                table.filter(dataset=dataset, algorithm=algorithm).rows(),
+                key=lambda row: row["T"],
+            )
+            times = [row["time_s"] for row in rows]
+            assert times == sorted(times)
+
+    # On smooth datasets the full-horizon ordering IncAVT < OLAK must hold.
+    smooth = {"email_enron", "gnutella", "deezer"}
+    horizon = max(table.distinct("T"))
+    for dataset in table.distinct("dataset"):
+        if dataset not in smooth:
+            continue
+        olak = table.filter(dataset=dataset, algorithm="OLAK", T=horizon).rows()[0]["time_s"]
+        incavt = table.filter(dataset=dataset, algorithm="IncAVT", T=horizon).rows()[0]["time_s"]
+        assert incavt < olak

@@ -1,0 +1,22 @@
+"""Figure 6 — cumulative visited candidate vertices as ``T`` grows.
+
+Paper expectation: IncAVT's per-snapshot candidate count stays nearly flat, so
+its cumulative curve grows much more slowly than OLAK's and Greedy's.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig06_visited_vs_T
+
+
+def test_fig06_visited_vs_T(benchmark, bench_profile, record_report):
+    table, report = benchmark.pedantic(
+        lambda: experiment_fig06_visited_vs_T(bench_profile), rounds=1, iterations=1
+    )
+    record_report("fig06_visited_vs_T", report, table.to_csv())
+
+    horizon = max(table.distinct("T"))
+    for dataset in table.distinct("dataset"):
+        olak = table.filter(dataset=dataset, algorithm="OLAK", T=horizon).rows()[0]["visited"]
+        incavt = table.filter(dataset=dataset, algorithm="IncAVT", T=horizon).rows()[0]["visited"]
+        assert incavt <= olak

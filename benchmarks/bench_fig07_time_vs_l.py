@@ -1,0 +1,27 @@
+"""Figure 7 — running time as the anchor budget ``l`` varies.
+
+Paper expectation: IncAVT stays significantly cheaper than OLAK and Greedy for
+every budget on the smooth datasets (the paper reports ~36x over Greedy and
+~230x over OLAK on Gnutella in C++; the pure-Python gap is smaller but the
+ordering is the same).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig07_time_vs_l
+
+
+def test_fig07_time_vs_l(benchmark, bench_profile, record_report):
+    table, report = benchmark.pedantic(
+        lambda: experiment_fig07_time_vs_l(bench_profile), rounds=1, iterations=1
+    )
+    record_report("fig07_time_vs_l", report, table.to_csv())
+
+    smooth = {"email_enron", "gnutella", "deezer"}
+    for dataset in table.distinct("dataset"):
+        if dataset not in smooth:
+            continue
+        for budget in table.distinct("l"):
+            olak = table.filter(dataset=dataset, algorithm="OLAK", l=budget).rows()[0]["time_s"]
+            incavt = table.filter(dataset=dataset, algorithm="IncAVT", l=budget).rows()[0]["time_s"]
+            assert incavt < olak

@@ -1,0 +1,24 @@
+"""Figure 8 — visited candidate vertices as the anchor budget ``l`` varies.
+
+Paper expectation: the visited-candidate ordering OLAK > Greedy > IncAVT holds
+for every budget, with IncAVT's count growing only mildly in ``l``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig08_visited_vs_l
+
+
+def test_fig08_visited_vs_l(benchmark, bench_profile, record_report):
+    table, report = benchmark.pedantic(
+        lambda: experiment_fig08_visited_vs_l(bench_profile), rounds=1, iterations=1
+    )
+    record_report("fig08_visited_vs_l", report, table.to_csv())
+
+    for dataset in table.distinct("dataset"):
+        for budget in table.distinct("l"):
+            rows = {
+                row["algorithm"]: row["visited"]
+                for row in table.filter(dataset=dataset, l=budget).rows()
+            }
+            assert rows["OLAK"] >= rows["Greedy"] >= rows["IncAVT"]

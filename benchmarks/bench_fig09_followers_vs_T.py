@@ -1,0 +1,37 @@
+"""Figure 9 — cumulative number of followers as ``T`` grows (effectiveness).
+
+Paper expectation: the follower count found by all four approaches grows
+steadily with the number of snapshots and the four curves stay close to each
+other — tracking anchors over time is what produces the cumulative benefit.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig09_followers_vs_T
+
+
+def test_fig09_followers_vs_T(benchmark, bench_profile, record_report):
+    table, report = benchmark.pedantic(
+        lambda: experiment_fig09_followers_vs_T(bench_profile), rounds=1, iterations=1
+    )
+    record_report("fig09_followers_vs_T", report, table.to_csv())
+
+    horizon = max(table.distinct("T"))
+    for dataset in table.distinct("dataset"):
+        for algorithm in table.distinct("algorithm"):
+            rows = sorted(
+                table.filter(dataset=dataset, algorithm=algorithm).rows(),
+                key=lambda row: row["T"],
+            )
+            followers = [row["followers"] for row in rows]
+            assert followers == sorted(followers)  # cumulative growth
+        # Effectiveness stays comparable: every heuristic reaches at least half
+        # of the best heuristic's follower count at the full horizon.
+        finals = {
+            row["algorithm"]: row["followers"]
+            for row in table.filter(dataset=dataset, T=horizon).rows()
+        }
+        best = max(finals.values())
+        if best:
+            for algorithm, value in finals.items():
+                assert value >= 0.5 * best, (dataset, algorithm, finals)

@@ -1,0 +1,26 @@
+"""Figure 10 — total followers as the anchor budget ``l`` varies.
+
+Paper expectation: more anchors produce more followers for every algorithm,
+and the four approaches remain close to one another.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig10_followers_vs_l
+
+
+def test_fig10_followers_vs_l(benchmark, bench_profile, record_report):
+    table, report = benchmark.pedantic(
+        lambda: experiment_fig10_followers_vs_l(bench_profile), rounds=1, iterations=1
+    )
+    record_report("fig10_followers_vs_l", report, table.to_csv())
+
+    # The exhaustive greedy solvers can only gain followers from extra budget.
+    for dataset in table.distinct("dataset"):
+        for algorithm in ("Greedy", "OLAK"):
+            rows = sorted(
+                table.filter(dataset=dataset, algorithm=algorithm).rows(),
+                key=lambda row: row["l"],
+            )
+            followers = [row["followers"] for row in rows]
+            assert followers == sorted(followers), (dataset, algorithm, followers)

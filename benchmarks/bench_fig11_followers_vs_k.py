@@ -1,0 +1,30 @@
+"""Figure 11 — total followers as ``k`` varies.
+
+Paper expectation: no consistent trend appears when ``k`` varies (the anchored
+k-core size depends on the shell structure at each ``k``), and the four
+approaches stay close to each other at every ``k``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig11_followers_vs_k
+
+
+def test_fig11_followers_vs_k(benchmark, bench_profile, record_report):
+    table, report = benchmark.pedantic(
+        lambda: experiment_fig11_followers_vs_k(bench_profile), rounds=1, iterations=1
+    )
+    record_report("fig11_followers_vs_k", report, table.to_csv())
+
+    # Quality check: for every (dataset, k) cell, OLAK and Greedy agree exactly
+    # (both evaluate every useful candidate) and no heuristic collapses to zero
+    # while another finds followers.
+    for dataset in table.distinct("dataset"):
+        for k in table.distinct("k"):
+            cell = {
+                row["algorithm"]: row["followers"]
+                for row in table.filter(dataset=dataset, k=k).rows()
+            }
+            if not cell:
+                continue
+            assert cell["Greedy"] == cell["OLAK"], (dataset, k, cell)

@@ -1,0 +1,32 @@
+"""Figure 12 — case study: followers per snapshot vs the brute-force optimum.
+
+Paper setting: eu-core with ``l = 2`` and ``k = 3``.  Expectation: the
+approximate algorithms (OLAK, Greedy, IncAVT, RCM) report follower counts very
+close to the exact brute-force result at every snapshot, while brute force is
+orders of magnitude slower.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig12_case_study
+
+
+def test_fig12_case_study(benchmark, bench_profile, record_report):
+    table, report = benchmark.pedantic(
+        lambda: experiment_fig12_case_study(bench_profile), rounds=1, iterations=1
+    )
+    record_report("fig12_case_study", report, table.to_csv())
+
+    rows = {row["algorithm"]: row for row in table.rows()}
+    brute = rows["Brute-force"]
+    # Brute force is per-snapshot optimal, so no heuristic can beat it anywhere.
+    for algorithm in ("OLAK", "Greedy", "IncAVT", "RCM"):
+        for heuristic_value, optimal_value in zip(
+            rows[algorithm]["followers_series"], brute["followers_series"]
+        ):
+            assert heuristic_value <= optimal_value
+    # ... and the exhaustive greedy heuristics land close to the optimum overall.
+    if brute["followers"]:
+        assert rows["Greedy"]["followers"] >= 0.6 * brute["followers"]
+    # The exact method pays for optimality with far more work.
+    assert brute["time_s"] >= rows["Greedy"]["time_s"]

@@ -1,0 +1,25 @@
+"""Table 4 — anchors and followers selected at the first snapshot by every solver.
+
+Paper expectation: all five methods (brute force, OLAK, Greedy, IncAVT, RCM)
+pick anchor pairs of similar quality at the first snapshot; the exact method's
+follower count upper-bounds the others.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_table4_anchor_selection
+
+
+def test_table4_anchor_selection(benchmark, bench_profile, record_report):
+    table, report = benchmark.pedantic(
+        lambda: experiment_table4_anchor_selection(bench_profile), rounds=1, iterations=1
+    )
+    record_report("table4_anchor_selection", report, table.to_csv())
+
+    rows = {row["algorithm"]: row for row in table.rows()}
+    assert set(rows) == {"Brute-force", "OLAK", "Greedy", "RCM", "IncAVT"}
+    optimum = rows["Brute-force"]["num_followers"]
+    for algorithm, row in rows.items():
+        assert len(row["anchors"]) <= 2
+        assert row["num_followers"] <= optimum
+    assert rows["Greedy"]["num_followers"] == rows["IncAVT"]["num_followers"]

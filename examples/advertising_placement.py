@@ -1,0 +1,64 @@
+"""Impact analysis of advertising placement on an evolving social network.
+
+The paper's introduction motivates AVT with advertising placement: the users
+worth targeting (anchoring) change as the friendship graph evolves, so a
+campaign that re-uses the anchors selected at launch slowly loses reach.  This
+example quantifies that effect on the Deezer-like stand-in:
+
+* ``static`` strategy — select anchors once at week 1 and keep paying them;
+* ``tracked`` strategy — re-select anchors every week with IncAVT.
+
+For every week it reports the campaign reach (size of the anchored k-core,
+i.e. the engaged audience the advertiser can address) of both strategies.
+
+Run with::
+
+    python examples/advertising_placement.py
+"""
+
+from __future__ import annotations
+
+from repro import AVTProblem, IncAVTTracker, load_dataset
+from repro.anchored.followers import anchored_k_core
+
+DATASET = "deezer"
+WEEKS = 8
+K = 3          # a user stays active while at least 3 friends are active
+BUDGET = 5     # number of influencer contracts the campaign can afford
+SCALE = 0.35   # stand-in scale so the example runs in a few seconds
+CHURN = (40, 80)  # friendships made/broken per week: a fast-moving audience
+
+
+def main() -> None:
+    evolving = load_dataset(DATASET, num_snapshots=WEEKS, scale=SCALE, seed=21, edge_churn=CHURN)
+    problem = AVTProblem(evolving, k=K, budget=BUDGET, name=DATASET)
+
+    print(f"Advertising campaign on the {DATASET} stand-in "
+          f"({evolving.base.num_vertices} users, {evolving.base.num_edges} friendships)")
+    print(f"Engagement model: k = {K}; budget: {BUDGET} anchored influencers per week")
+    print()
+
+    tracked = IncAVTTracker().track(problem)
+    static_anchors = tracked.snapshots[0].anchors
+
+    print(f"{'week':>4} | {'static reach':>13} | {'tracked reach':>13} | tracked anchors")
+    print("-" * 72)
+    total_static = 0
+    total_tracked = 0
+    for week, (snapshot, graph) in enumerate(zip(tracked, evolving.snapshots()), start=1):
+        static_reach = len(anchored_k_core(graph, K, static_anchors))
+        tracked_reach = snapshot.result.anchored_core_size
+        total_static += static_reach
+        total_tracked += tracked_reach
+        anchors = ", ".join(str(anchor) for anchor in sorted(snapshot.anchors, key=repr))
+        print(f"{week:>4} | {static_reach:>13} | {tracked_reach:>13} | {anchors}")
+
+    print("-" * 72)
+    print(f"Cumulative audience reached: static={total_static}, tracked={total_tracked} "
+          f"({100.0 * (total_tracked - total_static) / max(total_static, 1):+.1f}%)")
+    print()
+    print("Tracking statistics:", tracked.summary())
+
+
+if __name__ == "__main__":
+    main()

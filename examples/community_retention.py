@@ -1,0 +1,72 @@
+"""Sustaining a shrinking community: anchored k-core against user churn.
+
+The second motivating application of the paper is sustainability analysis:
+when users quietly drop connections, the k-core equilibrium unravels and the
+platform loses its engaged community.  This example simulates a community in
+decline (each period removes more friendships than it adds) and compares
+
+* the engaged-community size with no intervention,
+* a retention program that anchors ``l`` users chosen once at period 1, and
+* a retention program that re-selects its anchored users every period
+  (anchored vertex tracking).
+
+Run with::
+
+    python examples/community_retention.py
+"""
+
+from __future__ import annotations
+
+from repro import AVTProblem, GreedyTracker, IncAVTTracker, k_core
+from repro.anchored.followers import anchored_k_core
+from repro.graph.generators import chung_lu_graph, perturb_snapshots
+
+PERIODS = 10
+K = 4
+BUDGET = 6
+
+
+def build_declining_community():
+    """A moderately dense community that loses edges faster than it gains them."""
+    base = chung_lu_graph(num_vertices=400, num_edges=1600, skew=1.2, seed=17)
+    return perturb_snapshots(
+        base,
+        num_snapshots=PERIODS,
+        removals_per_step=(25, 35),   # heavier churn out ...
+        insertions_per_step=(8, 12),  # ... than churn in: the community decays
+        seed=18,
+    )
+
+
+def main() -> None:
+    evolving = build_declining_community()
+    problem = AVTProblem(evolving, k=K, budget=BUDGET, name="declining-community")
+
+    print(f"Community of {evolving.base.num_vertices} users, "
+          f"{evolving.base.num_edges} ties, decaying over {PERIODS} periods")
+    print(f"Engagement model k = {K}; retention budget l = {BUDGET}")
+    print()
+
+    tracked = IncAVTTracker().track(problem)
+    baseline_greedy = GreedyTracker().track(problem, max_snapshots=1)
+    fixed_anchors = baseline_greedy.snapshots[0].anchors
+
+    print(f"{'period':>6} | {'no anchors':>10} | {'fixed anchors':>13} | {'tracked anchors':>15}")
+    print("-" * 56)
+    for period, (snapshot, graph) in enumerate(zip(tracked, evolving.snapshots()), start=1):
+        unaided = len(k_core(graph, K))
+        fixed = len(anchored_k_core(graph, K, fixed_anchors))
+        adaptive = snapshot.result.anchored_core_size
+        print(f"{period:>6} | {unaided:>10} | {fixed:>13} | {adaptive:>15}")
+
+    final_graph = list(evolving.snapshots())[-1]
+    print("-" * 56)
+    print(f"After {PERIODS} periods the unaided community keeps {len(k_core(final_graph, K))} "
+          f"engaged users; the tracked retention program keeps "
+          f"{tracked.snapshots[-1].result.anchored_core_size}.")
+    print()
+    print("Tracking statistics:", tracked.summary())
+
+
+if __name__ == "__main__":
+    main()

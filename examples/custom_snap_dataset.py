@@ -1,0 +1,71 @@
+"""Running the AVT pipeline on your own SNAP-format temporal dataset.
+
+The bundled experiments use synthetic stand-ins because the SNAP datasets
+cannot be shipped, but the library reads the real files directly.  This
+example shows the full path: it first *writes* a small temporal edge list in
+SNAP's ``u v timestamp`` format (pretend it was downloaded), then reads it
+back, windows it into snapshots with an inactivity window, and tracks anchors
+with every algorithm.
+
+Point ``DATASET_FILE`` at e.g. ``CollegeMsg.txt`` from
+https://snap.stanford.edu/data/ to run on real data.
+
+Run with::
+
+    python examples/custom_snap_dataset.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import AVTProblem, GreedyTracker, IncAVTTracker, OLAKTracker, RCMTracker
+from repro.avt.metrics import summarise
+from repro.bench.reporting import format_table
+from repro.graph.generators import temporal_edge_stream
+from repro.graph.io import read_temporal_snapshots, write_temporal_edge_list
+
+NUM_SNAPSHOTS = 6
+INACTIVITY_WINDOW = 80.0   # an edge disappears after this long without activity
+K = 3
+BUDGET = 3
+
+
+def fabricate_snap_file(path: Path) -> None:
+    """Write a small synthetic interaction log in SNAP's temporal format."""
+    events = temporal_edge_stream(
+        num_vertices=250, num_events=5000, duration=200.0, activity_skew=1.4, seed=42
+    )
+    write_temporal_edge_list(events, path)
+    print(f"Wrote {len(events)} timestamped interactions to {path}")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        dataset_file = Path(tmp) / "interactions.txt"
+        fabricate_snap_file(dataset_file)
+
+        snapshots = read_temporal_snapshots(
+            dataset_file, num_snapshots=NUM_SNAPSHOTS, inactivity_window=INACTIVITY_WINDOW
+        )
+        print(
+            f"Split into {snapshots.num_snapshots} snapshots; "
+            f"edges per snapshot: {[snapshot.num_edges for snapshot in snapshots]}"
+        )
+        print()
+
+        problem = AVTProblem.from_snapshots(snapshots, k=K, budget=BUDGET, name="custom-snap")
+        results = [
+            tracker.track(problem)
+            for tracker in (OLAKTracker(), GreedyTracker(), IncAVTTracker(), RCMTracker())
+        ]
+        print(format_table(summarise(results)))
+        print()
+        best = max(results, key=lambda result: result.total_followers)
+        print(f"Most effective tracker: {best.algorithm} "
+              f"({best.total_followers} followers across {len(best)} snapshots)")
+
+
+if __name__ == "__main__":
+    main()

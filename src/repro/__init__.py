@@ -1,0 +1,105 @@
+"""Anchored Vertex Tracking (AVT) in dynamic social networks.
+
+A pure-Python reproduction of *Incremental Graph Computation: Anchored Vertex
+Tracking in Dynamic Social Networks*: the anchored k-core model of user
+engagement, the optimised Greedy and incremental (IncAVT) trackers, the OLAK /
+RCM / brute-force baselines, the graph and dataset substrates, and the full
+experiment harness that regenerates the paper's tables and figures.
+
+Quickstart::
+
+    from repro import AVTProblem, GreedyTracker, IncAVTTracker, load_dataset
+
+    problem = AVTProblem(load_dataset("eu_core", num_snapshots=10), k=3, budget=5)
+    incremental = IncAVTTracker().track(problem)
+    print(incremental.summary())
+"""
+
+from repro.anchored import (
+    AnchoredCoreIndex,
+    AnchoredKCoreResult,
+    BruteForceAnchoredKCore,
+    ExactSmallK,
+    GreedyAnchoredKCore,
+    OLAKAnchoredKCore,
+    RCMAnchoredKCore,
+    anchored_k_core,
+    compute_followers,
+    marginal_followers,
+)
+from repro.avt import (
+    AVTProblem,
+    AVTResult,
+    BruteForceTracker,
+    ExactSmallKTracker,
+    GreedyTracker,
+    IncAVTTracker,
+    OLAKTracker,
+    RCMTracker,
+    SnapshotResult,
+    SnapshotTracker,
+)
+from repro.cores import (
+    CoreMaintainer,
+    KOrder,
+    core_decomposition,
+    core_numbers,
+    k_core,
+    k_shell,
+)
+from repro.graph import EdgeDelta, EvolvingGraph, Graph, SnapshotSequence
+from repro.graph.datasets import (
+    DATASET_NAMES,
+    dataset_spec,
+    load_dataset,
+    load_snapshot_sequence,
+    toy_example_evolving_graph,
+    toy_example_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph substrate
+    "Graph",
+    "EdgeDelta",
+    "EvolvingGraph",
+    "SnapshotSequence",
+    # datasets
+    "DATASET_NAMES",
+    "dataset_spec",
+    "load_dataset",
+    "load_snapshot_sequence",
+    "toy_example_graph",
+    "toy_example_evolving_graph",
+    # core machinery
+    "core_decomposition",
+    "core_numbers",
+    "k_core",
+    "k_shell",
+    "KOrder",
+    "CoreMaintainer",
+    # anchored k-core
+    "anchored_k_core",
+    "compute_followers",
+    "marginal_followers",
+    "AnchoredCoreIndex",
+    "AnchoredKCoreResult",
+    "GreedyAnchoredKCore",
+    "OLAKAnchoredKCore",
+    "RCMAnchoredKCore",
+    "BruteForceAnchoredKCore",
+    "ExactSmallK",
+    # AVT trackers
+    "AVTProblem",
+    "AVTResult",
+    "SnapshotResult",
+    "SnapshotTracker",
+    "GreedyTracker",
+    "OLAKTracker",
+    "RCMTracker",
+    "BruteForceTracker",
+    "ExactSmallKTracker",
+    "IncAVTTracker",
+]

@@ -1,0 +1,17 @@
+"""Engagement analytics built on the k-core model (the paper's motivation)."""
+
+from repro.analysis.engagement import (
+    anchored_engagement_series,
+    departure_cascade,
+    engagement_series,
+    core_resilience,
+    most_critical_users,
+)
+
+__all__ = [
+    "anchored_engagement_series",
+    "departure_cascade",
+    "engagement_series",
+    "core_resilience",
+    "most_critical_users",
+]

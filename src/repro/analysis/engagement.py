@@ -1,0 +1,135 @@
+"""Engagement analytics: unraveling cascades, equilibrium series and resilience.
+
+The introduction of the paper motivates anchored vertex tracking with the
+dynamics of user engagement: the k-core is the natural equilibrium of a model
+where a user stays engaged while at least ``k`` friends stay engaged, so one
+departure can trigger a cascading drop-out, and *critical* users are the ones
+whose departure unravels the most.  These helpers quantify those dynamics:
+
+* :func:`departure_cascade` — who ends up disengaged if a given set of users
+  leaves (the cascading departure of Section 1);
+* :func:`most_critical_users` — rank engaged users by the cascade their
+  departure would trigger;
+* :func:`engagement_series` / :func:`anchored_engagement_series` — the engaged
+  community size over the snapshots of an evolving network, without and with
+  an anchor-set series (e.g. the output of a tracker);
+* :func:`core_resilience` — the expected fraction of the k-core lost under
+  random departures, in the spirit of the resilience work cited in Section 7.
+
+They are deliberately independent of the solvers so they can be used to
+evaluate any anchoring policy, not only the ones in this package.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.anchored.followers import anchored_k_core
+from repro.cores.decomposition import k_core
+from repro.errors import ParameterError, VertexNotFoundError
+from repro.graph.dynamic import EvolvingGraph
+from repro.graph.static import Graph, Vertex
+
+
+def departure_cascade(graph: Graph, k: int, leavers: Iterable[Vertex]) -> Set[Vertex]:
+    """Return every user who ends up disengaged when ``leavers`` quit.
+
+    The result contains the leavers themselves (if they were engaged) plus all
+    members of the k-core that no longer have ``k`` engaged neighbours once the
+    cascade settles.
+    """
+    if k < 1:
+        raise ParameterError("k must be >= 1")
+    leaver_set = set(leavers)
+    for vertex in leaver_set:
+        if not graph.has_vertex(vertex):
+            raise VertexNotFoundError(vertex)
+    engaged_before = k_core(graph, k)
+    remaining = graph.subgraph(set(graph.vertices()) - leaver_set)
+    engaged_after = k_core(remaining, k)
+    return engaged_before - engaged_after
+
+
+def most_critical_users(
+    graph: Graph, k: int, top: int = 10, candidates: Optional[Iterable[Vertex]] = None
+) -> List[Tuple[Vertex, int]]:
+    """Rank engaged users by the size of the cascade their departure triggers.
+
+    Returns up to ``top`` pairs ``(user, cascade size)`` sorted by decreasing
+    cascade size (the user herself counts, so every engaged user scores at
+    least 1).  ``candidates`` restricts the evaluation (default: every k-core
+    member), which is how the paper's "critical users" are found in practice.
+    """
+    if top < 1:
+        raise ParameterError("top must be >= 1")
+    engaged = k_core(graph, k)
+    pool = engaged if candidates is None else set(candidates) & engaged
+    scores: Dict[Vertex, int] = {}
+    for vertex in pool:
+        scores[vertex] = len(departure_cascade(graph, k, [vertex]))
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], repr(item[0])))
+    return ranked[:top]
+
+
+def engagement_series(evolving: EvolvingGraph, k: int) -> List[int]:
+    """Return the engaged community size (k-core size) at every snapshot."""
+    if k < 1:
+        raise ParameterError("k must be >= 1")
+    return [len(k_core(snapshot, k)) for snapshot in evolving.snapshots()]
+
+
+def anchored_engagement_series(
+    evolving: EvolvingGraph,
+    k: int,
+    anchor_sets: Sequence[Iterable[Vertex]],
+) -> List[int]:
+    """Return ``|C_k(S_t)|`` per snapshot for a given anchor-set series.
+
+    ``anchor_sets`` typically comes from a tracker result
+    (:attr:`repro.avt.problem.AVTResult.anchor_sets`); it must provide one
+    anchor set per snapshot.
+    """
+    if k < 1:
+        raise ParameterError("k must be >= 1")
+    snapshots = list(evolving.snapshots())
+    if len(anchor_sets) != len(snapshots):
+        raise ParameterError(
+            f"expected {len(snapshots)} anchor sets (one per snapshot), got {len(anchor_sets)}"
+        )
+    sizes: List[int] = []
+    for snapshot, anchors in zip(snapshots, anchor_sets):
+        valid_anchors = [anchor for anchor in anchors if snapshot.has_vertex(anchor)]
+        sizes.append(len(anchored_k_core(snapshot, k, valid_anchors)))
+    return sizes
+
+
+def core_resilience(
+    graph: Graph,
+    k: int,
+    num_departures: int,
+    trials: int = 20,
+    seed: int | random.Random | None = 0,
+) -> float:
+    """Return the expected fraction of the k-core surviving random departures.
+
+    Each trial removes ``num_departures`` uniformly random k-core members and
+    measures the surviving fraction of the original k-core; the average over
+    ``trials`` is returned (1.0 = perfectly resilient, 0.0 = fully unravelled).
+    """
+    if k < 1:
+        raise ParameterError("k must be >= 1")
+    if num_departures < 0:
+        raise ParameterError("num_departures must be non-negative")
+    if trials < 1:
+        raise ParameterError("trials must be >= 1")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    engaged = sorted(k_core(graph, k), key=repr)
+    if not engaged:
+        return 1.0
+    fractions: List[float] = []
+    for _ in range(trials):
+        departures = rng.sample(engaged, min(num_departures, len(engaged)))
+        lost = departure_cascade(graph, k, departures)
+        fractions.append(1.0 - len(lost) / len(engaged))
+    return sum(fractions) / len(fractions)

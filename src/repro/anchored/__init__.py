@@ -1,0 +1,23 @@
+"""Anchored k-core algorithms: followers, greedy selection, and baselines."""
+
+from repro.anchored.anchored_core import AnchoredCoreIndex
+from repro.anchored.bruteforce import BruteForceAnchoredKCore
+from repro.anchored.exact_small_k import ExactSmallK
+from repro.anchored.followers import anchored_k_core, compute_followers, marginal_followers
+from repro.anchored.greedy import GreedyAnchoredKCore
+from repro.anchored.olak import OLAKAnchoredKCore
+from repro.anchored.rcm import RCMAnchoredKCore
+from repro.anchored.result import AnchoredKCoreResult
+
+__all__ = [
+    "AnchoredCoreIndex",
+    "AnchoredKCoreResult",
+    "BruteForceAnchoredKCore",
+    "ExactSmallK",
+    "GreedyAnchoredKCore",
+    "OLAKAnchoredKCore",
+    "RCMAnchoredKCore",
+    "anchored_k_core",
+    "compute_followers",
+    "marginal_followers",
+]

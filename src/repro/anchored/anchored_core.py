@@ -1,0 +1,191 @@
+"""Anchored core index: the working state of the greedy anchor-selection loops.
+
+The greedy algorithms of Section 4 repeatedly (1) enumerate candidate anchors,
+(2) compute each candidate's marginal followers, and (3) commit the best
+candidate.  After committing an anchor, the graph behaves as if that vertex had
+infinite degree, so the core numbers that drive steps (1) and (2) must be the
+*anchored* core numbers.  :class:`AnchoredCoreIndex` packages that state:
+
+* the anchored core decomposition of the current graph + anchor set, refreshed
+  whenever an anchor is committed;
+* Theorem-3 candidate pruning with or without the K-order position condition;
+* fast marginal follower computation (shell-local cascade); and
+* the instrumentation counters (candidates evaluated, vertices visited) that
+  the paper's Figures 4, 6 and 8 report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.anchored.followers import full_shell_followers, marginal_followers
+from repro.cores.decomposition import (
+    ANCHOR_CORE,
+    CoreDecomposition,
+    anchored_core_decomposition,
+)
+from repro.errors import ParameterError, VertexNotFoundError
+from repro.graph.static import Graph, Vertex
+
+
+class AnchoredCoreIndex:
+    """Mutable index of a graph, a degree constraint ``k`` and a growing anchor set."""
+
+    def __init__(self, graph: Graph, k: int, anchors: Iterable[Vertex] = ()) -> None:
+        if k < 1:
+            raise ParameterError("k must be >= 1")
+        self._graph = graph
+        self._k = k
+        self._anchors: Set[Vertex] = set(anchors)
+        for anchor in self._anchors:
+            if not graph.has_vertex(anchor):
+                raise VertexNotFoundError(anchor)
+        self._plain_k_core: Optional[Set[Vertex]] = None
+        self._decomposition: CoreDecomposition = anchored_core_decomposition(graph, self._anchors)
+        self._rank: Dict[Vertex, int] = {
+            vertex: position for position, vertex in enumerate(self._decomposition.order)
+        }
+        # Instrumentation shared with the solver wrappers.
+        self.candidates_evaluated = 0
+        self.visited_vertices = 0
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The underlying graph (not copied)."""
+        return self._graph
+
+    @property
+    def k(self) -> int:
+        """The degree constraint."""
+        return self._k
+
+    @property
+    def anchors(self) -> Set[Vertex]:
+        """A copy of the current anchor set."""
+        return set(self._anchors)
+
+    def core(self, vertex: Vertex) -> float:
+        """Return the anchored core number of ``vertex`` (anchors map to infinity)."""
+        return self._decomposition.core[vertex]
+
+    def core_numbers(self) -> Mapping[Vertex, float]:
+        """Return the anchored core-number mapping (live, do not mutate)."""
+        return self._decomposition.core
+
+    def anchored_core_vertices(self) -> Set[Vertex]:
+        """Return the anchored k-core ``C_k(S)`` under the current anchor set."""
+        return self._decomposition.k_core_vertices(self._k)
+
+    def anchored_core_size(self) -> int:
+        """Return ``|C_k(S)|``."""
+        return len(self.anchored_core_vertices())
+
+    def plain_k_core(self) -> Set[Vertex]:
+        """Return the k-core of the graph without any anchors (cached)."""
+        if self._plain_k_core is None:
+            from repro.cores.decomposition import k_core
+
+            self._plain_k_core = k_core(self._graph, self._k)
+        return set(self._plain_k_core)
+
+    def followers(self) -> Set[Vertex]:
+        """Return the followers of the current anchor set (Definition 3)."""
+        return self.anchored_core_vertices() - self.plain_k_core() - self._anchors
+
+    def shell(self) -> Set[Vertex]:
+        """Return the ``(k-1)``-shell under the anchored core numbers."""
+        return self._decomposition.shell_vertices(self._k - 1)
+
+    # ------------------------------------------------------------------
+    # Candidate enumeration
+    # ------------------------------------------------------------------
+    def candidate_anchors(self, order_pruning: bool = True) -> Set[Vertex]:
+        """Return candidate anchors under the current anchored core numbers.
+
+        A candidate must not already be anchored and must lie outside the
+        anchored k-core.  With ``order_pruning`` (Theorem 3) it must also have
+        a neighbour ``v`` with core ``k - 1`` positioned *after* it in the
+        anchored removal order; without pruning the positional condition is
+        dropped (the coarser filter used by the OLAK adaptation).
+        """
+        target = self._k - 1
+        core = self._decomposition.core
+        candidates: Set[Vertex] = set()
+        for vertex, value in core.items():
+            if vertex in self._anchors or value >= self._k:
+                continue
+            rank = self._rank[vertex]
+            for neighbour in self._graph.neighbors(vertex):
+                if core.get(neighbour) != target:
+                    continue
+                if not order_pruning or self._rank[neighbour] > rank:
+                    candidates.add(vertex)
+                    break
+        return candidates
+
+    def all_non_core_vertices(self) -> Set[Vertex]:
+        """Return every un-anchored vertex outside the anchored k-core.
+
+        This is the unpruned candidate universe that the per-snapshot OLAK
+        adaptation scans, and the universe the brute-force solver enumerates.
+        """
+        core = self._decomposition.core
+        return {
+            vertex
+            for vertex, value in core.items()
+            if value < self._k and vertex not in self._anchors
+        }
+
+    # ------------------------------------------------------------------
+    # Follower evaluation
+    # ------------------------------------------------------------------
+    def marginal_followers(self, candidate: Vertex, full_shell: bool = False) -> Set[Vertex]:
+        """Return the followers gained by anchoring ``candidate`` next.
+
+        ``full_shell`` selects the unrestricted shell scan (OLAK-style, visits
+        every shell vertex) instead of the region-restricted cascade; both
+        return the same set, the flag only changes the amount of work counted
+        by the instrumentation.
+        """
+        visit_log: List[Vertex] = []
+        if full_shell:
+            gained = full_shell_followers(
+                self._graph, self._k, candidate, self._decomposition.core, visit_log
+            )
+        else:
+            gained = marginal_followers(
+                self._graph, self._k, candidate, self._decomposition.core, visit_log
+            )
+        self.candidates_evaluated += 1
+        self.visited_vertices += max(len(visit_log), 1)
+        return gained
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_anchor(self, vertex: Vertex) -> None:
+        """Commit ``vertex`` as an anchor and refresh the anchored decomposition."""
+        if not self._graph.has_vertex(vertex):
+            raise VertexNotFoundError(vertex)
+        if vertex in self._anchors:
+            return
+        self._anchors.add(vertex)
+        self._refresh()
+
+    def set_anchors(self, anchors: Iterable[Vertex]) -> None:
+        """Replace the anchor set wholesale and refresh the decomposition."""
+        new_anchors = set(anchors)
+        for anchor in new_anchors:
+            if not self._graph.has_vertex(anchor):
+                raise VertexNotFoundError(anchor)
+        self._anchors = new_anchors
+        self._refresh()
+
+    def _refresh(self) -> None:
+        self._decomposition = anchored_core_decomposition(self._graph, self._anchors)
+        self._rank = {
+            vertex: position for position, vertex in enumerate(self._decomposition.order)
+        }

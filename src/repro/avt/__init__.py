@@ -1,0 +1,25 @@
+"""The Anchored Vertex Tracking (AVT) problem layer: trackers and results."""
+
+from repro.avt.incremental import IncAVTTracker
+from repro.avt.problem import AVTProblem, AVTResult, SnapshotResult
+from repro.avt.trackers import (
+    BruteForceTracker,
+    ExactSmallKTracker,
+    GreedyTracker,
+    OLAKTracker,
+    RCMTracker,
+    SnapshotTracker,
+)
+
+__all__ = [
+    "AVTProblem",
+    "AVTResult",
+    "SnapshotResult",
+    "SnapshotTracker",
+    "GreedyTracker",
+    "OLAKTracker",
+    "RCMTracker",
+    "BruteForceTracker",
+    "ExactSmallKTracker",
+    "IncAVTTracker",
+]

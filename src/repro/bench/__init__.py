@@ -1,0 +1,17 @@
+"""Experiment harness: workloads, sweep runner, per-figure experiments, reporting."""
+
+from repro.bench.experiments import EXPERIMENTS, BenchProfile, get_experiment, resolve_profile
+from repro.bench.runner import ExperimentTable, TrackerSpec, default_trackers, run_sweep
+from repro.bench.workloads import build_problem
+
+__all__ = [
+    "EXPERIMENTS",
+    "BenchProfile",
+    "get_experiment",
+    "resolve_profile",
+    "ExperimentTable",
+    "TrackerSpec",
+    "default_trackers",
+    "run_sweep",
+    "build_problem",
+]

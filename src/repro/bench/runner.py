@@ -1,0 +1,193 @@
+"""Sweep runner: execute trackers over workloads and collect tidy result rows.
+
+Every run produces one row per (dataset, algorithm, parameter point) holding
+the three quantities the paper's figures plot — running time, visited
+candidate vertices and follower counts — plus the per-snapshot follower
+series.  Rows are plain dictionaries collected into an
+:class:`ExperimentTable`, which offers the grouping/pivoting the per-figure
+benchmark scripts need and a CSV export for offline plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.avt.incremental import IncAVTTracker
+from repro.avt.problem import AVTProblem, AVTResult
+from repro.avt.trackers import BruteForceTracker, GreedyTracker, OLAKTracker, RCMTracker
+from repro.errors import ParameterError
+
+TrackerFactory = Callable[[], object]
+
+
+@dataclass(frozen=True)
+class TrackerSpec:
+    """A named tracker factory used by sweeps."""
+
+    name: str
+    factory: TrackerFactory
+
+    def build(self):
+        """Instantiate a fresh tracker."""
+        return self.factory()
+
+
+def default_trackers(include_brute_force: bool = False) -> List[TrackerSpec]:
+    """Return the tracker line-up of the paper's evaluation.
+
+    OLAK, Greedy, IncAVT and RCM always; brute force only on request (it is
+    only feasible for the case study's tiny budget).
+    """
+    trackers = [
+        TrackerSpec("OLAK", OLAKTracker),
+        TrackerSpec("Greedy", GreedyTracker),
+        TrackerSpec("IncAVT", IncAVTTracker),
+        TrackerSpec("RCM", RCMTracker),
+    ]
+    if include_brute_force:
+        trackers.append(TrackerSpec("Brute-force", BruteForceTracker))
+    return trackers
+
+
+def run_tracker(problem: AVTProblem, spec: TrackerSpec) -> Tuple[AVTResult, Dict[str, object]]:
+    """Run one tracker on one problem and return (result, tidy row)."""
+    tracker = spec.build()
+    wall_start = time.perf_counter()
+    result = tracker.track(problem)
+    wall_seconds = time.perf_counter() - wall_start
+    row: Dict[str, object] = {
+        "dataset": problem.name,
+        # The spec name labels the row so ablation variants of the same tracker
+        # (e.g. "Greedy(unpruned)") stay distinguishable in the tables.
+        "algorithm": spec.name,
+        "k": problem.k,
+        "l": problem.budget,
+        "T": len(result.snapshots),
+        "time_s": round(result.total_runtime_seconds, 6),
+        "wall_s": round(wall_seconds, 6),
+        "visited": result.total_visited_vertices,
+        "candidates": result.total_candidates_evaluated,
+        "followers": result.total_followers,
+        "followers_series": list(result.followers_per_snapshot),
+        "anchors_final": list(result.anchor_sets[-1]) if result.anchor_sets else [],
+    }
+    return result, row
+
+
+class ExperimentTable:
+    """A tidy collection of sweep rows with light pivoting helpers."""
+
+    def __init__(self, rows: Optional[Iterable[Mapping[str, object]]] = None) -> None:
+        self._rows: List[Dict[str, object]] = [dict(row) for row in rows] if rows else []
+
+    # ------------------------------------------------------------------
+    # Collection protocol
+    # ------------------------------------------------------------------
+    def append(self, row: Mapping[str, object]) -> None:
+        """Add one result row."""
+        self._rows.append(dict(row))
+
+    def extend(self, rows: Iterable[Mapping[str, object]]) -> None:
+        """Add several result rows."""
+        for row in rows:
+            self.append(row)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Return a copy of all rows."""
+        return [dict(row) for row in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self.rows())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def filter(self, **criteria: object) -> "ExperimentTable":
+        """Return the sub-table whose rows match every ``column=value`` pair."""
+        matching = [
+            row
+            for row in self._rows
+            if all(row.get(column) == value for column, value in criteria.items())
+        ]
+        return ExperimentTable(matching)
+
+    def column(self, name: str) -> List[object]:
+        """Return one column as a list (missing values become ``None``)."""
+        return [row.get(name) for row in self._rows]
+
+    def distinct(self, name: str) -> List[object]:
+        """Return the distinct values of a column, in first-appearance order."""
+        seen: List[object] = []
+        for row in self._rows:
+            value = row.get(name)
+            if value not in seen:
+                seen.append(value)
+        return seen
+
+    def series(
+        self, x: str, y: str, group: str = "algorithm"
+    ) -> Dict[object, List[Tuple[object, object]]]:
+        """Return ``{group value: [(x, y), ...]}`` — one series per algorithm.
+
+        This is the exact structure of a paper figure panel: the x axis is the
+        varied parameter, the y axis the measured quantity, one line per
+        algorithm.
+        """
+        grouped: Dict[object, List[Tuple[object, object]]] = {}
+        for row in self._rows:
+            grouped.setdefault(row.get(group), []).append((row.get(x), row.get(y)))
+        return grouped
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """Serialise all rows to CSV (list values are JSON-ish joined)."""
+        if not self._rows:
+            return ""
+        fieldnames: List[str] = []
+        for row in self._rows:
+            for key in row:
+                if key not in fieldnames:
+                    fieldnames.append(key)
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in self._rows:
+            serialisable = {
+                key: ";".join(str(item) for item in value) if isinstance(value, list) else value
+                for key, value in row.items()
+            }
+            writer.writerow(serialisable)
+        return buffer.getvalue()
+
+
+def run_sweep(
+    problems: Sequence[AVTProblem],
+    trackers: Optional[Sequence[TrackerSpec]] = None,
+    extra_columns: Optional[Mapping[str, object]] = None,
+) -> ExperimentTable:
+    """Run every tracker on every problem and collect the rows.
+
+    ``extra_columns`` (e.g. the name of the varied parameter) are merged into
+    every row, which keeps downstream pivoting trivial.
+    """
+    if trackers is None:
+        trackers = default_trackers()
+    if not problems:
+        raise ParameterError("run_sweep needs at least one problem")
+    table = ExperimentTable()
+    for problem in problems:
+        for spec in trackers:
+            _, row = run_tracker(problem, spec)
+            if extra_columns:
+                row.update(extra_columns)
+            table.append(row)
+    return table

@@ -1,0 +1,123 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Installed as the ``avt-bench`` console script::
+
+    avt-bench --list                      # show every experiment id
+    avt-bench fig03                       # Figure 3 on the quick profile
+    avt-bench fig05 --profile medium      # medium profile (all six datasets)
+    avt-bench table4 --csv out.csv        # also dump the raw rows as CSV
+    avt-bench summary --dataset gnutella  # one-problem comparison of all trackers
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.avt import metrics
+from repro.bench.experiments import EXPERIMENTS, get_experiment, resolve_profile
+from repro.bench.reporting import format_table
+from repro.bench.runner import default_trackers, run_tracker
+from repro.bench.workloads import build_problem
+from repro.errors import ReproError
+from repro.graph.datasets import DATASET_NAMES, dataset_summary
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="avt-bench",
+        description="Reproduce the tables and figures of the Anchored Vertex Tracking paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (fig03..fig12, table4, ablation_*), 'summary', or 'datasets'",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument(
+        "--profile",
+        default=None,
+        choices=["quick", "medium", "full"],
+        help="execution profile (default: AVT_BENCH_PROFILE or 'quick')",
+    )
+    parser.add_argument("--csv", type=Path, default=None, help="write the raw result rows to this CSV file")
+    parser.add_argument("--dataset", default="gnutella", choices=DATASET_NAMES, help="dataset for 'summary'")
+    parser.add_argument("--k", type=int, default=None, help="degree constraint for 'summary'")
+    parser.add_argument("--budget", type=int, default=5, help="anchor budget for 'summary'")
+    parser.add_argument("--snapshots", type=int, default=10, help="number of snapshots for 'summary'")
+    parser.add_argument("--scale", type=float, default=0.5, help="dataset scale for 'summary'")
+    return parser
+
+
+def _run_summary(args: argparse.Namespace) -> int:
+    """Run every tracker on a single problem and print the comparison table."""
+    problem = build_problem(
+        args.dataset,
+        k=args.k,
+        budget=args.budget,
+        num_snapshots=args.snapshots,
+        scale=args.scale,
+    )
+    results = []
+    for spec in default_trackers():
+        result, _ = run_tracker(problem, spec)
+        results.append(result)
+    print(
+        f"AVT comparison on {problem.name} "
+        f"(k={problem.k}, l={problem.budget}, T={problem.num_snapshots}, scale={args.scale})"
+    )
+    print(format_table(metrics.summarise(results)))
+    print()
+    print(
+        "IncAVT speed-up vs OLAK: "
+        f"{metrics.speedup(results, baseline='OLAK', target='IncAVT'):.1f}x, "
+        "vs Greedy: "
+        f"{metrics.speedup(results, baseline='Greedy', target='IncAVT'):.1f}x"
+    )
+    return 0
+
+
+def _run_datasets() -> int:
+    """Print summary statistics of every bundled dataset stand-in."""
+    rows = [dataset_summary(name, num_snapshots=5, scale=0.5) for name in DATASET_NAMES]
+    print(format_table(rows))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``avt-bench`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        print("Available experiments:")
+        for name in sorted(EXPERIMENTS):
+            doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:<22} {doc}")
+        print("  summary                Compare all trackers on one dataset (see --dataset).")
+        print("  datasets               Show the bundled dataset stand-ins.")
+        return 0
+
+    try:
+        if args.experiment == "summary":
+            return _run_summary(args)
+        if args.experiment == "datasets":
+            return _run_datasets()
+        experiment = get_experiment(args.experiment)
+        profile = resolve_profile(args.profile)
+        print(f"Running {args.experiment} with profile '{profile.name}' (scale={profile.scale})...")
+        table, report = experiment(profile)
+        print(report)
+        if args.csv is not None:
+            args.csv.write_text(table.to_csv(), encoding="utf-8")
+            print(f"\nraw rows written to {args.csv}")
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

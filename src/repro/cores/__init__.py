@@ -1,0 +1,29 @@
+"""k-core machinery: decomposition, K-order index, and incremental maintenance."""
+
+from repro.cores.decomposition import (
+    CoreDecomposition,
+    anchored_core_decomposition,
+    core_decomposition,
+    core_numbers,
+    degeneracy,
+    k_core,
+    k_shell,
+)
+from repro.cores.korder import KOrder
+from repro.cores.maintenance import CoreMaintainer, DeltaEffect
+from repro.cores.mcd import max_core_degree, max_core_degrees
+
+__all__ = [
+    "CoreDecomposition",
+    "anchored_core_decomposition",
+    "core_decomposition",
+    "core_numbers",
+    "degeneracy",
+    "k_core",
+    "k_shell",
+    "KOrder",
+    "CoreMaintainer",
+    "DeltaEffect",
+    "max_core_degree",
+    "max_core_degrees",
+]

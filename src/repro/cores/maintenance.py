@@ -1,0 +1,311 @@
+"""Incremental core maintenance for evolving graphs (Section 5.2).
+
+When the graph evolves from ``G_{t-1}`` to ``G_t`` by inserting the edge set
+``E+`` and deleting ``E-``, core numbers change only locally: an insertion can
+raise the core number of vertices in the *subcore* of the edge's lower
+endpoint by at most one (Lemmas 1–2), and a deletion can lower the core number
+of vertices whose max core degree drops below their core number (Lemmas 3–4).
+
+:class:`CoreMaintainer` owns a graph and its core numbers and updates them
+edge by edge using the classic traversal maintenance algorithms.  Batch
+updates via :meth:`apply_delta` additionally report the paper's ``VI`` and
+``VR`` sets — the insertion-affected and deletion-affected vertices whose core
+number is ``k - 1`` afterwards — which is exactly the candidate pool the
+incremental tracker (IncAVT, Algorithm 6) probes.
+
+The maintained core numbers are the single source of truth for the incremental
+tracker; a :meth:`validate` hook recomputes them from scratch and raises if
+they ever diverge, and the property-based tests exercise that hook on random
+edit sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.cores.decomposition import core_numbers as recompute_core_numbers
+from repro.errors import InvariantViolationError, ParameterError
+from repro.graph.dynamic import EdgeDelta
+from repro.graph.static import Edge, Graph, Vertex
+
+
+@dataclass
+class DeltaEffect:
+    """The effect of applying one snapshot delta to a maintained core index.
+
+    Attributes
+    ----------
+    increased:
+        Vertices whose core number rose while applying the delta.
+    decreased:
+        Vertices whose core number fell while applying the delta.
+    insertion_affected:
+        The paper's ``VI``: vertices touched by the insertion phase whose core
+        number is ``k - 1`` in the updated graph.
+    deletion_affected:
+        The paper's ``VR``: vertices touched by the deletion phase whose core
+        number is ``k - 1`` in the updated graph.
+    visited:
+        Number of vertices visited by the maintenance traversals (used by the
+        instrumentation figures).
+    """
+
+    increased: Set[Vertex] = field(default_factory=set)
+    decreased: Set[Vertex] = field(default_factory=set)
+    insertion_affected: Set[Vertex] = field(default_factory=set)
+    deletion_affected: Set[Vertex] = field(default_factory=set)
+    visited: int = 0
+
+    @property
+    def affected(self) -> Set[Vertex]:
+        """Union of the insertion- and deletion-affected vertex sets."""
+        return self.insertion_affected | self.deletion_affected
+
+
+class CoreMaintainer:
+    """Maintains core numbers of a graph under edge insertions and deletions."""
+
+    def __init__(self, graph: Graph, copy_graph: bool = True) -> None:
+        self._graph = graph.copy() if copy_graph else graph
+        self._core: Dict[Vertex, int] = recompute_core_numbers(self._graph)
+        self._visited_last = 0
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The maintained graph (mutated in place by the update methods)."""
+        return self._graph
+
+    def core_numbers(self) -> Dict[Vertex, int]:
+        """Return a copy of the maintained core numbers."""
+        return dict(self._core)
+
+    def core(self, vertex: Vertex) -> int:
+        """Return the maintained core number of ``vertex``."""
+        return self._core[vertex]
+
+    def k_core_vertices(self, k: int) -> Set[Vertex]:
+        """Return ``{v : core(v) >= k}`` under the maintained core numbers."""
+        return {vertex for vertex, value in self._core.items() if value >= k}
+
+    def shell_vertices(self, k: int) -> Set[Vertex]:
+        """Return ``{v : core(v) == k}`` under the maintained core numbers."""
+        return {vertex for vertex, value in self._core.items() if value == k}
+
+    # ------------------------------------------------------------------
+    # Single-edge updates
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: Vertex, v: Vertex) -> Set[Vertex]:
+        """Insert edge ``(u, v)`` and return the vertices whose core increased.
+
+        Inserting an edge that already exists is a no-op returning the empty
+        set.  New endpoints are added with core number updated from scratch
+        locally (a fresh vertex starts at core 0 before the edge is counted).
+        """
+        for vertex in (u, v):
+            if not self._graph.has_vertex(vertex):
+                self._graph.add_vertex(vertex)
+                self._core[vertex] = 0
+        if not self._graph.add_edge(u, v):
+            return set()
+        return self._process_insertion(u, v)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> Set[Vertex]:
+        """Remove edge ``(u, v)`` and return the vertices whose core decreased.
+
+        Removing an absent edge is a no-op returning the empty set.
+        """
+        if not self._graph.has_edge(u, v):
+            return set()
+        self._graph.remove_edge(u, v)
+        return self._process_deletion(u, v)
+
+    # ------------------------------------------------------------------
+    # Batch updates
+    # ------------------------------------------------------------------
+    def insert_edges(self, edges: Iterable[Edge]) -> Set[Vertex]:
+        """Insert every edge of ``edges``; return all vertices whose core rose."""
+        increased: Set[Vertex] = set()
+        for u, v in edges:
+            increased |= self.insert_edge(u, v)
+        return increased
+
+    def remove_edges(self, edges: Iterable[Edge]) -> Set[Vertex]:
+        """Remove every edge of ``edges``; return all vertices whose core fell."""
+        decreased: Set[Vertex] = set()
+        for u, v in edges:
+            decreased |= self.remove_edge(u, v)
+        return decreased
+
+    def apply_delta(self, delta: EdgeDelta, k: Optional[int] = None) -> DeltaEffect:
+        """Apply one snapshot delta (insertions first, then deletions).
+
+        When ``k`` is given, the returned :class:`DeltaEffect` also carries the
+        ``VI`` / ``VR`` candidate pools for that ``k`` (vertices touched by the
+        respective phase whose updated core number is ``k - 1``).
+        """
+        if k is not None and k < 1:
+            raise ParameterError("k must be >= 1 when requesting affected pools")
+        effect = DeltaEffect()
+
+        insertion_touched: Set[Vertex] = set()
+        for u, v in delta.inserted:
+            insertion_touched.update((u, v))
+            increased = self.insert_edge(u, v)
+            effect.increased |= increased
+            insertion_touched |= increased
+            insertion_touched |= self._visited_vertices_last
+            effect.visited += self._visited_last
+
+        deletion_touched: Set[Vertex] = set()
+        for u, v in delta.removed:
+            deletion_touched.update((u, v))
+            decreased = self.remove_edge(u, v)
+            effect.decreased |= decreased
+            deletion_touched |= decreased
+            deletion_touched |= self._visited_vertices_last
+            effect.visited += self._visited_last
+
+        if k is not None:
+            target = k - 1
+            effect.insertion_affected = {
+                vertex for vertex in insertion_touched if self._core.get(vertex) == target
+            }
+            effect.deletion_affected = {
+                vertex for vertex in deletion_touched if self._core.get(vertex) == target
+            }
+        return effect
+
+    def refresh_from_graph(self) -> None:
+        """Recompute all core numbers from the current graph state.
+
+        Used when a caller mutates the maintained graph wholesale (e.g. a
+        snapshot delta so large that per-edge maintenance would cost more than
+        one fresh decomposition — the situation the paper describes for
+        high-churn snapshots).
+        """
+        self._core = recompute_core_numbers(self._graph)
+        self._visited_last = 0
+        self._visited_vertices_last = set()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Recompute core numbers from scratch and raise on any divergence."""
+        fresh = recompute_core_numbers(self._graph)
+        if fresh != self._core:
+            differing = {
+                vertex: (self._core.get(vertex), fresh.get(vertex))
+                for vertex in set(fresh) | set(self._core)
+                if self._core.get(vertex) != fresh.get(vertex)
+            }
+            raise InvariantViolationError(
+                f"maintained core numbers diverged from recomputation: {differing}"
+            )
+
+    # ------------------------------------------------------------------
+    # Insertion traversal (Lemmas 1-2)
+    # ------------------------------------------------------------------
+    def _process_insertion(self, u: Vertex, v: Vertex) -> Set[Vertex]:
+        core = self._core
+        root_core = min(core[u], core[v])
+        roots = [w for w in (u, v) if core[w] == root_core]
+
+        # Subcore: shell-root_core vertices reachable from the roots through
+        # shell-root_core vertices.  Only these can rise, and by at most 1.
+        candidates: Set[Vertex] = set()
+        stack: List[Vertex] = []
+        for root in roots:
+            if root not in candidates:
+                candidates.add(root)
+                stack.append(root)
+        while stack:
+            current = stack.pop()
+            for neighbour in self._graph.neighbors(current):
+                if core[neighbour] == root_core and neighbour not in candidates:
+                    candidates.add(neighbour)
+                    stack.append(neighbour)
+
+        # Eviction: a candidate can rise only if it keeps more than root_core
+        # neighbours among (higher-core vertices ∪ surviving candidates).
+        support: Dict[Vertex, int] = {}
+        for candidate in candidates:
+            support[candidate] = sum(
+                1
+                for neighbour in self._graph.neighbors(candidate)
+                if core[neighbour] > root_core or neighbour in candidates
+            )
+        evict_queue = [w for w, s in support.items() if s <= root_core]
+        evicted: Set[Vertex] = set()
+        while evict_queue:
+            w = evict_queue.pop()
+            if w in evicted:
+                continue
+            evicted.add(w)
+            for neighbour in self._graph.neighbors(w):
+                if neighbour in candidates and neighbour not in evicted:
+                    support[neighbour] -= 1
+                    if support[neighbour] <= root_core:
+                        evict_queue.append(neighbour)
+
+        increased = candidates - evicted
+        for w in increased:
+            core[w] = root_core + 1
+        self._visited_last = len(candidates)
+        self._visited_vertices_last = set(candidates)
+        return increased
+
+    # ------------------------------------------------------------------
+    # Deletion cascade (Lemmas 3-4)
+    # ------------------------------------------------------------------
+    def _process_deletion(self, u: Vertex, v: Vertex) -> Set[Vertex]:
+        core = self._core
+        root_core = min(core[u], core[v])
+        visited: Set[Vertex] = set()
+
+        # Support of a shell-root_core vertex: neighbours with core >= root_core
+        # (its max core degree).  A vertex drops when support falls below core.
+        support: Dict[Vertex, int] = {}
+
+        def compute_support(w: Vertex) -> int:
+            return sum(1 for x in self._graph.neighbors(w) if core[x] >= root_core)
+
+        dropped: Set[Vertex] = set()
+        queue: List[Vertex] = []
+        for w in (u, v):
+            if core[w] == root_core and w not in dropped:
+                visited.add(w)
+                support[w] = compute_support(w)
+                if support[w] < root_core:
+                    dropped.add(w)
+                    queue.append(w)
+
+        while queue:
+            w = queue.pop()
+            # Visit neighbours before lowering core(w): their lazily computed
+            # support still counts w, and the explicit decrement below then
+            # accounts for w exactly once.
+            for x in self._graph.neighbors(w):
+                if core[x] != root_core or x in dropped:
+                    continue
+                visited.add(x)
+                if x not in support:
+                    support[x] = compute_support(x)
+                # ``w`` no longer counts towards x's support.
+                support[x] -= 1
+                if support[x] < root_core:
+                    dropped.add(x)
+                    queue.append(x)
+            core[w] = root_core - 1
+
+        self._visited_last = len(visited)
+        self._visited_vertices_last = visited
+        return dropped
+
+    # Default values so apply_delta can read them even before any update ran.
+    _visited_vertices_last: Set[Vertex] = frozenset()  # type: ignore[assignment]
+    _visited_last: int = 0

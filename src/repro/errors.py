@@ -1,0 +1,61 @@
+"""Exception hierarchy for the AVT reproduction library.
+
+Every exception raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph manipulations (unknown vertex, bad edge...)."""
+
+
+class VertexNotFoundError(GraphError):
+    """Raised when an operation references a vertex absent from the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when an operation references an edge absent from the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class SelfLoopError(GraphError):
+    """Raised when a self-loop edge is added to an undirected simple graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"self-loop on vertex {vertex!r} is not allowed")
+        self.vertex = vertex
+
+
+class SnapshotError(ReproError):
+    """Raised for invalid snapshot-sequence operations (bad index, empty...)."""
+
+
+class ParameterError(ReproError):
+    """Raised when an algorithm parameter is out of its valid range."""
+
+
+class InvariantViolationError(ReproError):
+    """Raised when an internal data-structure invariant check fails.
+
+    These checks are cheap assertions kept in production code because the
+    order-based maintenance structures are easy to corrupt silently; failing
+    loudly is preferable to returning wrong anchor sets.
+    """
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset file cannot be parsed or a name is unknown."""

@@ -1,0 +1,11 @@
+"""Graph substrate: static graphs, snapshot sequences, generators, datasets, IO."""
+
+from repro.graph.static import Graph
+from repro.graph.dynamic import EdgeDelta, EvolvingGraph, SnapshotSequence
+
+__all__ = [
+    "Graph",
+    "EdgeDelta",
+    "EvolvingGraph",
+    "SnapshotSequence",
+]

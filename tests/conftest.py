@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graph.generators import barabasi_albert_graph, chung_lu_graph, erdos_renyi_graph
+from repro.graph.datasets import toy_example_evolving_graph, toy_example_graph
+from repro.graph.static import Graph
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    """Convert a repro Graph into a networkx Graph (used as an oracle)."""
+    converted = nx.Graph()
+    converted.add_nodes_from(graph.vertices())
+    converted.add_edges_from(graph.edges())
+    return converted
+
+
+def random_graph(seed: int, num_vertices: int = 40, num_edges: int = 80) -> Graph:
+    """Small deterministic random graph for unit tests."""
+    return erdos_renyi_graph(num_vertices, num_edges, seed=seed)
+
+
+@pytest.fixture
+def toy_graph() -> Graph:
+    """The 17-user Figure-1 style community."""
+    return toy_example_graph()
+
+
+@pytest.fixture
+def toy_evolving():
+    """Two-snapshot evolving version of the toy community."""
+    return toy_example_evolving_graph()
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    """A single triangle plus one pendant vertex."""
+    graph = Graph(edges=[(1, 2), (2, 3), (1, 3), (3, 4)])
+    return graph
+
+
+@pytest.fixture
+def ba_graph() -> Graph:
+    """A small Barabási–Albert graph with a non-trivial core structure."""
+    return barabasi_albert_graph(60, 3, seed=11)
+
+
+@pytest.fixture
+def cl_graph() -> Graph:
+    """A small Chung–Lu graph with a graded shell structure."""
+    return chung_lu_graph(80, 240, skew=1.2, seed=5)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG for tests that need randomness."""
+    return random.Random(1234)

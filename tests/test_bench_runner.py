@@ -1,0 +1,138 @@
+"""Unit tests for the sweep runner and the tidy experiment table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.avt.problem import AVTProblem
+from repro.bench.runner import (
+    ExperimentTable,
+    TrackerSpec,
+    default_trackers,
+    run_sweep,
+    run_tracker,
+)
+from repro.bench.workloads import build_problem, clear_workload_cache, dataset_k_values
+from repro.avt.trackers import GreedyTracker
+from repro.errors import ParameterError
+from repro.graph.datasets import toy_example_evolving_graph
+
+
+@pytest.fixture
+def toy_problem():
+    return AVTProblem(toy_example_evolving_graph(), k=3, budget=2, name="toy")
+
+
+class TestTrackerSpecs:
+    def test_default_lineup_matches_paper(self):
+        names = [spec.name for spec in default_trackers()]
+        assert names == ["OLAK", "Greedy", "IncAVT", "RCM"]
+
+    def test_brute_force_included_on_request(self):
+        names = [spec.name for spec in default_trackers(include_brute_force=True)]
+        assert names[-1] == "Brute-force"
+
+    def test_build_creates_fresh_instances(self):
+        spec = default_trackers()[1]
+        assert spec.build() is not spec.build()
+
+
+class TestRunTracker:
+    def test_row_schema(self, toy_problem):
+        result, row = run_tracker(toy_problem, TrackerSpec("Greedy", GreedyTracker))
+        assert result.algorithm == "Greedy"
+        assert row["dataset"] == "toy"
+        assert row["k"] == 3 and row["l"] == 2 and row["T"] == 2
+        assert row["followers"] == result.total_followers
+        assert row["visited"] == result.total_visited_vertices
+        assert len(row["followers_series"]) == 2
+        assert row["time_s"] >= 0
+
+
+class TestExperimentTable:
+    def make_table(self):
+        return ExperimentTable(
+            [
+                {"dataset": "a", "algorithm": "X", "k": 2, "time_s": 1.0},
+                {"dataset": "a", "algorithm": "Y", "k": 2, "time_s": 2.0},
+                {"dataset": "a", "algorithm": "X", "k": 3, "time_s": 3.0},
+                {"dataset": "b", "algorithm": "X", "k": 2, "time_s": 4.0},
+            ]
+        )
+
+    def test_len_iter_rows(self):
+        table = self.make_table()
+        assert len(table) == 4
+        assert len(list(table)) == 4
+        assert table.rows()[0]["dataset"] == "a"
+
+    def test_filter(self):
+        table = self.make_table()
+        assert len(table.filter(dataset="a")) == 3
+        assert len(table.filter(dataset="a", algorithm="X")) == 2
+        assert len(table.filter(dataset="c")) == 0
+
+    def test_column_and_distinct(self):
+        table = self.make_table()
+        assert table.column("time_s") == [1.0, 2.0, 3.0, 4.0]
+        assert table.distinct("dataset") == ["a", "b"]
+        assert table.distinct("algorithm") == ["X", "Y"]
+
+    def test_series_groups_by_algorithm(self):
+        table = self.make_table()
+        series = table.filter(dataset="a").series(x="k", y="time_s")
+        assert series["X"] == [(2, 1.0), (3, 3.0)]
+        assert series["Y"] == [(2, 2.0)]
+
+    def test_to_csv_round_trips_headers(self):
+        table = self.make_table()
+        csv_text = table.to_csv()
+        header = csv_text.splitlines()[0]
+        assert header.split(",") == ["dataset", "algorithm", "k", "time_s"]
+        assert len(csv_text.splitlines()) == 5
+
+    def test_to_csv_serialises_lists(self):
+        table = ExperimentTable([{"algorithm": "X", "followers_series": [1, 2, 3]}])
+        assert "1;2;3" in table.to_csv()
+
+    def test_empty_table_to_csv(self):
+        assert ExperimentTable().to_csv() == ""
+
+    def test_append_and_extend(self):
+        table = ExperimentTable()
+        table.append({"a": 1})
+        table.extend([{"a": 2}, {"a": 3}])
+        assert table.column("a") == [1, 2, 3]
+
+
+class TestRunSweep:
+    def test_requires_problems(self):
+        with pytest.raises(ParameterError):
+            run_sweep([])
+
+    def test_sweep_produces_one_row_per_tracker_and_problem(self, toy_problem):
+        trackers = [TrackerSpec("Greedy", GreedyTracker)]
+        table = run_sweep([toy_problem, toy_problem], trackers=trackers, extra_columns={"vary": "x"})
+        assert len(table) == 2
+        assert all(row["vary"] == "x" for row in table.rows())
+
+
+class TestWorkloads:
+    def test_build_problem_uses_spec_defaults(self):
+        problem = build_problem("gnutella", num_snapshots=2, scale=0.15)
+        assert problem.k == 3
+        assert problem.name == "gnutella"
+        assert problem.num_snapshots == 2
+
+    def test_build_problem_caches_evolving_graph(self):
+        clear_workload_cache()
+        first = build_problem("gnutella", k=2, num_snapshots=2, scale=0.15)
+        second = build_problem("gnutella", k=3, num_snapshots=2, scale=0.15)
+        assert first.evolving_graph is second.evolving_graph
+
+    def test_build_problem_rejects_bad_scale(self):
+        with pytest.raises(ParameterError):
+            build_problem("gnutella", scale=0)
+
+    def test_dataset_k_values(self):
+        assert dataset_k_values("gnutella") == (2, 3, 4)

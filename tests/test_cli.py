@@ -1,0 +1,62 @@
+"""Tests for the avt-bench command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig03" in output and "table4" in output and "summary" in output
+
+    def test_no_arguments_lists_experiments(self, capsys):
+        assert main([]) == 0
+        assert "Available experiments" in capsys.readouterr().out
+
+
+class TestDatasets:
+    def test_datasets_table(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        for name in ("email_enron", "gnutella", "deezer", "eu_core", "mathoverflow", "college_msg"):
+            assert name in output
+
+
+class TestSummary:
+    def test_summary_small_scale(self, capsys):
+        code = main(
+            [
+                "summary",
+                "--dataset",
+                "gnutella",
+                "--scale",
+                "0.12",
+                "--snapshots",
+                "3",
+                "--budget",
+                "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "OLAK" in output and "IncAVT" in output
+        assert "speed-up" in output
+
+
+class TestExperiments:
+    def test_unknown_experiment_returns_error(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_table4_with_csv_export(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("AVT_BENCH_SCALE", "0.12")
+        csv_path = tmp_path / "table4.csv"
+        assert main(["table4", "--csv", str(csv_path)]) == 0
+        output = capsys.readouterr().out
+        assert "Table 4" in output
+        assert csv_path.exists()
+        assert "algorithm" in csv_path.read_text(encoding="utf-8")

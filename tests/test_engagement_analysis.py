@@ -1,0 +1,133 @@
+"""Tests for the engagement analytics (unraveling cascades, series, resilience)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.engagement import (
+    anchored_engagement_series,
+    core_resilience,
+    departure_cascade,
+    engagement_series,
+    most_critical_users,
+)
+from repro.avt.problem import AVTProblem
+from repro.avt.trackers import GreedyTracker
+from repro.cores.decomposition import k_core
+from repro.errors import ParameterError, VertexNotFoundError
+from repro.graph.datasets import toy_example_evolving_graph
+from repro.graph.static import Graph
+
+
+class TestDepartureCascade:
+    def test_departure_of_non_core_user_changes_nothing(self, toy_graph):
+        assert departure_cascade(toy_graph, 3, [4]) == set()
+
+    def test_departure_of_core_user_unravels_neighbours(self, toy_graph):
+        # Vertex 12 holds the 3-core together: removing it drops others too.
+        cascade = departure_cascade(toy_graph, 3, [12])
+        assert 12 in cascade
+        assert cascade == {8, 9, 12, 13, 16}
+
+    def test_departure_of_all_core_members(self, toy_graph):
+        core_members = k_core(toy_graph, 3)
+        assert departure_cascade(toy_graph, 3, core_members) == core_members
+
+    def test_unknown_leaver_raises(self, toy_graph):
+        with pytest.raises(VertexNotFoundError):
+            departure_cascade(toy_graph, 3, [999])
+
+    def test_invalid_k_raises(self, toy_graph):
+        with pytest.raises(ParameterError):
+            departure_cascade(toy_graph, 0, [1])
+
+    def test_cascade_contained_in_original_core(self, cl_graph):
+        engaged = k_core(cl_graph, 4)
+        leavers = sorted(engaged, key=repr)[:3]
+        cascade = departure_cascade(cl_graph, 4, leavers)
+        assert cascade <= engaged
+        assert set(leavers) <= cascade
+
+
+class TestCriticalUsers:
+    def test_scores_are_positive_and_sorted(self, toy_graph):
+        ranked = most_critical_users(toy_graph, 3, top=5)
+        assert ranked
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert all(score >= 1 for score in scores)
+
+    def test_every_core_member_is_critical_in_the_toy_graph(self, toy_graph):
+        ranked = dict(most_critical_users(toy_graph, 3, top=10))
+        assert set(ranked) == {8, 9, 12, 13, 16}
+        # The tight 3-core means any single departure collapses it entirely.
+        assert all(score == 5 for score in ranked.values())
+
+    def test_candidates_restriction(self, toy_graph):
+        ranked = most_critical_users(toy_graph, 3, top=10, candidates=[8, 9, 4])
+        assert {vertex for vertex, _ in ranked} == {8, 9}
+
+    def test_top_validation(self, toy_graph):
+        with pytest.raises(ParameterError):
+            most_critical_users(toy_graph, 3, top=0)
+
+
+class TestSeries:
+    def test_engagement_series_matches_per_snapshot_core(self, toy_evolving):
+        series = engagement_series(toy_evolving, 3)
+        expected = [len(k_core(snapshot, 3)) for snapshot in toy_evolving.snapshots()]
+        assert series == expected
+        assert len(series) == 2
+
+    def test_anchored_series_uses_tracker_output(self):
+        evolving = toy_example_evolving_graph()
+        problem = AVTProblem(evolving, k=3, budget=2, name="toy")
+        tracked = GreedyTracker().track(problem)
+        anchored = anchored_engagement_series(evolving, 3, tracked.anchor_sets)
+        plain = engagement_series(evolving, 3)
+        assert len(anchored) == len(plain)
+        assert all(a >= p for a, p in zip(anchored, plain))
+        assert anchored == [s.result.anchored_core_size for s in tracked]
+
+    def test_anchored_series_requires_matching_length(self, toy_evolving):
+        with pytest.raises(ParameterError):
+            anchored_engagement_series(toy_evolving, 3, [(7, 10)])
+
+    def test_anchored_series_ignores_unknown_anchors(self, toy_evolving):
+        series = anchored_engagement_series(toy_evolving, 3, [(999,), (999,)])
+        assert series == engagement_series(toy_evolving, 3)
+
+    def test_invalid_k(self, toy_evolving):
+        with pytest.raises(ParameterError):
+            engagement_series(toy_evolving, 0)
+
+
+class TestResilience:
+    def test_zero_departures_is_fully_resilient(self, toy_graph):
+        assert core_resilience(toy_graph, 3, num_departures=0) == pytest.approx(1.0)
+
+    def test_fragile_core_scores_low(self, toy_graph):
+        # Any single departure collapses the toy 3-core entirely.
+        assert core_resilience(toy_graph, 3, num_departures=1, trials=5) == pytest.approx(0.0)
+
+    def test_clique_is_resilient_to_single_departures(self):
+        edges = [(u, v) for u in range(6) for v in range(u + 1, 6)]
+        resilience = core_resilience(Graph(edges=edges), 3, num_departures=1, trials=5)
+        assert resilience == pytest.approx(5 / 6)
+
+    def test_empty_core_is_trivially_resilient(self):
+        graph = Graph(edges=[(1, 2)])
+        assert core_resilience(graph, 3, num_departures=2) == 1.0
+
+    def test_deterministic_for_a_seed(self, cl_graph):
+        first = core_resilience(cl_graph, 4, num_departures=3, trials=10, seed=5)
+        second = core_resilience(cl_graph, 4, num_departures=3, trials=10, seed=5)
+        assert first == second
+
+    def test_parameter_validation(self, toy_graph):
+        with pytest.raises(ParameterError):
+            core_resilience(toy_graph, 0, 1)
+        with pytest.raises(ParameterError):
+            core_resilience(toy_graph, 3, -1)
+        with pytest.raises(ParameterError):
+            core_resilience(toy_graph, 3, 1, trials=0)

@@ -1,0 +1,72 @@
+"""Smoke tests: every bundled example runs end to end and prints its story.
+
+The examples double as integration tests of the public API; they are executed
+in-process (importing each module and calling ``main()``) so failures surface
+as ordinary test failures with a traceback.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    """Import an example script as a module without executing ``main``."""
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleInventory:
+    def test_at_least_three_examples_exist(self):
+        assert len(EXAMPLES) >= 3
+        assert "quickstart.py" in EXAMPLES
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_every_example_has_a_main_and_docstring(self, name):
+        module = load_example(name)
+        assert callable(getattr(module, "main", None)), f"{name} must define main()"
+        assert module.__doc__, f"{name} must document what it demonstrates"
+
+
+class TestExampleExecution:
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_example_runs_and_prints(self, name, capsys):
+        module = load_example(name)
+        module.main()
+        output = capsys.readouterr().out
+        assert len(output.splitlines()) >= 5, f"{name} should narrate its result"
+
+    def test_quickstart_tells_the_figure_1_story(self, capsys):
+        module = load_example("quickstart.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "3-core" in output
+        assert "[8, 9, 12, 13, 16]" in output
+        assert "Greedy" in output and "Brute-force" in output
+        assert "IncAVT" in output
+
+    def test_advertising_example_reports_cumulative_reach(self, capsys):
+        module = load_example("advertising_placement.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "Cumulative audience reached" in output
+        assert "tracked" in output
+
+    def test_retention_example_reports_three_policies(self, capsys):
+        module = load_example("community_retention.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "no anchors" in output
+        assert "fixed anchors" in output
+        assert "tracked anchors" in output

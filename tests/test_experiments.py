@@ -1,0 +1,132 @@
+"""Tests for the per-figure experiment definitions (run at tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    BenchProfile,
+    clear_sweep_cache,
+    experiment_ablation_maintenance,
+    experiment_ablation_pruning,
+    experiment_fig03_time_vs_k,
+    experiment_fig04_visited_vs_k,
+    experiment_fig05_time_vs_T,
+    experiment_fig09_followers_vs_T,
+    experiment_fig12_case_study,
+    experiment_table4_anchor_selection,
+    get_experiment,
+    resolve_profile,
+)
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def tiny_profile() -> BenchProfile:
+    """A profile small enough for the unit-test suite."""
+    return BenchProfile(
+        name="tiny",
+        datasets=("gnutella",),
+        scale=0.12,
+        num_snapshots=3,
+        budget=2,
+        k_values_per_dataset=2,
+        snapshot_grid=(2, 3),
+        budget_grid=(1, 2),
+        case_study_dataset="gnutella",
+        case_study_k=3,
+        case_study_budget=2,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    clear_sweep_cache()
+    yield
+    clear_sweep_cache()
+
+
+class TestRegistry:
+    def test_all_paper_figures_and_tables_are_registered(self):
+        expected = {f"fig{index:02d}" for index in range(3, 13)} | {
+            "table4",
+            "ablation_pruning",
+            "ablation_maintenance",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_get_experiment_unknown_name(self):
+        with pytest.raises(ParameterError):
+            get_experiment("fig99")
+
+    def test_resolve_profile_default_and_named(self, monkeypatch):
+        monkeypatch.delenv("AVT_BENCH_PROFILE", raising=False)
+        assert resolve_profile().name == "quick"
+        assert resolve_profile("medium").name == "medium"
+        monkeypatch.setenv("AVT_BENCH_PROFILE", "full")
+        assert resolve_profile().name == "full"
+
+    def test_resolve_profile_scale_override(self, monkeypatch):
+        monkeypatch.setenv("AVT_BENCH_SCALE", "0.2")
+        assert resolve_profile("quick").scale == pytest.approx(0.2)
+
+    def test_resolve_profile_unknown(self):
+        with pytest.raises(ParameterError):
+            resolve_profile("gigantic")
+
+
+class TestSweepExperiments:
+    def test_fig03_and_fig04_share_the_same_sweep(self, tiny_profile):
+        table3, report3 = experiment_fig03_time_vs_k(tiny_profile)
+        table4, report4 = experiment_fig04_visited_vs_k(tiny_profile)
+        assert len(table3) == len(table4) == 2 * 4  # 2 k values x 4 algorithms
+        assert "Figure 3" in report3 and "Figure 4" in report4
+        assert set(table3.distinct("algorithm")) == {"OLAK", "Greedy", "IncAVT", "RCM"}
+
+    def test_fig05_reports_cumulative_series(self, tiny_profile):
+        table, report = experiment_fig05_time_vs_T(tiny_profile)
+        assert "Figure 5" in report
+        for algorithm in table.distinct("algorithm"):
+            rows = table.filter(algorithm=algorithm).rows()
+            times = [row["time_s"] for row in sorted(rows, key=lambda r: r["T"])]
+            assert times == sorted(times)  # cumulative => non-decreasing
+
+    def test_fig09_followers_are_cumulative(self, tiny_profile):
+        table, _ = experiment_fig09_followers_vs_T(tiny_profile)
+        for algorithm in table.distinct("algorithm"):
+            rows = sorted(table.filter(algorithm=algorithm).rows(), key=lambda r: r["T"])
+            followers = [row["followers"] for row in rows]
+            assert followers == sorted(followers)
+
+    def test_case_study_includes_brute_force(self, tiny_profile):
+        table, report = experiment_fig12_case_study(tiny_profile)
+        assert "Brute-force" in table.distinct("algorithm")
+        assert "Figure 12" in report
+
+    def test_table4_has_five_rows(self, tiny_profile):
+        table, report = experiment_table4_anchor_selection(tiny_profile)
+        assert set(table.distinct("algorithm")) == {
+            "Brute-force",
+            "OLAK",
+            "Greedy",
+            "RCM",
+            "IncAVT",
+        }
+        assert "Table 4" in report
+
+    def test_ablation_pruning(self, tiny_profile):
+        table, report = experiment_ablation_pruning(tiny_profile)
+        assert set(table.distinct("algorithm")) == {"Greedy(pruned)", "Greedy(unpruned)"}
+        pruned = table.filter(algorithm="Greedy(pruned)").rows()[0]
+        unpruned = table.filter(algorithm="Greedy(unpruned)").rows()[0]
+        assert pruned["followers"] == unpruned["followers"]
+        assert pruned["candidates"] <= unpruned["candidates"]
+
+    def test_ablation_maintenance(self, tiny_profile):
+        table, report = experiment_ablation_maintenance(tiny_profile)
+        assert set(table.distinct("algorithm")) == {
+            "IncAVT(incremental)",
+            "IncAVT(rebuild)",
+        }
+        assert "Ablation" in report

@@ -1,0 +1,148 @@
+"""Unit tests for follower computation (Definitions 3-4, Algorithm 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anchored.followers import (
+    anchored_k_core,
+    compute_followers,
+    follower_gain,
+    full_shell_followers,
+    marginal_followers,
+)
+from repro.cores.decomposition import core_numbers, k_core
+from repro.errors import ParameterError, VertexNotFoundError
+from repro.graph.generators import chung_lu_graph
+from repro.graph.static import Graph
+
+
+class TestAnchoredKCore:
+    def test_without_anchors_equals_plain_k_core(self, toy_graph):
+        assert anchored_k_core(toy_graph, 3) == k_core(toy_graph, 3)
+
+    def test_example_3(self, toy_graph):
+        anchored = anchored_k_core(toy_graph, 3, {7, 10})
+        assert anchored == {2, 3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 16}
+
+    def test_anchors_always_included(self, toy_graph):
+        # Even an isolated-ish, low-degree vertex stays once anchored.
+        assert 4 in anchored_k_core(toy_graph, 3, {4})
+
+    def test_monotone_in_anchor_set(self, cl_graph):
+        vertices = sorted(cl_graph.vertices(), key=repr)
+        small = anchored_k_core(cl_graph, 4, vertices[:2])
+        large = anchored_k_core(cl_graph, 4, vertices[:5])
+        assert small <= large
+
+    def test_k_zero_returns_everything(self, toy_graph):
+        assert anchored_k_core(toy_graph, 0) == set(toy_graph.vertices())
+
+    def test_unknown_anchor_raises(self, toy_graph):
+        with pytest.raises(VertexNotFoundError):
+            anchored_k_core(toy_graph, 3, {999})
+
+    def test_negative_k_raises(self, toy_graph):
+        with pytest.raises(ParameterError):
+            anchored_k_core(toy_graph, -1)
+
+
+class TestComputeFollowers:
+    def test_example_3_followers(self, toy_graph):
+        assert compute_followers(toy_graph, 3, {7, 10}) == {2, 3, 5, 6, 11}
+
+    def test_example_6_followers(self, toy_graph):
+        assert compute_followers(toy_graph, 3, {15}) == {14}
+
+    def test_followers_exclude_anchors_and_core(self, toy_graph):
+        followers = compute_followers(toy_graph, 3, {7, 10})
+        assert followers.isdisjoint({7, 10})
+        assert followers.isdisjoint(k_core(toy_graph, 3))
+
+    def test_anchoring_core_member_gains_nothing(self, toy_graph):
+        assert compute_followers(toy_graph, 3, {8}) == set()
+
+    def test_precomputed_core_is_honoured(self, toy_graph):
+        plain = k_core(toy_graph, 3)
+        assert compute_followers(toy_graph, 3, {7, 10}, k_core_vertices=plain) == {2, 3, 5, 6, 11}
+
+    def test_empty_anchor_set_has_no_followers(self, toy_graph):
+        assert compute_followers(toy_graph, 3, ()) == set()
+
+    def test_follower_gain_matches_difference(self, toy_graph):
+        gain = follower_gain(toy_graph, 3, [15], 10)
+        with_both = compute_followers(toy_graph, 3, {15, 10})
+        with_base = compute_followers(toy_graph, 3, {15})
+        assert gain == with_both - with_base - {10}
+
+
+class TestMarginalFollowers:
+    def test_matches_exact_on_toy_graph(self, toy_graph):
+        core = core_numbers(toy_graph)
+        for vertex in toy_graph.vertices():
+            if core[vertex] >= 3:
+                continue
+            fast = marginal_followers(toy_graph, 3, vertex, core)
+            exact = follower_gain(toy_graph, 3, [], vertex)
+            assert fast == exact, vertex
+
+    def test_matches_full_shell_variant(self, cl_graph):
+        core = core_numbers(cl_graph)
+        for vertex in list(cl_graph.vertices())[:40]:
+            if core[vertex] >= 4:
+                continue
+            assert marginal_followers(cl_graph, 4, vertex, core) == full_shell_followers(
+                cl_graph, 4, vertex, core
+            )
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_matches_exact_on_random_graphs(self, k):
+        graph = chung_lu_graph(70, 220, skew=1.2, seed=k)
+        core = core_numbers(graph)
+        for vertex in list(graph.vertices())[:35]:
+            if core[vertex] >= k:
+                continue
+            fast = marginal_followers(graph, k, vertex, core)
+            exact = follower_gain(graph, k, [], vertex)
+            assert fast == exact, (k, vertex)
+
+    def test_candidate_inside_k_core_returns_empty(self, toy_graph):
+        core = core_numbers(toy_graph)
+        assert marginal_followers(toy_graph, 3, 8, core) == set()
+        assert full_shell_followers(toy_graph, 3, 8, core) == set()
+
+    def test_candidate_with_no_shell_neighbours_returns_empty(self, toy_graph):
+        core = core_numbers(toy_graph)
+        # Vertex 4 only touches vertex 1 (core 2)... which is in the shell, so
+        # use a custom graph: a pendant hanging off the 3-core.
+        graph = toy_graph.copy()
+        graph.add_edge(99, 8)
+        core = core_numbers(graph)
+        assert marginal_followers(graph, 3, 99, core) == set()
+
+    def test_visit_log_collects_region(self, toy_graph):
+        core = core_numbers(toy_graph)
+        log = []
+        marginal_followers(toy_graph, 3, 10, core, visit_log=log)
+        assert log  # the exploration touched the shell region around 10
+
+    def test_invalid_k_raises(self, toy_graph):
+        core = core_numbers(toy_graph)
+        with pytest.raises(ParameterError):
+            marginal_followers(toy_graph, 0, 7, core)
+        with pytest.raises(ParameterError):
+            full_shell_followers(toy_graph, 0, 7, core)
+
+    def test_unknown_candidate_raises(self, toy_graph):
+        core = core_numbers(toy_graph)
+        with pytest.raises(VertexNotFoundError):
+            marginal_followers(toy_graph, 3, 999, core)
+
+    def test_incremental_greedy_context(self, toy_graph):
+        """The fast path stays exact when previous anchors carry infinite core."""
+        from repro.cores.decomposition import anchored_core_decomposition
+
+        anchored = anchored_core_decomposition(toy_graph, anchors={10})
+        fast = marginal_followers(toy_graph, 3, 17, anchored.core)
+        exact = follower_gain(toy_graph, 3, [10], 17)
+        assert fast == exact

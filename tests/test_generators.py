@@ -1,0 +1,193 @@
+"""Unit tests for the random graph and snapshot-evolution generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph.generators import (
+    TemporalEdge,
+    barabasi_albert_graph,
+    chung_lu_graph,
+    erdos_renyi_graph,
+    perturb_snapshots,
+    planted_community_graph,
+    powerlaw_cluster_graph,
+    split_stream_into_snapshots,
+    temporal_edge_stream,
+)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        graph = erdos_renyi_graph(50, 120, seed=1)
+        assert graph.num_vertices == 50
+        assert graph.num_edges == 120
+
+    def test_deterministic_for_same_seed(self):
+        first = erdos_renyi_graph(30, 60, seed=9)
+        second = erdos_renyi_graph(30, 60, seed=9)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = erdos_renyi_graph(30, 60, seed=1)
+        second = erdos_renyi_graph(30, 60, seed=2)
+        assert first != second
+
+    def test_dense_request_close_to_complete(self):
+        graph = erdos_renyi_graph(10, 44, seed=3)
+        assert graph.num_edges == 44
+
+    def test_rejects_too_many_edges(self):
+        with pytest.raises(ParameterError):
+            erdos_renyi_graph(5, 20, seed=0)
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ParameterError):
+            erdos_renyi_graph(-1, 0)
+        with pytest.raises(ParameterError):
+            erdos_renyi_graph(5, -1)
+
+
+class TestBarabasiAlbert:
+    def test_vertex_and_minimum_degree(self):
+        graph = barabasi_albert_graph(50, 3, seed=2)
+        assert graph.num_vertices == 50
+        # Every vertex added after the seed clique attaches to 3 targets.
+        assert all(graph.degree(v) >= 3 for v in graph.vertices())
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            barabasi_albert_graph(5, 0)
+        with pytest.raises(ParameterError):
+            barabasi_albert_graph(3, 3)
+
+    def test_deterministic_for_same_seed(self):
+        assert barabasi_albert_graph(40, 2, seed=4) == barabasi_albert_graph(40, 2, seed=4)
+
+
+class TestChungLu:
+    def test_edge_count_and_determinism(self):
+        graph = chung_lu_graph(60, 180, skew=1.2, seed=7)
+        assert graph.num_vertices == 60
+        assert graph.num_edges == 180
+        assert graph == chung_lu_graph(60, 180, skew=1.2, seed=7)
+
+    def test_skew_concentrates_degree_on_low_ranks(self):
+        graph = chung_lu_graph(200, 600, skew=1.5, seed=3)
+        hubs = sum(graph.degree(v) for v in range(10))
+        tail = sum(graph.degree(v) for v in range(190, 200))
+        assert hubs > tail
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            chung_lu_graph(1, 0)
+        with pytest.raises(ParameterError):
+            chung_lu_graph(10, 100)
+        with pytest.raises(ParameterError):
+            chung_lu_graph(10, 5, skew=-1)
+
+
+class TestPlantedCommunities:
+    def test_shape(self):
+        graph = planted_community_graph(4, 10, 0.6, inter_edges=12, seed=5)
+        assert graph.num_vertices == 40
+        assert graph.num_edges > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            planted_community_graph(0, 10, 0.5, 1)
+        with pytest.raises(ParameterError):
+            planted_community_graph(2, 10, 1.5, 1)
+
+
+class TestPowerlawCluster:
+    def test_shape_and_determinism(self):
+        graph = powerlaw_cluster_graph(60, 3, 0.4, seed=8)
+        assert graph.num_vertices == 60
+        assert graph == powerlaw_cluster_graph(60, 3, 0.4, seed=8)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            powerlaw_cluster_graph(10, 3, 1.5)
+        with pytest.raises(ParameterError):
+            powerlaw_cluster_graph(10, 0, 0.5)
+        with pytest.raises(ParameterError):
+            powerlaw_cluster_graph(3, 3, 0.5)
+
+
+class TestPerturbSnapshots:
+    def test_number_of_snapshots_and_vertex_stability(self):
+        base = erdos_renyi_graph(40, 100, seed=1)
+        evolving = perturb_snapshots(base, 5, (3, 6), (3, 6), seed=2)
+        assert evolving.num_snapshots == 5
+        snapshots = list(evolving.snapshots())
+        for snapshot in snapshots:
+            assert set(snapshot.vertices()) == set(base.vertices())
+
+    def test_churn_respects_bounds(self):
+        base = erdos_renyi_graph(40, 100, seed=1)
+        evolving = perturb_snapshots(base, 6, (2, 4), (2, 4), seed=3)
+        for delta in evolving.deltas:
+            assert 2 <= len(delta.removed) <= 4
+            assert len(delta.inserted) <= 4
+
+    def test_base_graph_is_not_mutated(self):
+        base = erdos_renyi_graph(30, 60, seed=4)
+        before = base.copy()
+        perturb_snapshots(base, 4, (2, 5), (2, 5), seed=5)
+        assert base == before
+
+    def test_parameter_validation(self):
+        base = erdos_renyi_graph(10, 20, seed=1)
+        with pytest.raises(ParameterError):
+            perturb_snapshots(base, 0)
+        with pytest.raises(ParameterError):
+            perturb_snapshots(base, 3, (5, 2), (1, 2))
+
+
+class TestTemporalStream:
+    def test_stream_is_sorted_and_sized(self):
+        events = temporal_edge_stream(50, 300, duration=100.0, seed=6)
+        assert len(events) == 300
+        timestamps = [event.timestamp for event in events]
+        assert timestamps == sorted(timestamps)
+        assert all(0 <= t < 100.0 for t in timestamps)
+
+    def test_no_self_interactions(self):
+        events = temporal_edge_stream(20, 200, duration=10.0, seed=7)
+        assert all(event.u != event.v for event in events)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            temporal_edge_stream(1, 10, 5.0)
+        with pytest.raises(ParameterError):
+            temporal_edge_stream(10, -1, 5.0)
+        with pytest.raises(ParameterError):
+            temporal_edge_stream(10, 10, 0.0)
+
+    def test_split_into_snapshots_accumulates(self):
+        events = temporal_edge_stream(30, 400, duration=100.0, seed=8)
+        sequence = split_stream_into_snapshots(events, num_snapshots=4)
+        assert sequence.num_snapshots == 4
+        sizes = [snapshot.num_edges for snapshot in sequence]
+        assert sizes == sorted(sizes)  # without expiry, snapshots only grow
+
+    def test_split_with_inactivity_window_expires_edges(self):
+        events = [
+            TemporalEdge(1, 2, 0.0),
+            TemporalEdge(3, 4, 95.0),
+        ]
+        sequence = split_stream_into_snapshots(
+            events, num_snapshots=4, inactivity_window=30.0, vertices=[1, 2, 3, 4]
+        )
+        assert sequence[0].has_edge(1, 2)
+        assert not sequence[3].has_edge(1, 2)
+        assert sequence[3].has_edge(3, 4)
+
+    def test_split_empty_stream_requires_vertices(self):
+        with pytest.raises(ParameterError):
+            split_stream_into_snapshots([], num_snapshots=3)
+        sequence = split_stream_into_snapshots([], num_snapshots=3, vertices=[1, 2])
+        assert sequence.num_snapshots == 3
+        assert sequence[0].num_edges == 0

@@ -1,0 +1,140 @@
+"""Unit tests for edge deltas, snapshot sequences and evolving graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.graph.dynamic import EdgeDelta, EvolvingGraph, SnapshotSequence
+from repro.graph.static import Graph
+
+
+def build_snapshots():
+    first = Graph(edges=[(1, 2), (2, 3), (3, 4)])
+    second = first.copy()
+    second.add_edge(4, 1)
+    second.remove_edge(2, 3)
+    third = second.copy()
+    third.add_edge(2, 3)
+    return [first, second, third]
+
+
+class TestEdgeDelta:
+    def test_from_iterables_deduplicates_and_canonicalises(self):
+        delta = EdgeDelta.from_iterables(inserted=[(2, 1), (1, 2)], removed=[(4, 3)])
+        assert delta.inserted == ((1, 2),)
+        assert delta.removed == ((3, 4),)
+        assert delta.num_changes == 2
+
+    def test_between_computes_symmetric_difference(self):
+        first, second, _ = build_snapshots()
+        delta = EdgeDelta.between(first, second)
+        assert set(delta.inserted) == {(1, 4)}
+        assert set(delta.removed) == {(2, 3)}
+
+    def test_apply_transforms_before_into_after(self):
+        first, second, _ = build_snapshots()
+        delta = EdgeDelta.between(first, second)
+        replay = first.copy()
+        delta.apply(replay)
+        assert replay == second
+
+    def test_apply_ignores_redundant_changes(self):
+        graph = Graph(edges=[(1, 2)])
+        delta = EdgeDelta.from_iterables(inserted=[(1, 2)], removed=[(5, 6)])
+        delta.apply(graph)
+        assert graph.num_edges == 1
+
+    def test_reversed_undoes_the_delta(self):
+        first, second, _ = build_snapshots()
+        delta = EdgeDelta.between(first, second)
+        replay = first.copy()
+        delta.apply(replay)
+        delta.reversed().apply(replay)
+        assert replay == first
+
+    def test_is_empty(self):
+        assert EdgeDelta().is_empty()
+        assert not EdgeDelta.from_iterables(inserted=[(1, 2)]).is_empty()
+
+
+class TestSnapshotSequence:
+    def test_requires_at_least_one_snapshot(self):
+        with pytest.raises(SnapshotError):
+            SnapshotSequence([])
+
+    def test_len_iteration_and_indexing(self):
+        sequence = SnapshotSequence(build_snapshots())
+        assert len(sequence) == 3
+        assert sequence.num_snapshots == 3
+        assert sequence[0].num_edges == 3
+        assert [snapshot.num_edges for snapshot in sequence] == [3, 3, 4]
+
+    def test_indexing_out_of_range_raises(self):
+        sequence = SnapshotSequence(build_snapshots())
+        with pytest.raises(SnapshotError):
+            _ = sequence[7]
+
+    def test_vertex_universe_is_union(self):
+        snapshots = build_snapshots()
+        snapshots[2].add_vertex(99)
+        sequence = SnapshotSequence(snapshots)
+        assert 99 in sequence.vertex_universe()
+
+    def test_deltas_reconstruct_snapshots(self):
+        sequence = SnapshotSequence(build_snapshots())
+        deltas = sequence.deltas()
+        assert len(deltas) == 2
+        replay = sequence[0].copy()
+        for index, delta in enumerate(deltas, start=1):
+            delta.apply(replay)
+            assert replay == sequence[index]
+
+    def test_truncated(self):
+        sequence = SnapshotSequence(build_snapshots())
+        truncated = sequence.truncated(2)
+        assert truncated.num_snapshots == 2
+        with pytest.raises(SnapshotError):
+            sequence.truncated(0)
+        with pytest.raises(SnapshotError):
+            sequence.truncated(9)
+
+    def test_total_edge_changes(self):
+        sequence = SnapshotSequence(build_snapshots())
+        assert sequence.total_edge_changes() == 3  # (+1, -1) then (+1)
+
+
+class TestEvolvingGraph:
+    def test_round_trip_with_snapshot_sequence(self):
+        sequence = SnapshotSequence(build_snapshots())
+        evolving = sequence.to_evolving_graph()
+        materialised = evolving.to_snapshot_sequence()
+        assert materialised.num_snapshots == sequence.num_snapshots
+        for original, replayed in zip(sequence, materialised):
+            assert original == replayed
+
+    def test_snapshots_are_independent_copies(self):
+        evolving = SnapshotSequence(build_snapshots()).to_evolving_graph()
+        snapshots = list(evolving.snapshots())
+        snapshots[0].add_edge(50, 51)
+        assert not evolving.base.has_edge(50, 51)
+
+    def test_snapshot_at(self):
+        sequence = SnapshotSequence(build_snapshots())
+        evolving = sequence.to_evolving_graph()
+        assert evolving.snapshot_at(2) == sequence[2]
+        with pytest.raises(SnapshotError):
+            evolving.snapshot_at(3)
+        with pytest.raises(SnapshotError):
+            evolving.snapshot_at(-1)
+
+    def test_truncated_keeps_prefix(self):
+        evolving = SnapshotSequence(build_snapshots()).to_evolving_graph()
+        truncated = evolving.truncated(2)
+        assert truncated.num_snapshots == 2
+        with pytest.raises(SnapshotError):
+            evolving.truncated(10)
+
+    def test_total_edge_changes(self):
+        evolving = SnapshotSequence(build_snapshots()).to_evolving_graph()
+        assert evolving.total_edge_changes() == 3

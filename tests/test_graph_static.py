@@ -1,0 +1,174 @@
+"""Unit tests for the undirected graph substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, SelfLoopError, VertexNotFoundError
+from repro.graph.static import Graph
+
+
+class TestConstruction:
+    def test_empty_graph_has_no_vertices_or_edges(self):
+        graph = Graph()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert list(graph.vertices()) == []
+        assert list(graph.edges()) == []
+
+    def test_construct_with_vertices_only(self):
+        graph = Graph(vertices=[1, 2, 3])
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 0
+        assert graph.degree(2) == 0
+
+    def test_construct_with_edges_creates_endpoints(self):
+        graph = Graph(edges=[(1, 2), (2, 3)])
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+
+    def test_from_edge_list_ignores_duplicates(self):
+        graph = Graph.from_edge_list([(1, 2), (2, 1), (1, 2)])
+        assert graph.num_edges == 1
+
+    def test_copy_is_independent(self):
+        graph = Graph(edges=[(1, 2)])
+        clone = graph.copy()
+        clone.add_edge(2, 3)
+        assert graph.num_edges == 1
+        assert clone.num_edges == 2
+        assert not graph.has_vertex(3)
+
+    def test_string_vertex_identifiers_are_supported(self):
+        graph = Graph(edges=[("alice", "bob"), ("bob", "carol")])
+        assert graph.degree("bob") == 2
+        assert graph.has_edge("carol", "bob")
+
+
+class TestMutation:
+    def test_add_vertex_is_idempotent(self):
+        graph = Graph()
+        graph.add_vertex(7)
+        graph.add_vertex(7)
+        assert graph.num_vertices == 1
+
+    def test_add_edge_returns_true_only_when_new(self):
+        graph = Graph()
+        assert graph.add_edge(1, 2) is True
+        assert graph.add_edge(2, 1) is False
+        assert graph.num_edges == 1
+
+    def test_add_edge_rejects_self_loops(self):
+        graph = Graph()
+        with pytest.raises(SelfLoopError):
+            graph.add_edge(5, 5)
+
+    def test_add_edges_counts_only_new_edges(self):
+        graph = Graph(edges=[(1, 2)])
+        added = graph.add_edges([(1, 2), (2, 3), (3, 4)])
+        assert added == 2
+        assert graph.num_edges == 3
+
+    def test_remove_edge_keeps_endpoints(self):
+        graph = Graph(edges=[(1, 2)])
+        graph.remove_edge(1, 2)
+        assert graph.num_edges == 0
+        assert graph.has_vertex(1) and graph.has_vertex(2)
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph(edges=[(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(1, 3)
+
+    def test_remove_edges_skips_missing(self):
+        graph = Graph(edges=[(1, 2), (2, 3)])
+        removed = graph.remove_edges([(1, 2), (5, 6)])
+        assert removed == 1
+        assert graph.num_edges == 1
+
+    def test_remove_vertex_removes_incident_edges(self):
+        graph = Graph(edges=[(1, 2), (2, 3), (3, 1)])
+        graph.remove_vertex(2)
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 1
+        assert graph.has_edge(1, 3)
+
+    def test_remove_missing_vertex_raises(self):
+        graph = Graph()
+        with pytest.raises(VertexNotFoundError):
+            graph.remove_vertex(99)
+
+
+class TestQueries:
+    def test_degree_and_neighbors(self):
+        graph = Graph(edges=[(1, 2), (1, 3), (1, 4)])
+        assert graph.degree(1) == 3
+        assert graph.neighbors(1) == {2, 3, 4}
+        assert graph.degree(4) == 1
+
+    def test_neighbors_of_missing_vertex_raises(self):
+        graph = Graph()
+        with pytest.raises(VertexNotFoundError):
+            graph.neighbors(1)
+
+    def test_edges_reported_once(self):
+        graph = Graph(edges=[(1, 2), (2, 3), (3, 1)])
+        edges = list(graph.edges())
+        assert len(edges) == 3
+        as_sets = {frozenset(edge) for edge in edges}
+        assert as_sets == {frozenset({1, 2}), frozenset({2, 3}), frozenset({1, 3})}
+
+    def test_edge_set_uses_frozensets(self):
+        graph = Graph(edges=[(1, 2)])
+        assert graph.edge_set() == {frozenset({1, 2})}
+
+    def test_average_degree(self):
+        graph = Graph(edges=[(1, 2), (2, 3)])
+        assert graph.average_degree() == pytest.approx(4 / 3)
+        assert Graph().average_degree() == 0.0
+
+    def test_degree_map_matches_individual_degrees(self):
+        graph = Graph(edges=[(1, 2), (1, 3)])
+        degree_map = graph.degree_map()
+        assert degree_map == {1: 2, 2: 1, 3: 1}
+
+    def test_contains_len_iter(self):
+        graph = Graph(edges=[(1, 2)], vertices=[5])
+        assert 5 in graph
+        assert 9 not in graph
+        assert len(graph) == 3
+        assert set(iter(graph)) == {1, 2, 5}
+
+    def test_equality_compares_structure(self):
+        first = Graph(edges=[(1, 2), (2, 3)])
+        second = Graph(edges=[(2, 3), (1, 2)])
+        third = Graph(edges=[(1, 2)])
+        assert first == second
+        assert first != third
+        assert first != "not a graph"
+
+
+class TestDerivedGraphs:
+    def test_subgraph_keeps_only_induced_edges(self):
+        graph = Graph(edges=[(1, 2), (2, 3), (3, 4), (4, 1)])
+        sub = graph.subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+        assert sub.has_edge(1, 2) and sub.has_edge(2, 3)
+        assert not sub.has_edge(3, 4)
+
+    def test_subgraph_with_unknown_vertices_ignores_them(self):
+        graph = Graph(edges=[(1, 2)])
+        sub = graph.subgraph([1, 2, 99])
+        assert sub.num_vertices == 2
+
+    def test_connected_components(self):
+        graph = Graph(edges=[(1, 2), (2, 3), (10, 11)], vertices=[42])
+        components = sorted(graph.connected_components(), key=len, reverse=True)
+        assert {1, 2, 3} in components
+        assert {10, 11} in components
+        assert {42} in components
+        assert len(components) == 3
+
+    def test_connected_components_empty_graph(self):
+        assert Graph().connected_components() == []

@@ -1,0 +1,131 @@
+"""Unit tests for the incremental tracker (IncAVT, Algorithm 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anchored.followers import compute_followers
+from repro.avt.incremental import IncAVTTracker
+from repro.avt.problem import AVTProblem
+from repro.avt.trackers import GreedyTracker, OLAKTracker
+from repro.graph.datasets import load_dataset, toy_example_evolving_graph
+from repro.graph.dynamic import EdgeDelta, EvolvingGraph
+from repro.graph.static import Graph
+
+
+@pytest.fixture
+def toy_problem():
+    return AVTProblem(toy_example_evolving_graph(), k=3, budget=2, name="toy")
+
+
+@pytest.fixture
+def gnutella_problem():
+    evolving = load_dataset("gnutella", num_snapshots=5, scale=0.2, seed=4)
+    return AVTProblem(evolving, k=3, budget=3, name="gnutella")
+
+
+class TestBasicBehaviour:
+    def test_one_result_per_snapshot(self, toy_problem):
+        result = IncAVTTracker().track(toy_problem)
+        assert len(result) == 2
+        assert result.algorithm == "IncAVT"
+
+    def test_first_snapshot_matches_greedy(self, toy_problem):
+        incremental = IncAVTTracker().track(toy_problem)
+        greedy = GreedyTracker().track(toy_problem, max_snapshots=1)
+        assert set(incremental.snapshots[0].anchors) == set(greedy.snapshots[0].anchors)
+        assert incremental.snapshots[0].num_followers == greedy.snapshots[0].num_followers
+
+    def test_budget_respected(self, gnutella_problem):
+        result = IncAVTTracker().track(gnutella_problem)
+        for snapshot in result:
+            assert len(snapshot.anchors) <= gnutella_problem.budget
+
+    def test_reported_followers_match_recomputation(self, toy_problem):
+        result = IncAVTTracker().track(toy_problem)
+        snapshots = list(toy_problem.evolving_graph.snapshots())
+        for snapshot_result, graph in zip(result, snapshots):
+            expected = compute_followers(graph, 3, snapshot_result.anchors)
+            assert set(snapshot_result.result.followers) == expected
+
+    def test_max_snapshots(self, gnutella_problem):
+        result = IncAVTTracker().track(gnutella_problem, max_snapshots=2)
+        assert len(result) == 2
+
+    def test_empty_horizon(self, toy_problem):
+        result = IncAVTTracker().track(toy_problem, max_snapshots=0)
+        assert len(result) == 0
+
+
+class TestIncrementalAdvantage:
+    def test_visits_fewer_candidates_than_per_snapshot_greedy(self, gnutella_problem):
+        incremental = IncAVTTracker().track(gnutella_problem)
+        greedy = GreedyTracker().track(gnutella_problem)
+        assert incremental.total_visited_vertices <= greedy.total_visited_vertices
+        assert incremental.total_candidates_evaluated <= greedy.total_candidates_evaluated
+
+    def test_visits_far_fewer_than_olak(self, gnutella_problem):
+        incremental = IncAVTTracker().track(gnutella_problem)
+        olak = OLAKTracker().track(gnutella_problem)
+        assert incremental.total_visited_vertices < olak.total_visited_vertices
+
+    def test_quality_stays_close_to_greedy(self, gnutella_problem):
+        incremental = IncAVTTracker().track(gnutella_problem)
+        greedy = GreedyTracker().track(gnutella_problem)
+        if greedy.total_followers:
+            assert incremental.total_followers >= 0.6 * greedy.total_followers
+
+    def test_anchor_sets_are_stable_under_smooth_evolution(self, gnutella_problem):
+        from repro.avt.metrics import anchor_stability
+
+        result = IncAVTTracker().track(gnutella_problem)
+        assert anchor_stability(result) >= 0.5
+
+
+class TestConfiguration:
+    def test_no_change_deltas_keep_anchors(self, toy_graph):
+        evolving = EvolvingGraph(base=toy_graph.copy(), deltas=[EdgeDelta(), EdgeDelta()])
+        problem = AVTProblem(evolving, k=3, budget=2, name="static")
+        result = IncAVTTracker().track(problem)
+        anchor_sets = {tuple(sorted(anchors, key=repr)) for anchors in result.anchor_sets}
+        assert len(anchor_sets) == 1
+        assert [s.num_followers for s in result] == [7, 7, 7]
+
+    def test_restart_on_heavy_churn(self, toy_graph):
+        # Replace nearly every edge: the tracker should fall back to Greedy.
+        base = toy_graph.copy()
+        removed = list(base.edges())[:20]
+        inserted = [(1, 8), (1, 9), (4, 12), (4, 13), (17, 12), (17, 13)]
+        delta = EdgeDelta.from_iterables(inserted=inserted, removed=removed)
+        evolving = EvolvingGraph(base=base, deltas=[delta])
+        problem = AVTProblem(evolving, k=3, budget=2, name="churny")
+        with_restart = IncAVTTracker(restart_churn_ratio=0.15).track(problem)
+        without_restart = IncAVTTracker(restart_churn_ratio=None).track(problem)
+        # Both must report follower sets consistent with their anchors.
+        final_graph = list(evolving.snapshots())[-1]
+        for result in (with_restart, without_restart):
+            expected = compute_followers(final_graph, 3, result.snapshots[-1].anchors)
+            assert set(result.snapshots[-1].result.followers) == expected
+        # The restart path re-solves the heavy-churn snapshot exactly like a
+        # from-scratch Greedy run on the same graph.
+        greedy = GreedyTracker().track(problem)
+        assert (
+            with_restart.snapshots[-1].num_followers
+            == greedy.snapshots[-1].num_followers
+        )
+
+    def test_swap_all_anchors_variant(self, gnutella_problem):
+        literal = IncAVTTracker(swap_all_anchors=True).track(gnutella_problem)
+        default = IncAVTTracker().track(gnutella_problem)
+        assert literal.total_followers >= 0.9 * default.total_followers
+
+    def test_fill_budget_disabled(self, toy_problem):
+        result = IncAVTTracker(fill_budget=False).track(toy_problem)
+        assert len(result) == 2
+
+    def test_zero_budget(self, toy_evolving):
+        problem = AVTProblem(toy_evolving, k=3, budget=0, name="toy")
+        result = IncAVTTracker().track(problem)
+        for snapshot in result:
+            assert snapshot.anchors == ()
+            assert snapshot.num_followers == 0

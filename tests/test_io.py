@@ -1,0 +1,106 @@
+"""Unit tests for the SNAP edge-list readers and writers."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.generators import TemporalEdge, erdos_renyi_graph
+from repro.graph.io import (
+    read_edge_list,
+    read_temporal_edge_list,
+    read_temporal_snapshots,
+    write_edge_list,
+    write_temporal_edge_list,
+)
+
+
+class TestStaticEdgeLists:
+    def test_round_trip(self, tmp_path):
+        graph = erdos_renyi_graph(30, 60, seed=3)
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.edge_set() == graph.edge_set()
+
+    def test_comments_blank_lines_and_duplicates_are_ignored(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text(
+            "# Directed graph\n"
+            "% another comment style\n"
+            "\n"
+            "1 2\n"
+            "2 1\n"
+            "2 3\n"
+            "3 3\n",
+            encoding="utf-8",
+        )
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+        assert graph.has_edge(1, 2) and graph.has_edge(2, 3)
+        assert not graph.has_vertex("#")
+
+    def test_string_identifiers_are_preserved(self, tmp_path):
+        path = tmp_path / "named.txt"
+        path.write_text("alice bob\nbob carol\n", encoding="utf-8")
+        graph = read_edge_list(path)
+        assert graph.has_edge("alice", "bob")
+
+    def test_gzip_input_supported(self, tmp_path):
+        path = tmp_path / "graph.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("1 2\n2 3\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_edge_list(tmp_path / "does_not_exist.txt")
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("justonetoken\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            read_edge_list(path)
+
+
+class TestTemporalEdgeLists:
+    def test_round_trip_sorted(self, tmp_path):
+        events = [
+            TemporalEdge(1, 2, 10.0),
+            TemporalEdge(2, 3, 5.0),
+            TemporalEdge(1, 3, 20.0),
+        ]
+        path = tmp_path / "temporal.txt"
+        write_temporal_edge_list(events, path)
+        loaded = read_temporal_edge_list(path)
+        assert [event.timestamp for event in loaded] == [5.0, 10.0, 20.0]
+        assert {(event.u, event.v) for event in loaded} == {(1, 2), (2, 3), (1, 3)}
+
+    def test_bad_timestamp_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 not_a_number\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            read_temporal_edge_list(path)
+
+    def test_missing_column_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            read_temporal_edge_list(path)
+
+    def test_read_temporal_snapshots(self, tmp_path):
+        path = tmp_path / "temporal.txt"
+        lines = [f"{u} {u + 1} {t}" for t, u in enumerate(range(1, 21))]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        sequence = read_temporal_snapshots(path, num_snapshots=4)
+        assert sequence.num_snapshots == 4
+        assert sequence[3].num_edges >= sequence[0].num_edges
+
+    def test_read_temporal_snapshots_empty_raises(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing here\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            read_temporal_snapshots(path, num_snapshots=3)

@@ -1,0 +1,135 @@
+"""Unit tests for the K-order index (Definition 5, Theorem 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cores.decomposition import anchored_core_decomposition, core_decomposition
+from repro.cores.korder import KOrder
+from repro.errors import InvariantViolationError, VertexNotFoundError
+from repro.graph.static import Graph
+
+from tests.conftest import random_graph
+
+
+class TestConstruction:
+    def test_from_graph_matches_explicit_decomposition(self, toy_graph):
+        direct = KOrder.from_graph(toy_graph)
+        explicit = KOrder(toy_graph, core_decomposition(toy_graph))
+        assert direct.core_numbers() == explicit.core_numbers()
+        assert [direct.rank(v) for v in toy_graph.vertices()] == [
+            explicit.rank(v) for v in toy_graph.vertices()
+        ]
+
+    def test_contains_and_len(self, toy_graph):
+        korder = KOrder.from_graph(toy_graph)
+        assert len(korder) == toy_graph.num_vertices
+        assert 7 in korder
+        assert 999 not in korder
+
+    def test_missing_vertex_queries_raise(self, toy_graph):
+        korder = KOrder.from_graph(toy_graph)
+        with pytest.raises(VertexNotFoundError):
+            korder.core(999)
+        with pytest.raises(VertexNotFoundError):
+            korder.rank(999)
+        with pytest.raises(VertexNotFoundError):
+            korder.remaining_degree(999)
+
+
+class TestOrderSemantics:
+    def test_precedes_is_consistent_with_core_numbers(self, toy_graph):
+        korder = KOrder.from_graph(toy_graph)
+        # A 1-shell vertex precedes every 3-core vertex.
+        assert korder.precedes(4, 8)
+        assert not korder.precedes(8, 4)
+
+    def test_precedes_is_a_strict_total_order(self, cl_graph):
+        korder = KOrder.from_graph(cl_graph)
+        vertices = list(cl_graph.vertices())
+        for u in vertices[:20]:
+            assert not korder.precedes(u, u)
+            for v in vertices[:20]:
+                if u != v:
+                    assert korder.precedes(u, v) != korder.precedes(v, u)
+
+    def test_remaining_degree_counts_later_neighbours(self, toy_graph):
+        korder = KOrder.from_graph(toy_graph)
+        for vertex in toy_graph.vertices():
+            expected = sum(
+                1 for neighbour in toy_graph.neighbors(vertex) if korder.precedes(vertex, neighbour)
+            )
+            assert korder.remaining_degree(vertex) == expected
+
+    def test_remaining_degree_bounded_by_core(self, cl_graph):
+        korder = KOrder.from_graph(cl_graph)
+        for vertex in cl_graph.vertices():
+            assert korder.remaining_degree(vertex) <= korder.core(vertex)
+
+    def test_shell_sequences_partition_and_respect_rank(self, cl_graph):
+        korder = KOrder.from_graph(cl_graph)
+        seen = []
+        for k, sequence in korder.shells().items():
+            assert korder.shell_set(k) == set(sequence)
+            ranks = [korder.rank(vertex) for vertex in sequence]
+            assert ranks == sorted(ranks)
+            seen.extend(sequence)
+        assert sorted(seen, key=repr) == sorted(cl_graph.vertices(), key=repr)
+
+    def test_max_core_and_k_core_vertices(self, toy_graph):
+        korder = KOrder.from_graph(toy_graph)
+        assert korder.max_core() == 3
+        assert korder.k_core_vertices(3) == {8, 9, 12, 13, 16}
+
+
+class TestCandidatePruning:
+    def test_candidates_exclude_k_core_members(self, toy_graph):
+        korder = KOrder.from_graph(toy_graph)
+        candidates = korder.candidate_anchors(3)
+        assert candidates.isdisjoint({8, 9, 12, 13, 16})
+
+    def test_candidates_include_vertices_with_followers(self, toy_graph):
+        korder = KOrder.from_graph(toy_graph)
+        candidates = korder.candidate_anchors(3)
+        # Anchoring 10 or 17 produces followers on this graph, so Theorem 3
+        # must keep them as candidates.
+        assert 10 in candidates
+        assert 17 in candidates
+
+    def test_candidates_require_a_shell_neighbour(self, toy_graph):
+        korder = KOrder.from_graph(toy_graph)
+        candidates = korder.candidate_anchors(3)
+        for candidate in candidates:
+            assert any(
+                korder.core(neighbour) == 2 for neighbour in toy_graph.neighbors(candidate)
+            )
+
+    def test_no_candidates_when_no_shell_exists(self):
+        # A clique has no (k-1)-shell for k equal to its core number.
+        edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        korder = KOrder.from_graph(Graph(edges=edges))
+        assert korder.candidate_anchors(4) == set()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fresh_korder_always_validates(self, seed):
+        graph = random_graph(seed)
+        KOrder.from_graph(graph).validate()
+
+    def test_validation_detects_wrong_core_numbers(self, toy_graph):
+        korder = KOrder.from_graph(toy_graph)
+        korder._core[8] = 1  # deliberately corrupt the index
+        with pytest.raises(InvariantViolationError):
+            korder.validate()
+
+    def test_validation_detects_vertex_set_mismatch(self, toy_graph):
+        korder = KOrder.from_graph(toy_graph)
+        toy_graph.add_vertex(99)
+        with pytest.raises(InvariantViolationError):
+            korder.validate()
+
+    def test_anchored_korder_validates_against_own_reference(self, toy_graph):
+        decomposition = anchored_core_decomposition(toy_graph, anchors={7})
+        korder = KOrder(toy_graph, decomposition)
+        korder.validate(reference=decomposition.core)

@@ -1,0 +1,203 @@
+"""Unit tests for incremental core maintenance (EdgeInsert / EdgeRemove, Section 5.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cores.decomposition import core_numbers
+from repro.cores.maintenance import CoreMaintainer, DeltaEffect
+from repro.errors import InvariantViolationError, ParameterError
+from repro.graph.dynamic import EdgeDelta
+from repro.graph.static import Graph
+
+from tests.conftest import random_graph
+
+
+class TestSingleEdgeInsertion:
+    def test_insertion_updates_graph_and_cores(self):
+        maintainer = CoreMaintainer(Graph(edges=[(1, 2), (2, 3)]))
+        increased = maintainer.insert_edge(1, 3)
+        assert maintainer.graph.has_edge(1, 3)
+        assert increased == {1, 2, 3}
+        assert maintainer.core_numbers() == {1: 2, 2: 2, 3: 2}
+
+    def test_inserting_existing_edge_is_noop(self):
+        maintainer = CoreMaintainer(Graph(edges=[(1, 2)]))
+        assert maintainer.insert_edge(1, 2) == set()
+        assert maintainer.graph.num_edges == 1
+
+    def test_insertion_with_new_vertices(self):
+        maintainer = CoreMaintainer(Graph(edges=[(1, 2)]))
+        increased = maintainer.insert_edge(3, 4)
+        assert increased == {3, 4}
+        assert maintainer.core(3) == 1 and maintainer.core(4) == 1
+
+    def test_insertion_between_isolated_vertices(self):
+        maintainer = CoreMaintainer(Graph(vertices=[1, 2]))
+        assert maintainer.insert_edge(1, 2) == {1, 2}
+        maintainer.validate()
+
+    def test_cross_core_insertion_only_affects_lower_endpoint_side(self):
+        # A 4-clique (core 3) plus a pendant path; connecting the path end to
+        # the clique cannot change the clique's core numbers.
+        clique = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+        maintainer = CoreMaintainer(Graph(edges=clique + [(10, 11)]))
+        before = {v: maintainer.core(v) for v in range(4)}
+        maintainer.insert_edge(11, 0)
+        maintainer.validate()
+        assert {v: maintainer.core(v) for v in range(4)} == before
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_insertions_match_recomputation(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(seed, num_vertices=30, num_edges=45)
+        maintainer = CoreMaintainer(graph)
+        vertices = list(graph.vertices())
+        for _ in range(40):
+            u, v = rng.sample(vertices, 2)
+            if not maintainer.graph.has_edge(u, v):
+                maintainer.insert_edge(u, v)
+        maintainer.validate()
+
+
+class TestSingleEdgeDeletion:
+    def test_deletion_updates_graph_and_cores(self):
+        maintainer = CoreMaintainer(Graph(edges=[(1, 2), (2, 3), (1, 3)]))
+        decreased = maintainer.remove_edge(1, 3)
+        assert not maintainer.graph.has_edge(1, 3)
+        assert decreased == {1, 2, 3}
+        assert maintainer.core_numbers() == {1: 1, 2: 1, 3: 1}
+
+    def test_removing_absent_edge_is_noop(self):
+        maintainer = CoreMaintainer(Graph(edges=[(1, 2)]))
+        assert maintainer.remove_edge(5, 6) == set()
+
+    def test_deletion_can_cascade(self):
+        # A 4-cycle collapses to core 1 when one edge disappears.
+        maintainer = CoreMaintainer(Graph(edges=[(1, 2), (2, 3), (3, 4), (4, 1)]))
+        decreased = maintainer.remove_edge(1, 2)
+        assert decreased == {1, 2, 3, 4}
+        assert all(value == 1 for value in maintainer.core_numbers().values())
+
+    def test_deletion_to_isolation(self):
+        maintainer = CoreMaintainer(Graph(edges=[(1, 2)]))
+        maintainer.remove_edge(1, 2)
+        assert maintainer.core_numbers() == {1: 0, 2: 0}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_deletions_match_recomputation(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(seed, num_vertices=30, num_edges=70)
+        maintainer = CoreMaintainer(graph)
+        edges = list(maintainer.graph.edges())
+        rng.shuffle(edges)
+        for u, v in edges[:40]:
+            maintainer.remove_edge(u, v)
+        maintainer.validate()
+
+
+class TestMixedWorkloads:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_interleaved_insertions_and_deletions(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(seed, num_vertices=25, num_edges=50)
+        maintainer = CoreMaintainer(graph)
+        vertices = list(graph.vertices())
+        for _ in range(80):
+            u, v = rng.sample(vertices, 2)
+            if maintainer.graph.has_edge(u, v):
+                maintainer.remove_edge(u, v)
+            else:
+                maintainer.insert_edge(u, v)
+        maintainer.validate()
+
+    def test_batch_helpers(self):
+        maintainer = CoreMaintainer(Graph(edges=[(1, 2), (2, 3)]))
+        increased = maintainer.insert_edges([(1, 3), (3, 4)])
+        assert increased
+        decreased = maintainer.remove_edges([(3, 4)])
+        assert decreased == {4} or 4 in decreased
+        maintainer.validate()
+
+    def test_copy_graph_flag(self):
+        graph = Graph(edges=[(1, 2)])
+        shared = CoreMaintainer(graph, copy_graph=False)
+        shared.insert_edge(2, 3)
+        assert graph.has_edge(2, 3)
+        copied = CoreMaintainer(graph, copy_graph=True)
+        copied.insert_edge(3, 4)
+        assert not graph.has_edge(3, 4)
+
+    def test_refresh_from_graph(self):
+        graph = Graph(edges=[(1, 2), (2, 3)])
+        maintainer = CoreMaintainer(graph, copy_graph=False)
+        graph.add_edge(1, 3)  # mutate behind the maintainer's back
+        maintainer.refresh_from_graph()
+        maintainer.validate()
+        assert maintainer.core(1) == 2
+
+
+class TestApplyDelta:
+    def test_apply_delta_reports_affected_pools(self, toy_graph):
+        maintainer = CoreMaintainer(toy_graph)
+        delta = EdgeDelta.from_iterables(inserted=[(2, 5)], removed=[(2, 11)])
+        effect = maintainer.apply_delta(delta, k=3)
+        maintainer.validate()
+        assert isinstance(effect, DeltaEffect)
+        # Every reported pool member must sit in the (k-1)-shell afterwards.
+        for vertex in effect.insertion_affected | effect.deletion_affected:
+            assert maintainer.core(vertex) == 2
+        assert effect.affected == effect.insertion_affected | effect.deletion_affected
+
+    def test_apply_delta_counts_visited_vertices(self, toy_graph):
+        maintainer = CoreMaintainer(toy_graph)
+        delta = EdgeDelta.from_iterables(inserted=[(1, 9)], removed=[(14, 15)])
+        effect = maintainer.apply_delta(delta, k=3)
+        assert effect.visited >= 1
+
+    def test_apply_delta_without_k_skips_pools(self, toy_graph):
+        maintainer = CoreMaintainer(toy_graph)
+        delta = EdgeDelta.from_iterables(inserted=[(1, 9)])
+        effect = maintainer.apply_delta(delta)
+        assert effect.insertion_affected == set()
+        assert effect.deletion_affected == set()
+
+    def test_apply_delta_rejects_bad_k(self, toy_graph):
+        maintainer = CoreMaintainer(toy_graph)
+        with pytest.raises(ParameterError):
+            maintainer.apply_delta(EdgeDelta(), k=0)
+
+    def test_snapshot_replay_matches_recomputation(self):
+        base = random_graph(3, num_vertices=40, num_edges=90)
+        maintainer = CoreMaintainer(base)
+        rng = random.Random(7)
+        vertices = list(base.vertices())
+        current = base.copy()
+        for _ in range(5):
+            existing = list(current.edges())
+            removed = rng.sample(existing, 4)
+            inserted = []
+            while len(inserted) < 4:
+                u, v = rng.sample(vertices, 2)
+                if not current.has_edge(u, v):
+                    inserted.append((u, v))
+            delta = EdgeDelta.from_iterables(inserted=inserted, removed=removed)
+            delta.apply(current)
+            maintainer.apply_delta(delta, k=3)
+            assert maintainer.core_numbers() == core_numbers(current)
+
+    def test_validate_raises_on_corruption(self, toy_graph):
+        maintainer = CoreMaintainer(toy_graph)
+        maintainer._core[8] = 99
+        with pytest.raises(InvariantViolationError):
+            maintainer.validate()
+
+
+class TestViews:
+    def test_k_core_and_shell_views(self, toy_graph):
+        maintainer = CoreMaintainer(toy_graph)
+        assert maintainer.k_core_vertices(3) == {8, 9, 12, 13, 16}
+        assert maintainer.shell_vertices(1) == {4}
+        assert maintainer.core(8) == 3

@@ -1,0 +1,67 @@
+"""Unit tests for max core degree and pure core degree (Definition 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cores.decomposition import core_numbers
+from repro.cores.mcd import max_core_degree, max_core_degrees, pure_core_degree
+from repro.errors import VertexNotFoundError
+from repro.graph.static import Graph
+
+
+class TestMaxCoreDegree:
+    def test_matches_definition_on_toy_graph(self, toy_graph):
+        core = core_numbers(toy_graph)
+        for vertex in toy_graph.vertices():
+            expected = sum(
+                1 for neighbour in toy_graph.neighbors(vertex) if core[neighbour] >= core[vertex]
+            )
+            assert max_core_degree(toy_graph, core, vertex) == expected
+
+    def test_mcd_is_at_least_core_number(self, cl_graph):
+        core = core_numbers(cl_graph)
+        for vertex in cl_graph.vertices():
+            assert max_core_degree(cl_graph, core, vertex) >= core[vertex]
+
+    def test_example_10_style_count(self):
+        # Star centre with three strong neighbours and one weak neighbour.
+        graph = Graph(edges=[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (2, 3), (1, 3)])
+        core = core_numbers(graph)
+        assert core[4] == 1
+        assert max_core_degree(graph, core, 4) == 1
+        assert max_core_degree(graph, core, 0) == 3
+
+    def test_bulk_helper_matches_single_calls(self, toy_graph):
+        core = core_numbers(toy_graph)
+        bulk = max_core_degrees(toy_graph, core)
+        for vertex in toy_graph.vertices():
+            assert bulk[vertex] == max_core_degree(toy_graph, core, vertex)
+
+    def test_bulk_helper_with_subset(self, toy_graph):
+        core = core_numbers(toy_graph)
+        subset = max_core_degrees(toy_graph, core, vertices=[7, 10])
+        assert set(subset) == {7, 10}
+
+    def test_missing_vertex_raises(self, toy_graph):
+        core = core_numbers(toy_graph)
+        with pytest.raises(VertexNotFoundError):
+            max_core_degree(toy_graph, core, 999)
+        with pytest.raises(VertexNotFoundError):
+            pure_core_degree(toy_graph, core, 999)
+
+
+class TestPureCoreDegree:
+    def test_pcd_is_at_most_mcd(self, cl_graph):
+        core = core_numbers(cl_graph)
+        for vertex in cl_graph.vertices():
+            assert pure_core_degree(cl_graph, core, vertex) <= max_core_degree(
+                cl_graph, core, vertex
+            )
+
+    def test_pcd_counts_only_promotable_support(self):
+        # Path a-b-c: every vertex has core 1.  b's neighbours both have
+        # mcd == 1 == core, so they cannot help b rise: pcd(b) == 0.
+        graph = Graph(edges=[("a", "b"), ("b", "c")])
+        core = core_numbers(graph)
+        assert pure_core_degree(graph, core, "b") == 0

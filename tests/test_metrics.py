@@ -1,0 +1,110 @@
+"""Unit tests for the cross-algorithm comparison metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anchored.result import AnchoredKCoreResult, SolverStats
+from repro.avt.metrics import (
+    anchor_stability,
+    follower_quality,
+    followers_series,
+    speedup,
+    summarise,
+    visited_ratio,
+)
+from repro.avt.problem import AVTResult, SnapshotResult
+from repro.errors import ParameterError
+
+
+def make_result(algorithm: str, followers_per_t, runtime: float, visited: int, anchors=((1,),)):
+    result = AVTResult(algorithm=algorithm, k=3, budget=2, problem_name="toy")
+    anchor_cycle = list(anchors)
+    for timestamp, count in enumerate(followers_per_t):
+        selection = AnchoredKCoreResult(
+            algorithm=algorithm,
+            k=3,
+            budget=2,
+            anchors=tuple(anchor_cycle[timestamp % len(anchor_cycle)]),
+            followers=frozenset(range(count)),
+            anchored_core_size=5 + count,
+            stats=SolverStats(
+                candidates_evaluated=2,
+                visited_vertices=visited // max(len(followers_per_t), 1),
+                runtime_seconds=runtime / max(len(followers_per_t), 1),
+            ),
+        )
+        result.append(
+            SnapshotResult(timestamp=timestamp, result=selection, num_vertices=17, num_edges=28)
+        )
+    return result
+
+
+class TestSpeedupAndVisited:
+    def test_speedup(self):
+        slow = make_result("OLAK", [2, 2], runtime=10.0, visited=1000)
+        fast = make_result("IncAVT", [2, 2], runtime=1.0, visited=100)
+        assert speedup([slow, fast], baseline="OLAK", target="IncAVT") == pytest.approx(10.0)
+
+    def test_visited_ratio(self):
+        slow = make_result("OLAK", [2], runtime=1.0, visited=1000)
+        fast = make_result("IncAVT", [2], runtime=1.0, visited=10)
+        assert visited_ratio([slow, fast], baseline="OLAK", target="IncAVT") == pytest.approx(100.0)
+
+    def test_missing_algorithm_raises(self):
+        only = make_result("OLAK", [1], 1.0, 10)
+        with pytest.raises(ParameterError):
+            speedup([only], baseline="OLAK", target="IncAVT")
+
+    def test_duplicate_algorithm_raises(self):
+        first = make_result("OLAK", [1], 1.0, 10)
+        second = make_result("OLAK", [1], 1.0, 10)
+        with pytest.raises(ParameterError):
+            speedup([first, second], baseline="OLAK", target="OLAK")
+
+    def test_zero_time_target_gives_infinity(self):
+        slow = make_result("OLAK", [1], runtime=1.0, visited=10)
+        instant = make_result("IncAVT", [1], runtime=0.0, visited=10)
+        assert speedup([slow, instant], baseline="OLAK", target="IncAVT") == float("inf")
+
+
+class TestQualityMetrics:
+    def test_follower_quality(self):
+        reference = make_result("Greedy", [5, 5], 1.0, 10)
+        other = make_result("RCM", [4, 4], 1.0, 10)
+        quality = follower_quality([reference, other], reference="Greedy")
+        assert quality["Greedy"] == pytest.approx(1.0)
+        assert quality["RCM"] == pytest.approx(0.8)
+
+    def test_follower_quality_zero_reference(self):
+        reference = make_result("Greedy", [0], 1.0, 10)
+        other = make_result("RCM", [0], 1.0, 10)
+        quality = follower_quality([reference, other], reference="Greedy")
+        assert quality["RCM"] == 1.0
+
+    def test_followers_series(self):
+        result = make_result("Greedy", [1, 2, 3], 1.0, 10)
+        assert followers_series([result]) == {"Greedy": [1, 2, 3]}
+
+    def test_anchor_stability_constant_anchors(self):
+        result = make_result("Greedy", [1, 1, 1], 1.0, 10, anchors=((1, 2),))
+        assert anchor_stability(result) == pytest.approx(1.0)
+
+    def test_anchor_stability_changing_anchors(self):
+        result = make_result("Greedy", [1, 1], 1.0, 10, anchors=((1, 2), (3, 4)))
+        assert anchor_stability(result) == pytest.approx(0.0)
+
+    def test_anchor_stability_single_snapshot(self):
+        result = make_result("Greedy", [1], 1.0, 10)
+        assert anchor_stability(result) == 1.0
+
+
+class TestSummaries:
+    def test_summarise_rows(self):
+        results = [make_result("Greedy", [2, 3], 1.0, 10), make_result("OLAK", [2, 3], 5.0, 100)]
+        rows = summarise(results)
+        assert len(rows) == 2
+        assert rows[0]["algorithm"] == "Greedy"
+        assert rows[0]["followers"] == 5
+        assert rows[1]["visited"] == 100
+        assert set(rows[0]) >= {"algorithm", "k", "l", "T", "followers", "time_s"}
