@@ -13,6 +13,27 @@ Quickstart::
     problem = AVTProblem(load_dataset("eu_core", num_snapshots=10), k=3, budget=5)
     incremental = IncAVTTracker().track(problem)
     print(incremental.summary())
+
+Online serving::
+
+    from repro import StreamingAVTEngine, load_dataset
+
+    evolving = load_dataset("gnutella", num_snapshots=10, scale=0.3)
+    engine = StreamingAVTEngine(evolving.base)
+    answer = engine.query(k=3, budget=5)          # cold solve, cached
+    for delta in evolving.deltas:                 # live edge stream
+        engine.ingest(delta)                      # batched + coalesced
+        answer = engine.query(k=3, budget=5)      # warm IncAVT refresh
+    again = engine.query(k=3, budget=5)           # served from cache
+    print(engine.stats.summary())                 # hit rate, latencies
+    engine.checkpoint("engine.ckpt")              # survive a restart
+    resumed = StreamingAVTEngine.restore("engine.ckpt")
+
+The engine batches edge events through an ingest buffer, maintains core
+numbers incrementally, caches answers per graph version with selective
+invalidation, and reuses the previous anchor set via the IncAVT update path
+for warm queries; ``avt-bench serve-sim`` simulates the whole loop on a
+bundled dataset.
 """
 
 from repro.anchored import (
@@ -46,6 +67,15 @@ from repro.cores import (
     core_numbers,
     k_core,
     k_shell,
+)
+from repro.engine import (
+    CacheKey,
+    EngineStats,
+    IngestBuffer,
+    ResultCache,
+    StreamingAVTEngine,
+    load_checkpoint,
+    save_checkpoint,
 )
 from repro.graph import EdgeDelta, EvolvingGraph, Graph, SnapshotSequence
 from repro.graph.datasets import (
@@ -102,4 +132,12 @@ __all__ = [
     "BruteForceTracker",
     "ExactSmallKTracker",
     "IncAVTTracker",
+    # online serving engine
+    "StreamingAVTEngine",
+    "IngestBuffer",
+    "ResultCache",
+    "CacheKey",
+    "EngineStats",
+    "save_checkpoint",
+    "load_checkpoint",
 ]

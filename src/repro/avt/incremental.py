@@ -27,7 +27,7 @@ the static algorithms — the effect the paper's Figures 3-8 measure.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.anchored.anchored_core import AnchoredCoreIndex
 from repro.anchored.followers import compute_followers
@@ -35,6 +35,7 @@ from repro.anchored.greedy import GreedyAnchoredKCore
 from repro.anchored.result import AnchoredKCoreResult, SolverStats
 from repro.avt.problem import AVTProblem, AVTResult, SnapshotResult
 from repro.cores.maintenance import CoreMaintainer
+from repro.errors import ParameterError
 from repro.graph.static import Graph, Vertex
 
 
@@ -179,6 +180,28 @@ class IncAVTTracker:
                 )
             )
         return result
+
+    def refresh_anchors(
+        self,
+        maintainer: CoreMaintainer,
+        k: int,
+        budget: int,
+        anchors: Iterable[Vertex],
+        affected: Set[Vertex],
+    ) -> Tuple[List[Vertex], SolverStats]:
+        """Warm-update a carried-forward anchor set after external maintenance.
+
+        This is the engine-facing entry point: a long-lived caller (such as
+        :class:`repro.engine.StreamingAVTEngine`) that owns its own
+        :class:`CoreMaintainer` applies deltas itself, accumulates the touched
+        vertex set, and then asks for the Algorithm-6 swap/fill pass over that
+        restricted pool instead of re-solving from scratch.  Returns the
+        refreshed anchor list and the solver stats of the pass.
+        """
+        if budget < 0:
+            raise ParameterError("budget must be non-negative")
+        carried = list(anchors)[:budget]
+        return self._update_anchor_set(maintainer, k, budget, carried, set(affected))
 
     # ------------------------------------------------------------------
     # Anchor-set update (Algorithm 6, lines 9-16)

@@ -7,6 +7,7 @@ Installed as the ``avt-bench`` console script::
     avt-bench fig05 --profile medium      # medium profile (all six datasets)
     avt-bench table4 --csv out.csv        # also dump the raw rows as CSV
     avt-bench summary --dataset gnutella  # one-problem comparison of all trackers
+    avt-bench serve-sim --dataset gnutella  # online engine simulation
 """
 
 from __future__ import annotations
@@ -33,7 +34,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        help="experiment id (fig03..fig12, table4, ablation_*), 'summary', or 'datasets'",
+        help="experiment id (fig03..fig12, table4, ablation_*), 'summary', 'datasets', or 'serve-sim'",
     )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
     parser.add_argument(
@@ -48,6 +49,24 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--budget", type=int, default=5, help="anchor budget for 'summary'")
     parser.add_argument("--snapshots", type=int, default=10, help="number of snapshots for 'summary'")
     parser.add_argument("--scale", type=float, default=0.5, help="dataset scale for 'summary'")
+    serve = parser.add_argument_group("serve-sim options")
+    serve.add_argument(
+        "--queries-per-step",
+        type=int,
+        default=2,
+        help="queries interleaved after each replayed delta (>= 2 exercises the cache)",
+    )
+    serve.add_argument("--batch-size", type=int, default=64, help="ingest auto-flush threshold")
+    serve.add_argument("--cache-capacity", type=int, default=256, help="result cache capacity")
+    serve.add_argument(
+        "--cold", action="store_true", help="disable warm (IncAVT-refresh) query answering"
+    )
+    serve.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        help="write a checkpoint here mid-replay, restore it, and verify the answer matches",
+    )
     return parser
 
 
@@ -79,6 +98,75 @@ def _run_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_sim(args: argparse.Namespace) -> int:
+    """Replay a dataset's deltas through the streaming engine with interleaved queries."""
+    from repro.engine import StreamingAVTEngine
+
+    problem = build_problem(
+        args.dataset,
+        k=args.k,
+        budget=args.budget,
+        num_snapshots=args.snapshots,
+        scale=args.scale,
+    )
+    evolving = problem.evolving_graph
+    engine = StreamingAVTEngine(
+        evolving.base,
+        cache_capacity=args.cache_capacity,
+        batch_size=args.batch_size,
+        warm_queries=not args.cold,
+    )
+    queries_per_step = max(1, args.queries_per_step)
+    print(
+        f"serve-sim on {problem.name} (k={problem.k}, l={problem.budget}, "
+        f"T={problem.num_snapshots}, scale={args.scale}): replaying "
+        f"{evolving.total_edge_changes()} edge events with {queries_per_step} "
+        f"queries per step"
+    )
+
+    def checkpoint_and_verify(step: int, result) -> bool:
+        engine.checkpoint(args.checkpoint)
+        restored = StreamingAVTEngine.restore(args.checkpoint)
+        check = restored.query(problem.k, problem.budget)
+        matches = check.anchors == result.anchors and check.followers == result.followers
+        print(
+            f"checkpoint at t={step} -> {args.checkpoint} "
+            f"(restore verified: {'ok' if matches else 'MISMATCH'})"
+        )
+        return matches
+
+    result = engine.query(problem.k, problem.budget)
+    print(f"t=0  {result.summary()}")
+    checkpoint_step = max(1, len(evolving.deltas) // 2)
+    checkpointed = False
+    for step, delta in enumerate(evolving.deltas, start=1):
+        engine.ingest(delta)
+        for _ in range(queries_per_step):
+            result = engine.query(problem.k, problem.budget)
+        print(
+            f"t={step}  {result.summary()} "
+            f"[version={engine.graph_version}, cached={len(engine.cache)}]"
+        )
+        if args.checkpoint is not None and step == checkpoint_step:
+            checkpointed = True
+            if not checkpoint_and_verify(step, result):
+                return 2
+    if args.checkpoint is not None and not checkpointed:
+        # No deltas to replay (e.g. --snapshots 1): honour --checkpoint anyway.
+        if not checkpoint_and_verify(0, result):
+            return 2
+
+    print()
+    print(engine.stats.summary())
+    if evolving.deltas and queries_per_step >= 2 and engine.stats.cache_hits < 1:
+        # Whenever the replay repeated queries per step at least the repeats
+        # must hit; a single query per step (or an empty replay) makes no such
+        # promise.
+        print("error: expected at least one cache hit", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _run_datasets() -> int:
     """Print summary statistics of every bundled dataset stand-in."""
     rows = [dataset_summary(name, num_snapshots=5, scale=0.5) for name in DATASET_NAMES]
@@ -98,6 +186,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {name:<22} {doc}")
         print("  summary                Compare all trackers on one dataset (see --dataset).")
         print("  datasets               Show the bundled dataset stand-ins.")
+        print("  serve-sim              Replay a dataset through the online streaming engine.")
         return 0
 
     try:
@@ -105,6 +194,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_summary(args)
         if args.experiment == "datasets":
             return _run_datasets()
+        if args.experiment == "serve-sim":
+            return _run_serve_sim(args)
         experiment = get_experiment(args.experiment)
         profile = resolve_profile(args.profile)
         print(f"Running {args.experiment} with profile '{profile.name}' (scale={profile.scale})...")

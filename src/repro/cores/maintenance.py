@@ -46,6 +46,20 @@ class DeltaEffect:
     deletion_affected:
         The paper's ``VR``: vertices touched by the deletion phase whose core
         number is ``k - 1`` in the updated graph.
+    insertion_touched:
+        Every vertex the insertion phase examined (endpoints of effective
+        insertions, risen vertices and traversal-visited vertices) — recorded
+        independently of ``k`` so long-lived consumers such as the streaming
+        engine can invalidate derived state without fixing ``k`` up front.
+    deletion_touched:
+        Every vertex the deletion phase examined, symmetric to
+        ``insertion_touched``.
+    pre_update_core:
+        Core number each touched vertex had *before* the delta (first-seen
+        snapshot; vertices the delta created are recorded at their
+        creation-time core 0, which correctly marks them as new at every
+        ``k``).  Lets consumers reason about old-vs-new cores without copying
+        the full core index.
     visited:
         Number of vertices visited by the maintenance traversals (used by the
         instrumentation figures).
@@ -55,6 +69,9 @@ class DeltaEffect:
     decreased: Set[Vertex] = field(default_factory=set)
     insertion_affected: Set[Vertex] = field(default_factory=set)
     deletion_affected: Set[Vertex] = field(default_factory=set)
+    insertion_touched: Set[Vertex] = field(default_factory=set)
+    deletion_touched: Set[Vertex] = field(default_factory=set)
+    pre_update_core: Dict[Vertex, int] = field(default_factory=dict)
     visited: int = 0
 
     @property
@@ -62,13 +79,37 @@ class DeltaEffect:
         """Union of the insertion- and deletion-affected vertex sets."""
         return self.insertion_affected | self.deletion_affected
 
+    @property
+    def touched(self) -> Set[Vertex]:
+        """Every vertex examined by either maintenance phase (k-independent)."""
+        return self.insertion_touched | self.deletion_touched
+
+    @property
+    def changed(self) -> Set[Vertex]:
+        """Vertices whose core number actually moved (rose or fell)."""
+        return self.increased | self.decreased
+
 
 class CoreMaintainer:
     """Maintains core numbers of a graph under edge insertions and deletions."""
 
-    def __init__(self, graph: Graph, copy_graph: bool = True) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        copy_graph: bool = True,
+        core: Optional[Dict[Vertex, int]] = None,
+    ) -> None:
+        """Wrap ``graph``; recompute core numbers unless ``core`` supplies them.
+
+        ``core`` exists for checkpoint restore: a caller that persisted the
+        maintained core numbers alongside the graph can resume without paying
+        a fresh decomposition.  The values are trusted; :meth:`validate`
+        cross-checks them on demand.
+        """
         self._graph = graph.copy() if copy_graph else graph
-        self._core: Dict[Vertex, int] = recompute_core_numbers(self._graph)
+        self._core: Dict[Vertex, int] = (
+            dict(core) if core is not None else recompute_core_numbers(self._graph)
+        )
         self._visited_last = 0
 
     # ------------------------------------------------------------------
@@ -127,17 +168,25 @@ class CoreMaintainer:
     # Batch updates
     # ------------------------------------------------------------------
     def insert_edges(self, edges: Iterable[Edge]) -> Set[Vertex]:
-        """Insert every edge of ``edges``; return all vertices whose core rose."""
+        """Insert every edge of ``edges`` in one pass.
+
+        Returns the union of all vertices whose core number rose across the
+        whole batch (computed while inserting — no second scan).
+        """
         increased: Set[Vertex] = set()
         for u, v in edges:
-            increased |= self.insert_edge(u, v)
+            increased.update(self.insert_edge(u, v))
         return increased
 
     def remove_edges(self, edges: Iterable[Edge]) -> Set[Vertex]:
-        """Remove every edge of ``edges``; return all vertices whose core fell."""
+        """Remove every edge of ``edges`` in one pass.
+
+        Returns the union of all vertices whose core number fell across the
+        whole batch (computed while removing — no second scan).
+        """
         decreased: Set[Vertex] = set()
         for u, v in edges:
-            decreased |= self.remove_edge(u, v)
+            decreased.update(self.remove_edge(u, v))
         return decreased
 
     def apply_delta(self, delta: EdgeDelta, k: Optional[int] = None) -> DeltaEffect:
@@ -145,37 +194,60 @@ class CoreMaintainer:
 
         When ``k`` is given, the returned :class:`DeltaEffect` also carries the
         ``VI`` / ``VR`` candidate pools for that ``k`` (vertices touched by the
-        respective phase whose updated core number is ``k - 1``).
+        respective phase whose updated core number is ``k - 1``).  The
+        k-independent ``touched`` sets are always recorded, counting only
+        *effective* operations — inserting a present edge or removing an
+        absent one leaves no trace, so consumers can treat an empty ``touched``
+        as "the graph did not change".
         """
         if k is not None and k < 1:
             raise ParameterError("k must be >= 1 when requesting affected pools")
         effect = DeltaEffect()
+        if delta.is_empty():
+            return effect
 
-        insertion_touched: Set[Vertex] = set()
+        pre_core = effect.pre_update_core
         for u, v in delta.inserted:
-            insertion_touched.update((u, v))
+            if self._graph.has_edge(u, v):
+                continue
+            for endpoint in (u, v):
+                if endpoint not in pre_core and endpoint in self._core:
+                    pre_core[endpoint] = self._core[endpoint]
             increased = self.insert_edge(u, v)
+            for vertex in self._visited_vertices_last:
+                if vertex not in pre_core:
+                    # An insertion raises a risen vertex by exactly 1.
+                    pre_core[vertex] = self._core[vertex] - (1 if vertex in increased else 0)
             effect.increased |= increased
-            insertion_touched |= increased
-            insertion_touched |= self._visited_vertices_last
+            effect.insertion_touched.update((u, v))
+            effect.insertion_touched |= increased
+            effect.insertion_touched |= self._visited_vertices_last
             effect.visited += self._visited_last
 
-        deletion_touched: Set[Vertex] = set()
         for u, v in delta.removed:
-            deletion_touched.update((u, v))
+            if not self._graph.has_edge(u, v):
+                continue
+            for endpoint in (u, v):
+                if endpoint not in pre_core:
+                    pre_core[endpoint] = self._core[endpoint]
             decreased = self.remove_edge(u, v)
+            for vertex in self._visited_vertices_last:
+                if vertex not in pre_core:
+                    # A deletion lowers a dropped vertex by exactly 1.
+                    pre_core[vertex] = self._core[vertex] + (1 if vertex in decreased else 0)
             effect.decreased |= decreased
-            deletion_touched |= decreased
-            deletion_touched |= self._visited_vertices_last
+            effect.deletion_touched.update((u, v))
+            effect.deletion_touched |= decreased
+            effect.deletion_touched |= self._visited_vertices_last
             effect.visited += self._visited_last
 
         if k is not None:
             target = k - 1
             effect.insertion_affected = {
-                vertex for vertex in insertion_touched if self._core.get(vertex) == target
+                vertex for vertex in effect.insertion_touched if self._core.get(vertex) == target
             }
             effect.deletion_affected = {
-                vertex for vertex in deletion_touched if self._core.get(vertex) == target
+                vertex for vertex in effect.deletion_touched if self._core.get(vertex) == target
             }
         return effect
 

@@ -1,0 +1,40 @@
+"""Online streaming AVT serving: the long-lived engine and its parts.
+
+Batch reproduction answers "what would the anchors have been at every
+snapshot"; this subpackage answers live traffic.  The pieces compose as::
+
+    edge events ──> IngestBuffer ──flush──> CoreMaintainer (incremental cores)
+                                              │
+    query(k, l) ──> ResultCache ──miss──> warm IncAVT refresh / cold solver
+                                              │
+    checkpoint() <── engine state ──> restore()
+
+See :class:`StreamingAVTEngine` for the orchestration and
+:mod:`repro.engine.engine` for the design notes.
+"""
+
+from repro.engine.cache import CacheKey, ResultCache
+from repro.engine.checkpoint import (
+    CHECKPOINT_FORMAT,
+    load_checkpoint,
+    read_state,
+    save_checkpoint,
+    write_state,
+)
+from repro.engine.engine import SOLVERS, StreamingAVTEngine
+from repro.engine.ingest import IngestBuffer
+from repro.engine.stats import EngineStats
+
+__all__ = [
+    "CacheKey",
+    "ResultCache",
+    "CHECKPOINT_FORMAT",
+    "load_checkpoint",
+    "read_state",
+    "save_checkpoint",
+    "write_state",
+    "SOLVERS",
+    "StreamingAVTEngine",
+    "IngestBuffer",
+    "EngineStats",
+]

@@ -1,0 +1,87 @@
+"""Checkpoint persistence for the streaming engine.
+
+A checkpoint captures everything a restarted server needs to resume without
+recomputation: the live graph, the maintained core numbers, the graph-version
+counter, the warm anchor states, the result-cache contents and the stats
+counters.  The payload is a plain state dict (see
+:meth:`StreamingAVTEngine.to_state`) wrapped in an envelope with a magic
+marker and a format version, serialised with :mod:`pickle` — vertex
+identifiers are arbitrary hashables, which rules out JSON without inventing a
+vertex codec.  Only load checkpoints you wrote yourself; this is server
+state, not an interchange format.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.errors import CheckpointError
+
+PathLike = Union[str, Path]
+
+CHECKPOINT_MAGIC = "repro-engine-checkpoint"
+CHECKPOINT_FORMAT = 1
+
+
+def write_state(state: Dict[str, Any], path: PathLike) -> None:
+    """Serialise an engine state dict to ``path`` (atomically via a temp file)."""
+    path = Path(path)
+    envelope = {
+        "magic": CHECKPOINT_MAGIC,
+        "format": CHECKPOINT_FORMAT,
+        "state": state,
+    }
+    tmp_path = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp_path, "wb") as handle:
+            pickle.dump(envelope, handle, protocol=4)
+        tmp_path.replace(path)
+    except Exception as error:  # OSError, or pickling failures of exotic vertices
+        raise CheckpointError(f"cannot write checkpoint to {path}: {error}") from error
+    finally:
+        if tmp_path.exists():
+            tmp_path.unlink()
+
+
+def read_state(path: PathLike) -> Dict[str, Any]:
+    """Read and validate an engine state dict from ``path``."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint file not found: {path}")
+    try:
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+    except Exception as error:  # pickle surfaces corruption as many exception types
+        raise CheckpointError(f"cannot read checkpoint {path}: {error}") from error
+    if not isinstance(envelope, dict) or envelope.get("magic") != CHECKPOINT_MAGIC:
+        raise CheckpointError(f"{path} is not a repro engine checkpoint")
+    if envelope.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"checkpoint format {envelope.get('format')!r} is not supported "
+            f"(expected {CHECKPOINT_FORMAT})"
+        )
+    state = envelope.get("state")
+    if not isinstance(state, dict):
+        raise CheckpointError(f"checkpoint {path} carries no state payload")
+    return state
+
+
+def save_checkpoint(engine: Any, path: PathLike) -> None:
+    """Persist ``engine`` (a :class:`StreamingAVTEngine`) to ``path``."""
+    write_state(engine.to_state(), path)
+    engine.stats.checkpoints_saved += 1
+
+
+def load_checkpoint(path: PathLike, **engine_kwargs: Any) -> Any:
+    """Rebuild a :class:`StreamingAVTEngine` from a checkpoint file.
+
+    ``engine_kwargs`` override construction-time settings that are not part
+    of the persisted state (e.g. ``cache_capacity`` to resize on restore).
+    """
+    from repro.engine.engine import StreamingAVTEngine
+
+    engine = StreamingAVTEngine.from_state(read_state(path), **engine_kwargs)
+    engine.stats.checkpoints_restored += 1
+    return engine

@@ -1,0 +1,427 @@
+"""The long-lived streaming AVT query engine.
+
+:class:`StreamingAVTEngine` is the online counterpart of the batch trackers:
+instead of replaying a finished :class:`SnapshotSequence`, it owns a live
+graph and serves interleaved **updates** (edge insertions/deletions) and
+**queries** (anchored k-core requests) indefinitely.  The design leans on the
+paper's central observation — maintain, don't recompute — at three levels:
+
+1. **Ingest batching** (:class:`~repro.engine.ingest.IngestBuffer`): raw edge
+   events are coalesced (opposing insert/delete pairs cancel) and applied as
+   one :class:`EdgeDelta` through incremental core maintenance.
+2. **Result caching** (:class:`~repro.engine.cache.ResultCache`): answers are
+   cached per ``(graph_version, k, budget, solver)``.  A flush advances the
+   version, but entries whose ``k`` is provably untouched by the delta (every
+   touched vertex kept core number ``>= k``) are promoted to the new version
+   rather than evicted, so queries against quiet regions keep hitting.
+3. **Warm solving**: on a cache miss with a previous answer for the same
+   ``(k, budget, solver)``, the engine refreshes the carried-forward anchor
+   set via the IncAVT swap/fill pass restricted to the vertices the deltas
+   actually touched (:meth:`IncAVTTracker.refresh_anchors`) instead of
+   re-running the static solver.  Warm answers are the IncAVT heuristic —
+   pass ``warm=False`` (or construct with ``warm_queries=False``) for exact
+   from-scratch answers on every miss.
+
+Checkpoint/restore (:mod:`repro.engine.checkpoint`) persists the whole engine
+— graph, core numbers, version counter, warm states, cache contents, stats —
+so a restarted server resumes without a single decomposition.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.anchored.followers import compute_followers
+from repro.anchored.greedy import GreedyAnchoredKCore
+from repro.anchored.olak import OLAKAnchoredKCore
+from repro.anchored.rcm import RCMAnchoredKCore
+from repro.anchored.result import AnchoredKCoreResult, SolverStats
+from repro.avt.incremental import IncAVTTracker
+from repro.cores.maintenance import CoreMaintainer, DeltaEffect
+from repro.engine.cache import CacheKey, ResultCache
+from repro.engine.ingest import IngestBuffer
+from repro.engine.stats import EngineStats
+from repro.errors import CheckpointError, ParameterError
+from repro.graph.dynamic import EdgeDelta
+from repro.graph.static import Graph, Vertex
+
+SOLVERS: Dict[str, Callable[[Graph, int, int], Any]] = {
+    "greedy": GreedyAnchoredKCore,
+    "olak": OLAKAnchoredKCore,
+    "rcm": RCMAnchoredKCore,
+}
+
+#: Algorithm label of heuristic warm answers; exact-mode queries refuse to
+#: reuse cache entries carrying it.
+WARM_ALGORITHM = "IncAVT-warm"
+
+
+@dataclass
+class _WarmState:
+    """Carried-forward anchors for one ``(k, budget, solver)`` triple."""
+
+    version: int
+    anchors: Tuple[Vertex, ...]
+    stale: Set[Vertex] = field(default_factory=set)
+
+
+class StreamingAVTEngine:
+    """Online anchored-k-core engine over a live, incrementally maintained graph.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph (defaults to empty).  Copied unless ``copy_graph`` is
+        false.
+    cache_capacity:
+        Maximum number of cached query answers (LRU beyond that).
+    batch_size:
+        Auto-flush threshold: once this many *net* operations are pending the
+        buffer is applied eagerly.  ``None`` flushes only on demand (every
+        query still flushes first so it never reads stale state).
+    warm_queries:
+        Default answer policy on cache misses: reuse the previous anchor set
+        via the IncAVT update path (fast, heuristic) instead of re-running the
+        static solver (slower, exact).  Overridable per query.
+    default_solver:
+        One of ``"greedy"``, ``"olak"``, ``"rcm"``.
+    core:
+        Trusted precomputed core numbers for ``graph`` (checkpoint restore);
+        omit to compute them fresh.
+    """
+
+    def __init__(
+        self,
+        graph: Optional[Graph] = None,
+        *,
+        cache_capacity: int = 256,
+        batch_size: Optional[int] = 64,
+        warm_queries: bool = True,
+        default_solver: str = "greedy",
+        copy_graph: bool = True,
+        core: Optional[Dict[Vertex, int]] = None,
+    ) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise ParameterError("batch_size must be >= 1 (or None to disable)")
+        if default_solver not in SOLVERS:
+            raise ParameterError(
+                f"unknown solver {default_solver!r}; expected one of {sorted(SOLVERS)}"
+            )
+        self._maintainer = CoreMaintainer(
+            graph if graph is not None else Graph(), copy_graph=copy_graph, core=core
+        )
+        self._buffer = IngestBuffer(self._maintainer.graph)
+        self._cache = ResultCache(cache_capacity)
+        self._stats = EngineStats()
+        self._version = 0
+        self._batch_size = batch_size
+        self._warm_queries = warm_queries
+        self._default_solver = default_solver
+        # Bounded like the result cache: warm states are cheap but a
+        # long-lived server must not accumulate one per historical query shape.
+        self._warm: "OrderedDict[Tuple[int, int, str], _WarmState]" = OrderedDict()
+        self._warm_capacity = max(cache_capacity, 16)
+        self._refresher = IncAVTTracker()
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The live maintained graph (do not mutate directly — use ingest)."""
+        return self._maintainer.graph
+
+    @property
+    def graph_version(self) -> int:
+        """Monotone counter, bumped once per flushed batch that changed the graph."""
+        return self._version
+
+    @property
+    def stats(self) -> EngineStats:
+        """Operational counters (hit rate, latencies, update throughput)."""
+        return self._stats
+
+    @property
+    def cache(self) -> ResultCache:
+        """The versioned result cache (exposed for inspection and tests)."""
+        return self._cache
+
+    @property
+    def pending_updates(self) -> int:
+        """Net operations buffered but not yet applied."""
+        return self._buffer.pending_changes
+
+    def core_numbers(self) -> Dict[Vertex, int]:
+        """Copy of the maintained core numbers of the live graph."""
+        return self._maintainer.core_numbers()
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest_insert(self, u: Vertex, v: Vertex) -> None:
+        """Buffer the insertion of edge ``(u, v)``."""
+        self._buffered(lambda: self._buffer.insert(u, v))
+
+    def ingest_remove(self, u: Vertex, v: Vertex) -> None:
+        """Buffer the removal of edge ``(u, v)``."""
+        self._buffered(lambda: self._buffer.remove(u, v))
+
+    def ingest(self, delta: EdgeDelta) -> None:
+        """Buffer a whole delta (e.g. one step of a replayed snapshot stream)."""
+        self._buffered(lambda: self._buffer.extend(delta))
+
+    def _buffered(self, action: Callable[[], None]) -> None:
+        ingested = self._buffer.ingested
+        cancelled = self._buffer.cancelled
+        action()
+        self._stats.updates_ingested += self._buffer.ingested - ingested
+        self._stats.updates_cancelled += self._buffer.cancelled - cancelled
+        if self._batch_size is not None and len(self._buffer) >= self._batch_size:
+            self.flush()
+
+    def flush(self) -> DeltaEffect:
+        """Apply every buffered operation as one coalesced delta.
+
+        Advances the graph version (when anything effectively changed),
+        selectively invalidates the result cache and marks the warm anchor
+        states stale around the touched region.  Returns the maintenance
+        effect (empty when nothing was pending).
+        """
+        if self._buffer.is_empty():
+            return DeltaEffect()
+        started = time.perf_counter()
+        delta = self._buffer.flush()
+        effect = self._maintainer.apply_delta(delta)
+        self._stats.deltas_applied += 1
+        self._stats.edges_inserted += len(delta.inserted)
+        self._stats.edges_removed += len(delta.removed)
+        touched = effect.touched
+        if touched:
+            old_version = self._version
+            self._version += 1
+            # An entry for constraint k survives iff every touched vertex kept
+            # core >= k both before and after the delta: then no vertex outside
+            # the k-core gained or lost anything, the k-core membership is
+            # unchanged, and the anchored answer is byte-identical.  Old cores
+            # come from the effect's first-seen snapshot, so this stays
+            # O(|touched|) rather than O(n).
+            pre_core = effect.pre_update_core
+            safe_min = min(
+                min(
+                    pre_core.get(vertex, float("inf")),
+                    self._maintainer.core(vertex),
+                )
+                for vertex in touched
+            )
+            promoted, invalidated = self._cache.promote(
+                old_version, self._version, keep=lambda key: key.k <= safe_min
+            )
+            self._stats.cache_promotions += promoted
+            self._stats.cache_invalidations += invalidated
+            # A warm state whose stale region outgrows half the graph buys
+            # nothing over a cold solve — drop it to bound memory in
+            # long-lived engines.
+            stale_limit = max(16, self._maintainer.graph.num_vertices // 2)
+            doomed = []
+            for warm_key, state in self._warm.items():
+                state.stale |= touched
+                if len(state.stale) > stale_limit:
+                    doomed.append(warm_key)
+            for warm_key in doomed:
+                del self._warm[warm_key]
+        self._stats.update_seconds += time.perf_counter() - started
+        return effect
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        k: int,
+        budget: int,
+        *,
+        solver: Optional[str] = None,
+        warm: Optional[bool] = None,
+    ) -> AnchoredKCoreResult:
+        """Answer one anchored k-core request against the current graph.
+
+        Pending updates are flushed first, so the answer always reflects every
+        ingested event.  Resolution order: result cache (same graph version) →
+        warm IncAVT refresh of the previous anchors (if enabled and available)
+        → cold static solver.  The returned result is cached for the current
+        version.
+        """
+        if k < 1:
+            raise ParameterError("k must be >= 1")
+        if budget < 0:
+            raise ParameterError("budget must be non-negative")
+        solver_name = solver if solver is not None else self._default_solver
+        if solver_name not in SOLVERS:
+            raise ParameterError(
+                f"unknown solver {solver_name!r}; expected one of {sorted(SOLVERS)}"
+            )
+        use_warm = self._warm_queries if warm is None else warm
+
+        self.flush()
+        started = time.perf_counter()
+        self._stats.queries += 1
+        key = CacheKey(self._version, k, budget, solver_name)
+        cached = self._cache.get(key)
+        if cached is not None and not use_warm and cached.algorithm == WARM_ALGORITHM:
+            # The caller demands an exact answer but the entry is the warm
+            # heuristic: fall through to a cold solve (which replaces it, so
+            # the upgraded entry then serves both modes).
+            cached = None
+        if cached is not None:
+            self._stats.cache_hits += 1
+            self._stats.hit_seconds += time.perf_counter() - started
+            return cached
+        self._stats.cache_misses += 1
+
+        warm_key = (k, budget, solver_name)
+        state = self._warm.get(warm_key) if use_warm else None
+        if state is not None:
+            result = self._answer_warm(k, budget, state, started)
+        else:
+            result = self._answer_cold(k, budget, solver_name, started)
+        self._cache.put(key, result)
+        self._warm[warm_key] = _WarmState(
+            version=self._version, anchors=tuple(result.anchors)
+        )
+        self._warm.move_to_end(warm_key)
+        while len(self._warm) > self._warm_capacity:
+            self._warm.popitem(last=False)
+        return result
+
+    def _answer_warm(
+        self, k: int, budget: int, state: _WarmState, started: float
+    ) -> AnchoredKCoreResult:
+        graph = self._maintainer.graph
+        if state.version == self._version or not state.stale:
+            # Graph unchanged since the anchors were chosen (the cache entry
+            # merely fell to LRU pressure): the previous anchors still stand.
+            anchors: List[Vertex] = [
+                anchor for anchor in state.anchors if graph.has_vertex(anchor)
+            ][:budget]
+            solver_stats = SolverStats()
+        else:
+            anchors, solver_stats = self._refresher.refresh_anchors(
+                self._maintainer, k, budget, state.anchors, state.stale
+            )
+        plain_core = self._maintainer.k_core_vertices(k)
+        followers = compute_followers(graph, k, anchors, k_core_vertices=plain_core)
+        solver_stats.runtime_seconds = time.perf_counter() - started
+        self._stats.warm_solves += 1
+        self._stats.warm_seconds += solver_stats.runtime_seconds
+        return AnchoredKCoreResult(
+            algorithm=WARM_ALGORITHM,
+            k=k,
+            budget=budget,
+            anchors=tuple(anchors),
+            followers=frozenset(followers),
+            anchored_core_size=len(plain_core | set(anchors) | followers),
+            stats=solver_stats,
+        )
+
+    def _answer_cold(
+        self, k: int, budget: int, solver_name: str, started: float
+    ) -> AnchoredKCoreResult:
+        solver = SOLVERS[solver_name](self._maintainer.graph, k, budget)
+        result = solver.select()
+        self._stats.cold_solves += 1
+        self._stats.cold_seconds += time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, Any]:
+        """Capture the full engine state as a plain dict.
+
+        Pending buffered updates are flushed first, so the state describes a
+        fully applied graph; restoring therefore never replays maintenance.
+        """
+        self.flush()
+        graph = self._maintainer.graph
+        return {
+            "vertices": list(graph.vertices()),
+            "edges": [tuple(edge) for edge in graph.edges()],
+            "core": self._maintainer.core_numbers(),
+            "version": self._version,
+            "batch_size": self._batch_size,
+            "warm_queries": self._warm_queries,
+            "default_solver": self._default_solver,
+            "warm": {
+                warm_key: {
+                    "version": state.version,
+                    "anchors": list(state.anchors),
+                    "stale": list(state.stale),
+                }
+                for warm_key, state in self._warm.items()
+            },
+            "cache": {
+                "capacity": self._cache.capacity,
+                "entries": [
+                    (cache_key.as_tuple(), result) for cache_key, result in self._cache.items()
+                ],
+            },
+            "stats": self._stats.snapshot(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any], **overrides: Any) -> "StreamingAVTEngine":
+        """Rebuild an engine from :meth:`to_state` output without recomputation.
+
+        ``overrides`` replace construction-time settings (``cache_capacity``,
+        ``batch_size``, ``warm_queries``, ``default_solver``).
+        """
+        try:
+            graph = Graph(edges=state["edges"], vertices=state["vertices"])
+            engine = cls(
+                graph,
+                copy_graph=False,
+                core=state["core"],
+                cache_capacity=overrides.pop("cache_capacity", state["cache"]["capacity"]),
+                batch_size=overrides.pop("batch_size", state["batch_size"]),
+                warm_queries=overrides.pop("warm_queries", state["warm_queries"]),
+                default_solver=overrides.pop("default_solver", state["default_solver"]),
+            )
+            if overrides:
+                raise ParameterError(f"unknown restore overrides: {sorted(overrides)}")
+            engine._version = state["version"]
+            for warm_key, payload in state["warm"].items():
+                engine._warm[warm_key] = _WarmState(
+                    version=payload["version"],
+                    anchors=tuple(payload["anchors"]),
+                    stale=set(payload["stale"]),
+                )
+            for key_tuple, result in state["cache"]["entries"]:
+                engine._cache.put(CacheKey(*key_tuple), result)
+            engine._stats = EngineStats.from_snapshot(state["stats"])
+        except (KeyError, TypeError) as error:
+            raise CheckpointError(f"malformed engine state: {error}") from error
+        return engine
+
+    def checkpoint(self, path: Any) -> None:
+        """Persist the engine to ``path`` (see :mod:`repro.engine.checkpoint`)."""
+        from repro.engine.checkpoint import save_checkpoint
+
+        save_checkpoint(self, path)
+
+    @classmethod
+    def restore(cls, path: Any, **overrides: Any) -> "StreamingAVTEngine":
+        """Rebuild an engine from a checkpoint file written by :meth:`checkpoint`."""
+        from repro.engine.checkpoint import load_checkpoint
+
+        return load_checkpoint(path, **overrides)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        graph = self._maintainer.graph
+        return (
+            f"StreamingAVTEngine(version={self._version}, n={graph.num_vertices}, "
+            f"m={graph.num_edges}, cached={len(self._cache)}, "
+            f"pending={self.pending_updates})"
+        )

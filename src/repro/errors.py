@@ -59,3 +59,7 @@ class InvariantViolationError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a dataset file cannot be parsed or a name is unknown."""
+
+
+class CheckpointError(ReproError):
+    """Raised when an engine checkpoint cannot be written, read or verified."""

@@ -16,7 +16,7 @@ Both can be converted into each other losslessly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SnapshotError
 from repro.graph.static import Edge, Graph, Vertex
@@ -67,6 +67,41 @@ class EdgeDelta:
         inserted = [tuple(edge) for edge in after_edges - before_edges]
         removed = [tuple(edge) for edge in before_edges - after_edges]
         return cls.from_iterables(inserted=inserted, removed=removed)
+
+    @classmethod
+    def merge(cls, *deltas: "EdgeDelta", base: Optional[Graph] = None) -> "EdgeDelta":
+        """Coalesce consecutive deltas into one, cancelling opposing pairs.
+
+        Within each delta insertions apply before removals (the order
+        :meth:`apply` uses), and across deltas the *last* operation on an edge
+        decides its final state.  That rule is sound regardless of the base
+        graph: an edge whose last operation is an insertion ends up present
+        (re-inserting a present edge is a no-op) and one whose last operation
+        is a removal ends up absent (removing an absent edge is a no-op), so
+        applying the merged delta is equivalent to applying the sequence.
+
+        When ``base`` is given, operations that cannot change it are dropped
+        entirely — an insert→delete pair on an edge absent from ``base`` (or a
+        delete→insert pair on a present one) cancels to nothing instead of
+        surviving as a harmless no-op entry.  This is what the streaming
+        engine's ingest buffer relies on to keep its batches minimal.
+        """
+        net: Dict[Tuple[Vertex, Vertex], int] = {}
+        for delta in deltas:
+            for edge in delta.inserted:
+                net[_normalise_edge(edge)] = 1
+            for edge in delta.removed:
+                net[_normalise_edge(edge)] = -1
+        if base is not None:
+            net = {
+                edge: state
+                for edge, state in net.items()
+                if base.has_edge(*edge) != (state > 0)
+            }
+        return cls.from_iterables(
+            inserted=(edge for edge, state in net.items() if state > 0),
+            removed=(edge for edge, state in net.items() if state < 0),
+        )
 
     @property
     def num_changes(self) -> int:

@@ -47,6 +47,39 @@ class TestSummary:
         assert "speed-up" in output
 
 
+class TestServeSim:
+    def test_serve_sim_replays_and_hits_cache(self, capsys, tmp_path):
+        checkpoint = tmp_path / "engine.ckpt"
+        code = main(
+            [
+                "serve-sim",
+                "--dataset",
+                "gnutella",
+                "--scale",
+                "0.15",
+                "--snapshots",
+                "4",
+                "--budget",
+                "3",
+                "--checkpoint",
+                str(checkpoint),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "serve-sim on gnutella" in output
+        assert "hit rate" in output
+        assert "restore verified: ok" in output
+        assert checkpoint.exists()
+        # at least one cache hit is part of the serve-sim contract
+        hits = int(output.split("hits=")[1].split()[0])
+        assert hits >= 1
+
+    def test_serve_sim_listed(self, capsys):
+        assert main(["--list"]) == 0
+        assert "serve-sim" in capsys.readouterr().out
+
+
 class TestExperiments:
     def test_unknown_experiment_returns_error(self, capsys):
         assert main(["fig99"]) == 2

@@ -1,0 +1,440 @@
+"""Unit tests for the streaming engine: ingest, cache, queries, checkpoints."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.anchored.followers import compute_followers
+from repro.anchored.greedy import GreedyAnchoredKCore
+from repro.cores.decomposition import core_numbers
+from repro.engine import (
+    CacheKey,
+    EngineStats,
+    IngestBuffer,
+    ResultCache,
+    StreamingAVTEngine,
+    load_checkpoint,
+    read_state,
+    save_checkpoint,
+    write_state,
+)
+from repro.errors import CheckpointError, ParameterError
+from repro.graph.datasets import toy_example_graph
+from repro.graph.dynamic import EdgeDelta
+from repro.graph.static import Graph
+
+
+def clique_with_tail() -> Graph:
+    """K6 minus edge (0, 1), plus a pendant chain 0-10-11.
+
+    The near-clique sits at core 4 (core 5 once (0, 1) is inserted) while the
+    chain sits at core 1 — changes inside the dense block are invisible to
+    small-k queries, which is what selective invalidation exploits.
+    """
+    graph = Graph()
+    clique = range(6)
+    for u in clique:
+        for v in clique:
+            if u < v and (u, v) != (0, 1):
+                graph.add_edge(u, v)
+    graph.add_edge(0, 10)
+    graph.add_edge(10, 11)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Ingest buffer
+# ---------------------------------------------------------------------------
+class TestIngestBuffer:
+    def test_coalesces_duplicates(self):
+        buffer = IngestBuffer()
+        buffer.insert(1, 2)
+        buffer.insert(2, 1)  # same undirected edge
+        assert buffer.pending_changes == 1
+        assert buffer.cancelled == 1
+
+    def test_opposing_pair_keeps_last_operation_without_graph(self):
+        buffer = IngestBuffer()
+        buffer.insert(1, 2)
+        buffer.remove(1, 2)
+        delta = buffer.flush()
+        assert delta.inserted == ()
+        assert delta.removed == ((1, 2),)
+
+    def test_opposing_pair_cancels_against_live_graph(self):
+        graph = Graph(edges=[(5, 6)])
+        buffer = IngestBuffer(graph)
+        buffer.insert(1, 2)  # edge absent: pending insert
+        buffer.remove(1, 2)  # absent edge would stay absent -> both cancel
+        assert buffer.is_empty()
+        assert buffer.cancelled == 2
+
+    def test_remove_then_insert_of_present_edge_cancels(self):
+        graph = Graph(edges=[(1, 2)])
+        buffer = IngestBuffer(graph)
+        buffer.remove(1, 2)
+        buffer.insert(1, 2)
+        assert buffer.is_empty()
+
+    def test_noop_operations_are_dropped_against_live_graph(self):
+        graph = Graph(edges=[(1, 2)])
+        buffer = IngestBuffer(graph)
+        buffer.insert(1, 2)  # already present
+        buffer.remove(3, 4)  # already absent
+        assert buffer.is_empty()
+        assert buffer.cancelled == 2
+        assert buffer.ingested == 2
+
+    def test_extend_and_peek_do_not_clear(self):
+        buffer = IngestBuffer()
+        buffer.extend(EdgeDelta.from_iterables(inserted=[(1, 2)], removed=[(3, 4)]))
+        peeked = buffer.peek()
+        assert peeked.num_changes == 2
+        assert buffer.pending_changes == 2
+        flushed = buffer.flush()
+        assert flushed == peeked
+        assert buffer.is_empty()
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+def _result(tag: int):
+    """A distinguishable stand-in payload (the cache never inspects values)."""
+    return GreedyAnchoredKCore(Graph(edges=[(tag, tag + 1)]), 1, 0).select()
+
+
+class TestResultCache:
+    def test_get_put_and_counters(self):
+        cache = ResultCache(capacity=4)
+        key = CacheKey(0, 3, 5, "greedy")
+        assert cache.get(key) is None
+        value = _result(1)
+        cache.put(key, value)
+        assert cache.get(key) is value
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        first, second, third = (CacheKey(0, k, 1, "greedy") for k in (1, 2, 3))
+        cache.put(first, _result(1))
+        cache.put(second, _result(2))
+        cache.get(first)  # refresh recency: second is now LRU
+        cache.put(third, _result(3))
+        assert first in cache and third in cache
+        assert second not in cache
+        assert cache.evictions == 1
+
+    def test_promote_rekeys_surviving_entries(self):
+        cache = ResultCache(capacity=8)
+        low = CacheKey(0, 2, 1, "greedy")
+        high = CacheKey(0, 5, 1, "greedy")
+        cache.put(low, _result(1))
+        cache.put(high, _result(2))
+        promoted, invalidated = cache.promote(0, 1, keep=lambda key: key.k <= 4)
+        assert (promoted, invalidated) == (1, 1)
+        assert CacheKey(1, 2, 1, "greedy") in cache
+        assert CacheKey(0, 2, 1, "greedy") not in cache
+        assert len(cache) == 1
+
+    def test_promote_drops_entries_from_older_versions(self):
+        cache = ResultCache(capacity=8)
+        stale = CacheKey(0, 2, 1, "greedy")
+        current = CacheKey(3, 2, 1, "greedy")
+        cache.put(stale, _result(1))
+        cache.put(current, _result(2))
+        cache.promote(3, 4, keep=lambda key: True)
+        assert len(cache) == 1
+        assert CacheKey(4, 2, 1, "greedy") in cache
+
+    def test_invalidate_predicate(self):
+        cache = ResultCache(capacity=8)
+        for k in (1, 2, 3):
+            cache.put(CacheKey(0, k, 1, "greedy"), _result(k))
+        assert cache.invalidate(lambda key: key.k >= 2) == 2
+        assert len(cache) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            ResultCache(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# Engine: queries and caching
+# ---------------------------------------------------------------------------
+class TestEngineQueries:
+    def test_cold_query_matches_scratch_greedy(self, toy_graph):
+        engine = StreamingAVTEngine(toy_graph)
+        result = engine.query(3, 2)
+        scratch = GreedyAnchoredKCore(toy_graph, 3, 2).select()
+        assert result.anchors == scratch.anchors
+        assert result.followers == scratch.followers
+        assert engine.stats.cold_solves == 1
+
+    def test_repeated_query_is_served_from_cache_without_solver(self, toy_graph):
+        engine = StreamingAVTEngine(toy_graph)
+        first = engine.query(3, 2)
+        invocations = engine.stats.solver_invocations
+        second = engine.query(3, 2)
+        assert second is first
+        assert engine.stats.solver_invocations == invocations
+        assert engine.stats.cache_hits == 1
+
+    def test_distinct_parameters_use_distinct_entries(self, toy_graph):
+        engine = StreamingAVTEngine(toy_graph)
+        engine.query(3, 2)
+        engine.query(3, 1)
+        engine.query(2, 2)
+        assert engine.stats.cache_hits == 0
+        assert len(engine.cache) == 3
+
+    def test_update_invalidates_affected_entry(self, toy_graph):
+        engine = StreamingAVTEngine(toy_graph)
+        engine.query(3, 2)
+        engine.ingest_insert(1, 5)  # periphery change: touches low-core region
+        engine.query(3, 2)
+        assert engine.stats.cache_misses == 2
+        assert engine.stats.cache_hits == 0
+        assert engine.graph_version == 1
+
+    def test_dense_core_change_keeps_small_k_entries(self):
+        engine = StreamingAVTEngine(clique_with_tail())
+        engine.query(2, 1)
+        engine.ingest_insert(0, 1)  # completes the clique: cores 4 -> 5
+        assert engine.graph_version == 0  # not yet flushed
+        hit = engine.query(2, 1)
+        assert engine.graph_version == 1
+        assert engine.stats.cache_hits == 1  # entry was promoted, not evicted
+        assert engine.stats.cache_promotions == 1
+        assert hit.k == 2
+
+    def test_dense_core_change_invalidates_large_k_entries(self):
+        engine = StreamingAVTEngine(clique_with_tail())
+        engine.query(5, 1)
+        engine.ingest_insert(0, 1)
+        engine.query(5, 1)
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.cache_invalidations == 1
+
+    def test_warm_query_reuses_previous_anchor_set(self, toy_graph):
+        engine = StreamingAVTEngine(toy_graph)
+        cold = engine.query(3, 2)
+        engine.ingest_insert(1, 5)
+        warm = engine.query(3, 2)
+        assert engine.stats.warm_solves == 1
+        assert engine.stats.cold_solves == 1
+        assert warm.algorithm == "IncAVT-warm"
+        assert len(warm.anchors) <= 2
+        # warm answers stay internally consistent with the live graph
+        assert set(warm.followers) == compute_followers(engine.graph, 3, warm.anchors)
+        assert cold.anchors  # cold pass actually chose something to carry
+
+    def test_exact_query_never_reuses_cached_warm_answer(self, toy_graph):
+        engine = StreamingAVTEngine(toy_graph)
+        engine.query(3, 2)
+        engine.ingest_insert(1, 5)
+        warm = engine.query(3, 2)  # heuristic answer now cached
+        assert warm.algorithm == "IncAVT-warm"
+        exact = engine.query(3, 2, warm=False)
+        scratch = GreedyAnchoredKCore(engine.graph, 3, 2).select()
+        assert exact.algorithm == scratch.algorithm
+        assert exact.anchors == scratch.anchors
+        # the upgraded entry serves both modes from now on
+        assert engine.query(3, 2) is exact
+        assert engine.query(3, 2, warm=False) is exact
+
+    def test_warm_state_map_is_bounded(self, toy_graph):
+        engine = StreamingAVTEngine(toy_graph, cache_capacity=16)
+        for budget in range(20):
+            engine.query(2, budget)
+        assert len(engine._warm) <= engine._warm_capacity
+
+    def test_warm_disabled_always_solves_cold(self, toy_graph):
+        engine = StreamingAVTEngine(toy_graph, warm_queries=False)
+        engine.query(3, 2)
+        engine.ingest_insert(1, 5)
+        engine.query(3, 2)
+        assert engine.stats.cold_solves == 2
+        assert engine.stats.warm_solves == 0
+
+    def test_noop_ingest_does_not_bump_version_or_evict(self, toy_graph):
+        engine = StreamingAVTEngine(toy_graph)
+        engine.query(3, 2)
+        engine.ingest_insert(8, 9)  # edge already present: cancelled in buffer
+        engine.query(3, 2)
+        assert engine.graph_version == 0
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.updates_cancelled == 1
+
+    def test_insert_remove_round_trip_cancels_in_buffer(self, toy_graph):
+        engine = StreamingAVTEngine(toy_graph)
+        engine.query(3, 2)
+        engine.ingest_insert(1, 5)
+        engine.ingest_remove(1, 5)
+        engine.query(3, 2)
+        assert engine.graph_version == 0
+        assert engine.stats.cache_hits == 1
+
+    def test_auto_flush_at_batch_size(self, toy_graph):
+        engine = StreamingAVTEngine(toy_graph, batch_size=2)
+        engine.ingest_insert(1, 5)
+        assert engine.pending_updates == 1
+        engine.ingest_insert(4, 5)
+        assert engine.pending_updates == 0
+        assert engine.stats.deltas_applied == 1
+
+    def test_query_flushes_pending_updates_first(self, toy_graph):
+        engine = StreamingAVTEngine(toy_graph, batch_size=None)
+        engine.ingest_insert(1, 5)
+        engine.query(3, 2)
+        assert engine.pending_updates == 0
+        assert engine.graph.has_edge(1, 5)
+
+    def test_solver_selection_and_validation(self, toy_graph):
+        engine = StreamingAVTEngine(toy_graph)
+        olak = engine.query(3, 2, solver="olak")
+        assert olak.algorithm == "OLAK"
+        with pytest.raises(ParameterError):
+            engine.query(3, 2, solver="nope")
+        with pytest.raises(ParameterError):
+            engine.query(0, 2)
+        with pytest.raises(ParameterError):
+            engine.query(3, -1)
+        with pytest.raises(ParameterError):
+            StreamingAVTEngine(toy_graph, default_solver="nope")
+        with pytest.raises(ParameterError):
+            StreamingAVTEngine(toy_graph, batch_size=0)
+
+    def test_engine_on_empty_graph(self):
+        engine = StreamingAVTEngine()
+        result = engine.query(2, 1)
+        assert result.anchors == ()
+        engine.ingest_insert(1, 2)
+        engine.ingest_insert(2, 3)
+        engine.ingest_insert(1, 3)
+        result = engine.query(2, 1)
+        assert engine.graph.num_edges == 3
+        assert result.k == 2
+
+    def test_maintained_cores_stay_valid_under_stream(self, toy_graph):
+        engine = StreamingAVTEngine(toy_graph)
+        engine.ingest(EdgeDelta.from_iterables(inserted=[(1, 5), (4, 9)], removed=[(2, 3)]))
+        engine.query(3, 2)
+        assert engine.core_numbers() == core_numbers(engine.graph)
+
+
+# ---------------------------------------------------------------------------
+# Engine stats
+# ---------------------------------------------------------------------------
+class TestEngineStats:
+    def test_hit_rate_and_snapshot_round_trip(self):
+        stats = EngineStats(queries=4, cache_hits=3, cache_misses=1)
+        assert stats.hit_rate == pytest.approx(0.75)
+        clone = EngineStats.from_snapshot(stats.snapshot())
+        assert clone == stats
+
+    def test_snapshot_ignores_unknown_keys(self):
+        restored = EngineStats.from_snapshot({"queries": 2, "future_counter": 9})
+        assert restored.queries == 2
+
+    def test_mean_latency_paths(self):
+        stats = EngineStats(cache_hits=2, hit_seconds=0.4)
+        assert stats.mean_latency("hit") == pytest.approx(0.2)
+        assert stats.mean_latency("cold") == 0.0
+        with pytest.raises(ValueError):
+            stats.mean_latency("other")
+
+    def test_summary_mentions_hit_rate(self):
+        stats = EngineStats(queries=2, cache_hits=1, cache_misses=1)
+        assert "hit rate 50.0%" in stats.summary()
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / restore
+# ---------------------------------------------------------------------------
+class TestCheckpoint:
+    def test_state_round_trip_preserves_answers(self, toy_graph):
+        engine = StreamingAVTEngine(toy_graph)
+        engine.query(3, 2)
+        engine.ingest_insert(1, 5)
+        before = engine.query(3, 2)
+        resumed = StreamingAVTEngine.from_state(engine.to_state())
+        after = resumed.query(3, 2)
+        assert after.anchors == before.anchors
+        assert after.followers == before.followers
+        assert resumed.graph_version == engine.graph_version
+        assert resumed.graph == engine.graph
+
+    def test_restore_serves_cached_answer_without_solver(self, toy_graph, tmp_path):
+        engine = StreamingAVTEngine(toy_graph)
+        cached = engine.query(3, 2)
+        path = tmp_path / "engine.ckpt"
+        engine.checkpoint(path)
+        resumed = StreamingAVTEngine.restore(path)
+        answer = resumed.query(3, 2)
+        assert answer.anchors == cached.anchors
+        assert resumed.stats.solver_invocations == engine.stats.solver_invocations
+        assert resumed.stats.checkpoints_restored == 1
+        assert engine.stats.checkpoints_saved == 1
+
+    def test_checkpoint_flushes_pending_updates(self, toy_graph, tmp_path):
+        engine = StreamingAVTEngine(toy_graph, batch_size=None)
+        engine.ingest_insert(1, 5)
+        path = tmp_path / "engine.ckpt"
+        save_checkpoint(engine, path)
+        resumed = load_checkpoint(path)
+        assert resumed.graph.has_edge(1, 5)
+        assert resumed.pending_updates == 0
+
+    def test_restore_overrides_capacity(self, toy_graph, tmp_path):
+        engine = StreamingAVTEngine(toy_graph, cache_capacity=8)
+        path = tmp_path / "engine.ckpt"
+        engine.checkpoint(path)
+        resumed = StreamingAVTEngine.restore(path, cache_capacity=2)
+        assert resumed.cache.capacity == 2
+        with pytest.raises(ParameterError):
+            StreamingAVTEngine.restore(path, bogus_option=1)
+
+    def test_missing_and_corrupt_files_raise_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_state(tmp_path / "absent.ckpt")
+        garbled = tmp_path / "garbled.ckpt"
+        garbled.write_bytes(b"not a checkpoint")
+        with pytest.raises(CheckpointError):
+            read_state(garbled)
+        bad_protocol = tmp_path / "bad_protocol.ckpt"
+        bad_protocol.write_bytes(b"\x80garbage")  # pickle reports ValueError here
+        with pytest.raises(CheckpointError):
+            read_state(bad_protocol)
+        wrong_payload = tmp_path / "wrong.ckpt"
+        with open(wrong_payload, "wb") as handle:
+            pickle.dump({"magic": "something-else"}, handle)
+        with pytest.raises(CheckpointError):
+            read_state(wrong_payload)
+
+    def test_unsupported_format_raises(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        with open(path, "wb") as handle:
+            pickle.dump(
+                {"magic": "repro-engine-checkpoint", "format": 999, "state": {}}, handle
+            )
+        with pytest.raises(CheckpointError):
+            read_state(path)
+
+    def test_malformed_state_raises(self):
+        with pytest.raises(CheckpointError):
+            StreamingAVTEngine.from_state({"vertices": []})
+
+    def test_write_state_round_trips(self, tmp_path):
+        path = tmp_path / "raw.ckpt"
+        write_state({"hello": [1, 2, 3]}, path)
+        assert read_state(path) == {"hello": [1, 2, 3]}
+
+    def test_unpicklable_state_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        with pytest.raises(CheckpointError):
+            write_state({"vertex": lambda: None}, path)
+        assert not path.exists()
+        assert not path.with_name(path.name + ".tmp").exists()

@@ -1,0 +1,149 @@
+"""Property-based tests for the streaming engine.
+
+The load-bearing guarantee: after ingesting *any* random stream of edge
+batches, an exact-mode ``query(k, b)`` equals a from-scratch
+:class:`GreedyAnchoredKCore` solve on the graph obtained by materialising the
+same stream directly — i.e. ingest coalescing, incremental maintenance,
+version bookkeeping and cache promotion never change an answer.  Warm-mode
+answers are additionally checked for internal consistency (they are the
+IncAVT heuristic, so equality with Greedy is not required).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.anchored.followers import compute_followers
+from repro.anchored.greedy import GreedyAnchoredKCore
+from repro.cores.decomposition import core_numbers
+from repro.engine import StreamingAVTEngine
+from repro.graph.dynamic import EdgeDelta
+from repro.graph.static import Graph
+
+MAX_VERTICES = 12
+
+SETTINGS = settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def stream_scenarios(draw):
+    """A base graph, a batched operation stream, and query parameters."""
+    num_vertices = draw(st.integers(min_value=3, max_value=MAX_VERTICES))
+    vertices = list(range(num_vertices))
+    possible_edges = [(u, v) for u in vertices for v in vertices if u < v]
+    base_edges = draw(
+        st.lists(st.sampled_from(possible_edges), max_size=2 * num_vertices, unique=True)
+    )
+    num_batches = draw(st.integers(min_value=1, max_value=4))
+    batches = []
+    for _ in range(num_batches):
+        ops = draw(
+            st.lists(
+                st.tuples(st.booleans(), st.sampled_from(possible_edges)),
+                min_size=1,
+                max_size=8,
+            )
+        )
+        batches.append(ops)
+    k = draw(st.integers(min_value=1, max_value=4))
+    budget = draw(st.integers(min_value=0, max_value=3))
+    return Graph(edges=base_edges, vertices=vertices), batches, k, budget
+
+
+def _replay(engine: StreamingAVTEngine, shadow: Graph, ops) -> None:
+    """Feed one batch into the engine while mirroring it on a shadow graph."""
+    for is_insert, (u, v) in ops:
+        if is_insert:
+            engine.ingest_insert(u, v)
+            shadow.add_edge(u, v)
+        else:
+            engine.ingest_remove(u, v)
+            if shadow.has_edge(u, v):
+                shadow.remove_edge(u, v)
+
+
+@SETTINGS
+@given(stream_scenarios())
+def test_exact_query_matches_scratch_greedy_after_stream(scenario):
+    base, batches, k, budget = scenario
+    engine = StreamingAVTEngine(base, warm_queries=False)
+    shadow = base.copy()
+    for ops in batches:
+        _replay(engine, shadow, ops)
+        result = engine.query(k, budget)
+        scratch = GreedyAnchoredKCore(shadow, k, budget).select()
+        assert engine.graph == shadow
+        assert result.anchors == scratch.anchors
+        assert result.followers == scratch.followers
+        assert result.anchored_core_size == scratch.anchored_core_size
+    # the maintained core index never drifted from the truth
+    assert engine.core_numbers() == core_numbers(shadow)
+
+
+@SETTINGS
+@given(stream_scenarios())
+def test_cache_hit_replays_identical_answer(scenario):
+    base, batches, k, budget = scenario
+    engine = StreamingAVTEngine(base, warm_queries=False)
+    for ops in batches:
+        _replay(engine, base.copy(), ops)
+        first = engine.query(k, budget)
+        invocations = engine.stats.solver_invocations
+        second = engine.query(k, budget)
+        assert second is first
+        assert engine.stats.solver_invocations == invocations
+
+
+@SETTINGS
+@given(stream_scenarios())
+def test_warm_answers_are_internally_consistent(scenario):
+    base, batches, k, budget = scenario
+    engine = StreamingAVTEngine(base, warm_queries=True)
+    shadow = base.copy()
+    for ops in batches:
+        _replay(engine, shadow, ops)
+        result = engine.query(k, budget)
+        assert len(result.anchors) <= budget
+        assert len(set(result.anchors)) == len(result.anchors)
+        assert set(result.followers) == compute_followers(shadow, k, result.anchors)
+
+
+@SETTINGS
+@given(stream_scenarios())
+def test_checkpoint_round_trip_preserves_stream_state(scenario):
+    base, batches, k, budget = scenario
+    engine = StreamingAVTEngine(base, warm_queries=False)
+    shadow = base.copy()
+    for ops in batches:
+        _replay(engine, shadow, ops)
+    before = engine.query(k, budget)
+    resumed = StreamingAVTEngine.from_state(engine.to_state())
+    after = resumed.query(k, budget)
+    assert resumed.graph == engine.graph
+    assert after.anchors == before.anchors
+    assert after.followers == before.followers
+
+
+@SETTINGS
+@given(stream_scenarios())
+def test_merged_delta_equals_sequential_application(scenario):
+    base, batches, _, _ = scenario
+    deltas = []
+    sequential = base.copy()
+    for ops in batches:
+        delta = EdgeDelta.from_iterables(
+            inserted=[edge for is_insert, edge in ops if is_insert],
+            removed=[edge for is_insert, edge in ops if not is_insert],
+        )
+        deltas.append(delta)
+        delta.apply(sequential)
+    merged_graph = base.copy()
+    EdgeDelta.merge(*deltas).apply(merged_graph)
+    assert merged_graph == sequential
+    # graph-aware merge produces the same result with no wasted operations
+    cancelled = EdgeDelta.merge(*deltas, base=base)
+    cancelled_graph = base.copy()
+    cancelled.apply(cancelled_graph)
+    assert cancelled_graph == sequential
+    assert cancelled.num_changes <= EdgeDelta.merge(*deltas).num_changes

@@ -58,6 +58,67 @@ class TestEdgeDelta:
         assert not EdgeDelta.from_iterables(inserted=[(1, 2)]).is_empty()
 
 
+class TestEdgeDeltaMerge:
+    def test_merge_of_nothing_is_empty(self):
+        assert EdgeDelta.merge().is_empty()
+
+    def test_merge_unions_disjoint_deltas(self):
+        merged = EdgeDelta.merge(
+            EdgeDelta.from_iterables(inserted=[(1, 2)]),
+            EdgeDelta.from_iterables(removed=[(3, 4)]),
+        )
+        assert merged.inserted == ((1, 2),)
+        assert merged.removed == ((3, 4),)
+
+    def test_last_operation_wins_across_deltas(self):
+        insert_then_remove = EdgeDelta.merge(
+            EdgeDelta.from_iterables(inserted=[(1, 2)]),
+            EdgeDelta.from_iterables(removed=[(1, 2)]),
+        )
+        assert insert_then_remove.inserted == ()
+        assert insert_then_remove.removed == ((1, 2),)
+        remove_then_insert = EdgeDelta.merge(
+            EdgeDelta.from_iterables(removed=[(1, 2)]),
+            EdgeDelta.from_iterables(inserted=[(2, 1)]),  # canonicalised to (1, 2)
+        )
+        assert remove_then_insert.inserted == ((1, 2),)
+        assert remove_then_insert.removed == ()
+
+    def test_merge_equals_sequential_application(self):
+        snapshots = build_snapshots()
+        deltas = [
+            EdgeDelta.between(snapshots[0], snapshots[1]),
+            EdgeDelta.between(snapshots[1], snapshots[2]),
+        ]
+        merged_graph = snapshots[0].copy()
+        EdgeDelta.merge(*deltas).apply(merged_graph)
+        assert merged_graph == snapshots[2]
+
+    def test_merge_with_base_cancels_round_trips(self):
+        base = Graph(edges=[(1, 2)])
+        deltas = [
+            EdgeDelta.from_iterables(inserted=[(3, 4)]),  # absent edge: insert...
+            EdgeDelta.from_iterables(removed=[(3, 4)]),  # ...then remove -> nothing
+            EdgeDelta.from_iterables(removed=[(1, 2)]),  # present edge: remove...
+            EdgeDelta.from_iterables(inserted=[(1, 2)]),  # ...then re-insert -> nothing
+        ]
+        assert EdgeDelta.merge(*deltas, base=base).is_empty()
+        # without the base the net operations survive as harmless no-ops
+        blind = EdgeDelta.merge(*deltas)
+        assert blind.num_changes == 2
+        replay = base.copy()
+        blind.apply(replay)
+        assert replay == base
+
+    def test_merge_with_base_drops_plain_noops(self):
+        base = Graph(edges=[(1, 2)])
+        merged = EdgeDelta.merge(
+            EdgeDelta.from_iterables(inserted=[(1, 2)], removed=[(8, 9)]),
+            base=base,
+        )
+        assert merged.is_empty()
+
+
 class TestSnapshotSequence:
     def test_requires_at_least_one_snapshot(self):
         with pytest.raises(SnapshotError):

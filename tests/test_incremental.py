@@ -57,6 +57,37 @@ class TestBasicBehaviour:
         assert len(result) == 0
 
 
+class TestRefreshAnchors:
+    def test_refresh_swaps_against_affected_pool(self, toy_problem):
+        from repro.cores.maintenance import CoreMaintainer
+
+        evolving = toy_problem.evolving_graph
+        maintainer = CoreMaintainer(evolving.base)
+        from repro.anchored.greedy import GreedyAnchoredKCore
+
+        first = GreedyAnchoredKCore(maintainer.graph, 3, 2).select()
+        effect = maintainer.apply_delta(evolving.deltas[0], k=3)
+        anchors, stats = IncAVTTracker().refresh_anchors(
+            maintainer, 3, 2, first.anchors, effect.affected
+        )
+        assert len(anchors) <= 2
+        # the swap/fill pass never does worse than carrying the old set forward
+        refreshed = compute_followers(maintainer.graph, 3, anchors)
+        carried = compute_followers(maintainer.graph, 3, first.anchors)
+        assert len(refreshed) >= len(carried)
+        assert stats.iterations >= 0
+
+    def test_refresh_truncates_to_budget_and_rejects_negative(self, toy_problem):
+        from repro.cores.maintenance import CoreMaintainer
+        from repro.errors import ParameterError
+
+        maintainer = CoreMaintainer(toy_problem.evolving_graph.base)
+        anchors, _ = IncAVTTracker().refresh_anchors(maintainer, 3, 1, (7, 10), set())
+        assert len(anchors) <= 1
+        with pytest.raises(ParameterError):
+            IncAVTTracker().refresh_anchors(maintainer, 3, -1, (), set())
+
+
 class TestIncrementalAdvantage:
     def test_visits_fewer_candidates_than_per_snapshot_greedy(self, gnutella_problem):
         incremental = IncAVTTracker().track(gnutella_problem)

@@ -130,6 +130,21 @@ class TestMixedWorkloads:
         copied.insert_edge(3, 4)
         assert not graph.has_edge(3, 4)
 
+    def test_insert_edges_returns_union_of_risen_vertices(self):
+        maintainer = CoreMaintainer(Graph(edges=[(1, 2), (2, 3), (1, 3)]))
+        increased = maintainer.insert_edges([(3, 4), (1, 4), (2, 4)])
+        # the triangle grows into K4: every vertex ends at core 3
+        assert increased == {1, 2, 3, 4}
+        maintainer.validate()
+
+    def test_precomputed_core_numbers_skip_decomposition(self, toy_graph):
+        reference = CoreMaintainer(toy_graph)
+        trusted = CoreMaintainer(toy_graph, core=reference.core_numbers())
+        assert trusted.core_numbers() == reference.core_numbers()
+        trusted.validate()
+        trusted.insert_edge(1, 9)
+        trusted.validate()
+
     def test_refresh_from_graph(self):
         graph = Graph(edges=[(1, 2), (2, 3)])
         maintainer = CoreMaintainer(graph, copy_graph=False)
@@ -168,6 +183,58 @@ class TestApplyDelta:
         maintainer = CoreMaintainer(toy_graph)
         with pytest.raises(ParameterError):
             maintainer.apply_delta(EdgeDelta(), k=0)
+
+    def test_apply_delta_empty_fast_path(self, toy_graph):
+        maintainer = CoreMaintainer(toy_graph)
+        effect = maintainer.apply_delta(EdgeDelta(), k=3)
+        assert effect.touched == set()
+        assert effect.changed == set()
+        assert effect.visited == 0
+
+    def test_apply_delta_records_touched_without_k(self, toy_graph):
+        maintainer = CoreMaintainer(toy_graph)
+        delta = EdgeDelta.from_iterables(inserted=[(2, 5)], removed=[(2, 11)])
+        effect = maintainer.apply_delta(delta)
+        assert {2, 5} <= effect.insertion_touched
+        assert {2, 11} <= effect.deletion_touched
+        assert effect.touched == effect.insertion_touched | effect.deletion_touched
+        assert effect.changed == effect.increased | effect.decreased
+
+    def test_apply_delta_noop_operations_leave_no_trace(self, toy_graph):
+        maintainer = CoreMaintainer(toy_graph)
+        delta = EdgeDelta.from_iterables(inserted=[(8, 9)], removed=[(1, 9)])
+        effect = maintainer.apply_delta(delta, k=3)
+        assert effect.touched == set()
+        assert effect.affected == set()
+        assert effect.visited == 0
+        maintainer.validate()
+
+    def test_apply_delta_records_pre_update_cores(self, toy_graph):
+        maintainer = CoreMaintainer(toy_graph)
+        before = maintainer.core_numbers()
+        delta = EdgeDelta.from_iterables(inserted=[(2, 5)], removed=[(2, 11)])
+        effect = maintainer.apply_delta(delta)
+        assert effect.pre_update_core
+        for vertex, old_core in effect.pre_update_core.items():
+            assert old_core == before[vertex]
+        # every touched vertex that existed beforehand has its old core recorded
+        for vertex in effect.touched:
+            if vertex in before:
+                assert vertex in effect.pre_update_core
+
+    def test_pre_update_cores_mark_new_vertices_as_core_zero(self):
+        maintainer = CoreMaintainer(Graph(edges=[(1, 2)]))
+        effect = maintainer.apply_delta(EdgeDelta.from_iterables(inserted=[(2, 99)]))
+        # a vertex the delta created is new at every k: recorded at core 0
+        assert effect.pre_update_core[99] == 0
+        assert effect.pre_update_core[2] == 1
+
+    def test_affected_pools_derive_from_touched_sets(self, toy_graph):
+        maintainer = CoreMaintainer(toy_graph)
+        delta = EdgeDelta.from_iterables(inserted=[(2, 5)], removed=[(2, 11)])
+        effect = maintainer.apply_delta(delta, k=3)
+        assert effect.insertion_affected <= effect.insertion_touched
+        assert effect.deletion_affected <= effect.deletion_touched
 
     def test_snapshot_replay_matches_recomputation(self):
         base = random_graph(3, num_vertices=40, num_edges=90)
