@@ -1,0 +1,133 @@
+"""Backend comparison — dict vs compact kernels, end-to-end and per-kernel.
+
+Not a paper figure: this certifies the compact integer-ID backend
+(:mod:`repro.graph.compact`).  A 50k-vertex power-law (Chung–Lu) graph is
+solved end-to-end with Greedy on both backends; the compact backend must be
+at least 2x faster while returning byte-identical anchors and followers.
+Per-kernel timings (full decomposition, single k-core cascade) are reported
+alongside for the perf trajectory.
+
+``AVT_BENCH_BACKEND_VERTICES`` overrides the graph size (the CI smoke job
+runs a tiny instance, where the speedup floor is not enforced — below the
+``auto`` threshold the interning overhead legitimately dominates).  Results
+land in ``benchmarks/results/BENCH_backend.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.anchored.greedy import GreedyAnchoredKCore
+from repro.bench.reporting import format_table, write_bench_json
+from repro.cores.decomposition import core_decomposition, k_core
+from repro.graph.generators import chung_lu_graph
+
+DEFAULT_NUM_VERTICES = 50_000
+EDGE_FACTOR = 3
+K = 4
+BUDGET = 2
+SEED = 42
+
+#: The >= 2x end-to-end floor is enforced at or above this size; tiny smoke
+#: runs only check result equivalence.
+SPEEDUP_ENFORCEMENT_FLOOR = 50_000
+REQUIRED_SPEEDUP = 2.0
+
+
+def _num_vertices() -> int:
+    return int(os.environ.get("AVT_BENCH_BACKEND_VERTICES", DEFAULT_NUM_VERTICES))
+
+
+def run_compare():
+    num_vertices = _num_vertices()
+    graph = chung_lu_graph(num_vertices, EDGE_FACTOR * num_vertices, seed=SEED)
+
+    timings = {}
+    results = {}
+    for backend in ("compact", "dict"):
+        started = time.perf_counter()
+        decomposition = core_decomposition(graph, backend=backend)
+        decomposition_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        core_members = k_core(graph, K, backend=backend)
+        k_core_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        outcome = GreedyAnchoredKCore(graph, K, BUDGET, backend=backend).select()
+        greedy_seconds = time.perf_counter() - started
+
+        timings[backend] = {
+            "decomposition_s": decomposition_seconds,
+            "k_core_s": k_core_seconds,
+            "greedy_end_to_end_s": greedy_seconds,
+        }
+        results[backend] = (decomposition, core_members, outcome)
+
+    dict_decomposition, dict_core, dict_outcome = results["dict"]
+    compact_decomposition, compact_core, compact_outcome = results["compact"]
+    assert dict(dict_decomposition.core) == dict(compact_decomposition.core)
+    assert dict_decomposition.order == compact_decomposition.order
+    assert dict_core == compact_core
+    assert dict_outcome.anchors == compact_outcome.anchors
+    assert dict_outcome.followers == compact_outcome.followers
+    assert dict_outcome.anchored_core_size == compact_outcome.anchored_core_size
+
+    speedups = {
+        stage: timings["dict"][stage] / max(timings["compact"][stage], 1e-9)
+        for stage in timings["dict"]
+    }
+    rows = [
+        {
+            "stage": stage,
+            "dict_s": round(timings["dict"][stage], 4),
+            "compact_s": round(timings["compact"][stage], 4),
+            "speedup": round(speedups[stage], 2),
+        }
+        for stage in ("decomposition_s", "k_core_s", "greedy_end_to_end_s")
+    ]
+    report = "\n".join(
+        [
+            f"Backend comparison on a Chung-Lu power-law graph "
+            f"(n={graph.num_vertices}, m={graph.num_edges}, k={K}, l={BUDGET})",
+            "",
+            format_table(rows),
+            "",
+            f"Greedy results identical across backends: anchors={dict_outcome.anchors}, "
+            f"followers={len(dict_outcome.followers)}",
+        ]
+    )
+    csv_lines = ["stage,dict_s,compact_s,speedup"]
+    csv_lines += [
+        f"{row['stage']},{row['dict_s']:.6f},{row['compact_s']:.6f},{row['speedup']:.3f}"
+        for row in rows
+    ]
+    payload = {
+        "graph": {
+            "model": "chung_lu",
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "seed": SEED,
+        },
+        "workload": {"k": K, "budget": BUDGET, "solver": "greedy"},
+        "timings_seconds": timings,
+        "speedups": speedups,
+        "greedy_followers": len(dict_outcome.followers),
+        "results_identical": True,
+    }
+    return payload, speedups, report, "\n".join(csv_lines) + "\n", graph.num_vertices
+
+
+def test_backend_compare(benchmark, results_dir, record_report):
+    payload, speedups, report, csv_text, num_vertices = benchmark.pedantic(
+        run_compare, rounds=1, iterations=1
+    )
+    record_report("backend_compare", report, csv_text)
+    write_bench_json(results_dir / "BENCH_backend.json", "backend_compare", payload)
+
+    if num_vertices >= SPEEDUP_ENFORCEMENT_FLOOR:
+        assert speedups["greedy_end_to_end_s"] >= REQUIRED_SPEEDUP, (
+            f"compact backend must be >= {REQUIRED_SPEEDUP}x faster end-to-end, "
+            f"got {speedups['greedy_end_to_end_s']:.2f}x"
+        )

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 
-from repro.bench.reporting import format_table
+from repro.bench.reporting import format_table, write_bench_json
 from repro.bench.workloads import build_problem
 from repro.engine import StreamingAVTEngine
 
@@ -89,14 +89,38 @@ def run_replay(bench_profile):
         f"{row['path']},{row['queries']},{row['mean_ms']:.6f},{row['speedup_vs_cold']:.3f}"
         for row in rows
     ]
-    return rows, stats, report, "\n".join(csv_lines) + "\n"
+    payload = {
+        "workload": {
+            "dataset": DATASET,
+            "k": problem.k,
+            "budget": problem.budget,
+            "num_snapshots": problem.num_snapshots,
+            "scale": bench_profile.scale,
+        },
+        "latencies": {row["path"]: row for row in rows},
+        "updates": {
+            "applied": stats.edges_inserted + stats.edges_removed,
+            "batches": stats.deltas_applied,
+            "updates_per_second": stats.updates_per_second,
+        },
+        "cache": {
+            "hit_rate": stats.hit_rate,
+            "hits": stats.cache_hits,
+            "misses": stats.cache_misses,
+            "promotions": stats.cache_promotions,
+            "invalidations": stats.cache_invalidations,
+        },
+        "solves": {"cold": stats.cold_solves, "warm": stats.warm_solves},
+    }
+    return rows, stats, payload, report, "\n".join(csv_lines) + "\n"
 
 
-def test_engine_throughput(benchmark, bench_profile, record_report):
-    rows, stats, report, csv_text = benchmark.pedantic(
+def test_engine_throughput(benchmark, bench_profile, results_dir, record_report):
+    rows, stats, payload, report, csv_text = benchmark.pedantic(
         lambda: run_replay(bench_profile), rounds=1, iterations=1
     )
     record_report("engine_throughput", report, csv_text)
+    write_bench_json(results_dir / "BENCH_engine.json", "engine_throughput", payload)
 
     # Shape checks: the whole point of the engine is the latency ladder.
     by_path = {row["path"]: row for row in rows}

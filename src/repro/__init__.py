@@ -34,6 +34,44 @@ numbers incrementally, caches answers per graph version with selective
 invalidation, and reuses the previous anchor set via the IncAVT update path
 for warm queries; ``avt-bench serve-sim`` simulates the whole loop on a
 bundled dataset.
+
+Architecture
+------------
+The library is layered; each layer only depends on the ones above it::
+
+    repro.graph     Graph (adjacency-set dict, hashable vertex ids)  ── public substrate
+                    compact: VertexInterner · CompactGraph (CSR) ·
+                    DynamicCompactAdjacency                          ── execution layer
+    repro.cores     core_decomposition · KOrder · CoreMaintainer     ── k-core machinery
+    repro.anchored  followers · AnchoredCoreIndex ·
+                    Greedy / OLAK / RCM / brute force                ── anchored k-core
+    repro.avt       per-snapshot trackers · IncAVTTracker            ── dynamic tracking
+    repro.engine    StreamingAVTEngine (ingest, cache, warm solves)  ── online serving
+
+Every hot kernel exists twice: a hashable-vertex ``dict`` implementation and
+a flat integer-array implementation over the compact backend.  The split
+follows the symbolic-vs-numeric layering of dataflow systems: user code
+always speaks hashable vertex ids; the kernels run on dense ``0..n-1`` ints.
+
+*Interning semantics* — :class:`~repro.graph.VertexInterner` assigns dense
+ids in first-seen order and never reuses or moves them, so flat arrays stay
+index-stable for the interner's lifetime.  Ordered
+:class:`~repro.graph.CompactGraph` snapshots intern in
+:func:`repro.ordering.tie_break_key` order, making the id double as the
+deterministic tie-break rank — which is why both backends produce identical
+peeling orders, not merely identical core numbers.
+
+*Backend selection* — solvers, trackers, ``CoreMaintainer``, ``KOrder`` and
+``StreamingAVTEngine`` accept ``backend="auto" | "dict" | "compact"``.
+``auto`` (the default) resolves to compact at
+:data:`~repro.graph.COMPACT_THRESHOLD` vertices and to dict below it.
+One-shot cascades (:func:`k_core`, :func:`anchored_k_core`,
+:func:`compute_followers`) default to ``dict`` because a single O(n + m)
+pass cannot amortise building the snapshot; long-lived consumers
+(:class:`AnchoredCoreIndex`, ``CoreMaintainer``) build one compact structure
+and reuse it across every refresh, scan and cascade.  Results are identical
+across backends (enforced by ``tests/test_backend_equivalence.py``); only
+speed differs — ``benchmarks/bench_backend_compare.py`` tracks the gap.
 """
 
 from repro.anchored import (
@@ -77,7 +115,21 @@ from repro.engine import (
     load_checkpoint,
     save_checkpoint,
 )
-from repro.graph import EdgeDelta, EvolvingGraph, Graph, SnapshotSequence
+from repro.graph import (
+    BACKEND_AUTO,
+    BACKEND_COMPACT,
+    BACKEND_DICT,
+    BACKENDS,
+    COMPACT_THRESHOLD,
+    CompactGraph,
+    DynamicCompactAdjacency,
+    EdgeDelta,
+    EvolvingGraph,
+    Graph,
+    SnapshotSequence,
+    VertexInterner,
+    resolve_backend,
+)
 from repro.graph.datasets import (
     DATASET_NAMES,
     dataset_spec,
@@ -96,6 +148,16 @@ __all__ = [
     "EdgeDelta",
     "EvolvingGraph",
     "SnapshotSequence",
+    # compact backend
+    "BACKEND_AUTO",
+    "BACKEND_COMPACT",
+    "BACKEND_DICT",
+    "BACKENDS",
+    "COMPACT_THRESHOLD",
+    "CompactGraph",
+    "DynamicCompactAdjacency",
+    "VertexInterner",
+    "resolve_backend",
     # datasets
     "DATASET_NAMES",
     "dataset_spec",

@@ -30,6 +30,7 @@ from repro.cores.decomposition import k_core
 from repro.errors import ParameterError, VertexNotFoundError
 from repro.graph.dynamic import EvolvingGraph
 from repro.graph.static import Graph, Vertex
+from repro.ordering import tie_break_key
 
 
 def departure_cascade(graph: Graph, k: int, leavers: Iterable[Vertex]) -> Set[Vertex]:
@@ -124,7 +125,7 @@ def core_resilience(
     if trials < 1:
         raise ParameterError("trials must be >= 1")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
-    engaged = sorted(k_core(graph, k), key=repr)
+    engaged = sorted(k_core(graph, k), key=tie_break_key)
     if not engaged:
         return 1.0
     fractions: List[float] = []

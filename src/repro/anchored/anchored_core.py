@@ -12,26 +12,59 @@ infinite degree, so the core numbers that drive steps (1) and (2) must be the
 * fast marginal follower computation (shell-local cascade); and
 * the instrumentation counters (candidates evaluated, vertices visited) that
   the paper's Figures 4, 6 and 8 report.
+
+The index is backend-aware (see :mod:`repro.graph.compact`): in compact mode
+it snapshots the graph once into CSR arrays and runs every refresh, candidate
+scan and follower cascade over flat int arrays, translating back to the
+caller's hashable vertices only at the API boundary.  Because the solvers
+never mutate the graph during a selection run, the one-off snapshot is valid
+for the index's whole lifetime; results are identical across backends.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
-from repro.anchored.followers import full_shell_followers, marginal_followers
+from repro.anchored.followers import (
+    compact_full_shell_followers,
+    compact_marginal_followers,
+    full_shell_followers,
+    marginal_followers,
+)
 from repro.cores.decomposition import (
     ANCHOR_CORE,
     CoreDecomposition,
     anchored_core_decomposition,
+    compact_k_core_ids,
+    compact_peel,
 )
 from repro.errors import ParameterError, VertexNotFoundError
+from repro.graph.compact import (
+    BACKEND_AUTO,
+    BACKEND_COMPACT,
+    BACKEND_DICT,
+    CompactGraph,
+    resolve_backend,
+)
 from repro.graph.static import Graph, Vertex
 
 
 class AnchoredCoreIndex:
-    """Mutable index of a graph, a degree constraint ``k`` and a growing anchor set."""
+    """Mutable index of a graph, a degree constraint ``k`` and a growing anchor set.
 
-    def __init__(self, graph: Graph, k: int, anchors: Iterable[Vertex] = ()) -> None:
+    ``backend`` selects the execution layer: ``"dict"`` works directly on the
+    adjacency-set graph, ``"compact"`` on a one-off CSR snapshot with integer
+    kernels, and ``"auto"`` (default) picks compact for large graphs.  The
+    graph must not be mutated while the index is alive (the solvers never do).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        k: int,
+        anchors: Iterable[Vertex] = (),
+        backend: str = BACKEND_AUTO,
+    ) -> None:
         if k < 1:
             raise ParameterError("k must be >= 1")
         self._graph = graph
@@ -40,14 +73,26 @@ class AnchoredCoreIndex:
         for anchor in self._anchors:
             if not graph.has_vertex(anchor):
                 raise VertexNotFoundError(anchor)
+        self._backend = resolve_backend(backend, graph.num_vertices)
         self._plain_k_core: Optional[Set[Vertex]] = None
-        self._decomposition: CoreDecomposition = anchored_core_decomposition(graph, self._anchors)
-        self._rank: Dict[Vertex, int] = {
-            vertex: position for position, vertex in enumerate(self._decomposition.order)
-        }
+        # Dict-mode state.
+        self._decomposition: Optional[CoreDecomposition] = None
+        self._rank: Dict[Vertex, int] = {}
+        # Compact-mode state (flat arrays indexed by vertex id).
+        self._cgraph: Optional[CompactGraph] = None
+        self._anchor_ids: Set[int] = set()
+        self._core_ids: List[float] = []
+        self._rank_ids: List[int] = []
+        self._core_map_cache: Optional[Dict[Vertex, float]] = None
+        if self._backend == BACKEND_COMPACT:
+            self._cgraph = CompactGraph.from_graph(graph, ordered=True)
+            self._anchor_ids = {
+                self._cgraph.interner.id_of(anchor) for anchor in self._anchors
+            }
         # Instrumentation shared with the solver wrappers.
         self.candidates_evaluated = 0
         self.visited_vertices = 0
+        self._refresh()
 
     # ------------------------------------------------------------------
     # Views
@@ -63,32 +108,61 @@ class AnchoredCoreIndex:
         return self._k
 
     @property
+    def backend(self) -> str:
+        """The resolved execution backend (``"dict"`` or ``"compact"``)."""
+        return self._backend
+
+    @property
     def anchors(self) -> Set[Vertex]:
         """A copy of the current anchor set."""
         return set(self._anchors)
 
     def core(self, vertex: Vertex) -> float:
         """Return the anchored core number of ``vertex`` (anchors map to infinity)."""
+        if self._cgraph is not None:
+            return self._core_ids[self._cgraph.interner.id_of(vertex)]
         return self._decomposition.core[vertex]
 
     def core_numbers(self) -> Mapping[Vertex, float]:
         """Return the anchored core-number mapping (live, do not mutate)."""
+        if self._cgraph is not None:
+            if self._core_map_cache is None:
+                vertices = self._cgraph.interner.vertices
+                core_ids = self._core_ids
+                self._core_map_cache = {
+                    vertices[vid]: core_ids[vid] for vid in range(len(vertices))
+                }
+            return self._core_map_cache
         return self._decomposition.core
 
     def anchored_core_vertices(self) -> Set[Vertex]:
         """Return the anchored k-core ``C_k(S)`` under the current anchor set."""
+        if self._cgraph is not None:
+            k = self._k
+            core_ids = self._core_ids
+            return self._cgraph.interner.translate(
+                vid for vid in range(len(core_ids)) if core_ids[vid] >= k
+            )
         return self._decomposition.k_core_vertices(self._k)
 
     def anchored_core_size(self) -> int:
         """Return ``|C_k(S)|``."""
+        if self._cgraph is not None:
+            k = self._k
+            return sum(1 for value in self._core_ids if value >= k)
         return len(self.anchored_core_vertices())
 
     def plain_k_core(self) -> Set[Vertex]:
         """Return the k-core of the graph without any anchors (cached)."""
         if self._plain_k_core is None:
-            from repro.cores.decomposition import k_core
+            if self._cgraph is not None:
+                self._plain_k_core = self._cgraph.interner.translate(
+                    compact_k_core_ids(self._cgraph, self._k)
+                )
+            else:
+                from repro.cores.decomposition import k_core
 
-            self._plain_k_core = k_core(self._graph, self._k)
+                self._plain_k_core = k_core(self._graph, self._k, backend=BACKEND_DICT)
         return set(self._plain_k_core)
 
     def followers(self) -> Set[Vertex]:
@@ -97,6 +171,12 @@ class AnchoredCoreIndex:
 
     def shell(self) -> Set[Vertex]:
         """Return the ``(k-1)``-shell under the anchored core numbers."""
+        if self._cgraph is not None:
+            target = self._k - 1
+            core_ids = self._core_ids
+            return self._cgraph.interner.translate(
+                vid for vid in range(len(core_ids)) if core_ids[vid] == target
+            )
         return self._decomposition.shell_vertices(self._k - 1)
 
     # ------------------------------------------------------------------
@@ -111,6 +191,8 @@ class AnchoredCoreIndex:
         anchored removal order; without pruning the positional condition is
         dropped (the coarser filter used by the OLAK adaptation).
         """
+        if self._cgraph is not None:
+            return self._compact_candidate_anchors(order_pruning)
         target = self._k - 1
         core = self._decomposition.core
         candidates: Set[Vertex] = set()
@@ -126,12 +208,44 @@ class AnchoredCoreIndex:
                     break
         return candidates
 
+    def _compact_candidate_anchors(self, order_pruning: bool) -> Set[Vertex]:
+        k = self._k
+        target = k - 1
+        cgraph = self._cgraph
+        indptr = cgraph.indptr
+        indices = cgraph.indices
+        core_ids = self._core_ids
+        rank_ids = self._rank_ids
+        anchor_ids = self._anchor_ids
+        candidates: List[int] = []
+        for vid in range(len(core_ids)):
+            if core_ids[vid] >= k or vid in anchor_ids:
+                continue
+            rank = rank_ids[vid]
+            for position in range(indptr[vid], indptr[vid + 1]):
+                neighbour = indices[position]
+                if core_ids[neighbour] != target:
+                    continue
+                if not order_pruning or rank_ids[neighbour] > rank:
+                    candidates.append(vid)
+                    break
+        return cgraph.interner.translate(candidates)
+
     def all_non_core_vertices(self) -> Set[Vertex]:
         """Return every un-anchored vertex outside the anchored k-core.
 
         This is the unpruned candidate universe that the per-snapshot OLAK
         adaptation scans, and the universe the brute-force solver enumerates.
         """
+        if self._cgraph is not None:
+            k = self._k
+            core_ids = self._core_ids
+            anchor_ids = self._anchor_ids
+            return self._cgraph.interner.translate(
+                vid
+                for vid in range(len(core_ids))
+                if core_ids[vid] < k and vid not in anchor_ids
+            )
         core = self._decomposition.core
         return {
             vertex
@@ -150,6 +264,19 @@ class AnchoredCoreIndex:
         return the same set, the flag only changes the amount of work counted
         by the instrumentation.
         """
+        if self._cgraph is not None:
+            candidate_id = self._cgraph.interner.id_of(candidate)
+            if full_shell:
+                gained_ids, visited = compact_full_shell_followers(
+                    self._cgraph, self._k, candidate_id, self._core_ids
+                )
+            else:
+                gained_ids, visited = compact_marginal_followers(
+                    self._cgraph, self._k, candidate_id, self._core_ids
+                )
+            self.candidates_evaluated += 1
+            self.visited_vertices += max(visited, 1)
+            return self._cgraph.interner.translate(gained_ids)
         visit_log: List[Vertex] = []
         if full_shell:
             gained = full_shell_followers(
@@ -173,6 +300,8 @@ class AnchoredCoreIndex:
         if vertex in self._anchors:
             return
         self._anchors.add(vertex)
+        if self._cgraph is not None:
+            self._anchor_ids.add(self._cgraph.interner.id_of(vertex))
         self._refresh()
 
     def set_anchors(self, anchors: Iterable[Vertex]) -> None:
@@ -182,10 +311,25 @@ class AnchoredCoreIndex:
             if not self._graph.has_vertex(anchor):
                 raise VertexNotFoundError(anchor)
         self._anchors = new_anchors
+        if self._cgraph is not None:
+            self._anchor_ids = {
+                self._cgraph.interner.id_of(anchor) for anchor in new_anchors
+            }
         self._refresh()
 
     def _refresh(self) -> None:
-        self._decomposition = anchored_core_decomposition(self._graph, self._anchors)
+        if self._cgraph is not None:
+            core_ids, order_ids = compact_peel(self._cgraph, self._anchor_ids)
+            self._core_ids = core_ids
+            rank_ids = [0] * len(core_ids)
+            for position, vid in enumerate(order_ids):
+                rank_ids[vid] = position
+            self._rank_ids = rank_ids
+            self._core_map_cache = None
+            return
+        self._decomposition = anchored_core_decomposition(
+            self._graph, self._anchors, backend=BACKEND_DICT
+        )
         self._rank = {
             vertex: position for position, vertex in enumerate(self._decomposition.order)
         }

@@ -21,12 +21,9 @@ from repro.anchored.anchored_core import AnchoredCoreIndex
 from repro.anchored.followers import anchored_k_core, compute_followers
 from repro.anchored.result import AnchoredKCoreResult, SolverStats
 from repro.errors import ParameterError
+from repro.graph.compact import BACKEND_AUTO
 from repro.graph.static import Graph, Vertex
-
-
-def _tie_break_key(vertex: Vertex) -> Tuple[str, str]:
-    """Deterministic tie-breaking key across heterogeneous vertex identifiers."""
-    return (type(vertex).__name__, repr(vertex))
+from repro.ordering import tie_break_key
 
 
 class BruteForceAnchoredKCore:
@@ -54,6 +51,7 @@ class BruteForceAnchoredKCore:
         budget: int,
         max_combinations: int = 2_000_000,
         candidate_universe: Optional[Iterable[Vertex]] = None,
+        backend: str = BACKEND_AUTO,
     ) -> None:
         if budget < 0:
             raise ParameterError("budget must be non-negative")
@@ -61,13 +59,14 @@ class BruteForceAnchoredKCore:
         self._k = k
         self._budget = budget
         self._max_combinations = max_combinations
+        self._backend = backend
         self._universe = (
-            None if candidate_universe is None else sorted(set(candidate_universe), key=_tie_break_key)
+            None if candidate_universe is None else sorted(set(candidate_universe), key=tie_break_key)
         )
 
     def _default_universe(self) -> List[Vertex]:
-        index = AnchoredCoreIndex(self._graph, self._k)
-        return sorted(index.all_non_core_vertices(), key=_tie_break_key)
+        index = AnchoredCoreIndex(self._graph, self._k, backend=self._backend)
+        return sorted(index.all_non_core_vertices(), key=tie_break_key)
 
     @staticmethod
     def _num_combinations(universe_size: int, budget: int) -> int:

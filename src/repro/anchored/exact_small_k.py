@@ -32,11 +32,7 @@ from repro.anchored.result import AnchoredKCoreResult, SolverStats
 from repro.cores.decomposition import k_core
 from repro.errors import ParameterError
 from repro.graph.static import Graph, Vertex
-
-
-def _tie_break_key(vertex: Vertex) -> Tuple[str, str]:
-    """Deterministic tie-breaking key across heterogeneous vertex identifiers."""
-    return (type(vertex).__name__, repr(vertex))
+from repro.ordering import tie_break_key
 
 
 # ---------------------------------------------------------------------------
@@ -49,7 +45,7 @@ def solve_k1(graph: Graph, budget: int) -> AnchoredKCoreResult:
     started = time.perf_counter()
     isolated = sorted(
         (vertex for vertex in graph.vertices() if graph.degree(vertex) == 0),
-        key=_tie_break_key,
+        key=tie_break_key,
     )
     anchors = tuple(isolated[:budget])
     core = {vertex for vertex in graph.vertices() if graph.degree(vertex) >= 1}
@@ -139,7 +135,7 @@ def _bfs_farthest(
         if current_distance > farthest_distance or (
             current_distance == farthest_distance
             and farthest is not None
-            and _tie_break_key(current) < _tie_break_key(farthest)
+            and tie_break_key(current) < tie_break_key(farthest)
         ):
             farthest, farthest_distance = current, current_distance
         for neighbour in graph.neighbors(current):
@@ -154,7 +150,7 @@ def _plan_tree(graph: Graph, tree: Set[Vertex], two_core: Set[Vertex], budget: i
     """Run the farthest-point Steiner-coverage greedy inside one forest tree."""
     attachment_points = sorted(
         (vertex for vertex in tree if any(n in two_core for n in graph.neighbors(vertex))),
-        key=_tie_break_key,
+        key=tie_break_key,
     )
 
     covered: Set[Vertex] = set()
@@ -181,17 +177,17 @@ def _plan_tree(graph: Graph, tree: Set[Vertex], two_core: Set[Vertex], budget: i
     if not covered and limit > 0:
         # No free attachment point: seed the greedy at a diameter endpoint so
         # the farthest-point sequence is optimal for every prefix.
-        start = sorted(tree, key=_tie_break_key)[0]
+        start = sorted(tree, key=tie_break_key)[0]
         endpoint, _, _ = _bfs_farthest(graph, tree, [start])
         anchor_sequence.append(endpoint)
         coverage_gains.append(1)
         covered.add(endpoint)
 
     while len(anchor_sequence) < limit:
-        farthest, distance, _ = _bfs_farthest(graph, tree, sorted(covered, key=_tie_break_key))
+        farthest, distance, _ = _bfs_farthest(graph, tree, sorted(covered, key=tie_break_key))
         if farthest is None or distance == 0:
             break
-        parents = _bfs_parents(graph, tree, sorted(covered, key=_tie_break_key))
+        parents = _bfs_parents(graph, tree, sorted(covered, key=tie_break_key))
         path: List[Vertex] = []
         walker: Optional[Vertex] = farthest
         while walker is not None and walker not in covered:

@@ -14,22 +14,43 @@ drags into the k-core.  Two implementations are provided:
 
 The two are property-tested against each other; the greedy algorithms use the
 fast path and the test-suite keeps the reference honest.
+
+Every cascade also exists as a flat integer-array kernel
+(:func:`compact_marginal_followers`, :func:`compact_full_shell_followers`)
+operating on a :class:`~repro.graph.compact.CompactGraph` snapshot plus a
+core-number list indexed by vertex id.  :class:`repro.anchored.anchored_core.AnchoredCoreIndex`
+drives these directly in compact mode; they return identical follower sets to
+the dict cascades and report the same visited-vertex counts for the paper's
+instrumentation figures.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.cores.decomposition import ANCHOR_CORE
 from repro.errors import ParameterError, VertexNotFoundError
+from repro.graph.compact import (
+    BACKEND_COMPACT,
+    BACKEND_DICT,
+    CompactGraph,
+    resolve_backend,
+)
 from repro.graph.static import Graph, Vertex
 
 
-def anchored_k_core(graph: Graph, k: int, anchors: Iterable[Vertex] = ()) -> Set[Vertex]:
+def anchored_k_core(
+    graph: Graph,
+    k: int,
+    anchors: Iterable[Vertex] = (),
+    backend: str = BACKEND_DICT,
+) -> Set[Vertex]:
     """Return the anchored k-core ``C_k(S)``: k-core plus anchors plus followers.
 
     Anchored vertices are never peeled.  With an empty anchor set this is the
-    plain k-core.  Runs a single O(n + m) deletion cascade.
+    plain k-core.  Runs a single O(n + m) deletion cascade.  A one-shot
+    cascade cannot amortise a compact snapshot build, so the default backend
+    is ``"dict"``; ``backend="compact"`` runs the flat int-array kernel
+    (identical result) for callers that want to measure it.
     """
     if k < 0:
         raise ParameterError("k must be non-negative")
@@ -37,6 +58,12 @@ def anchored_k_core(graph: Graph, k: int, anchors: Iterable[Vertex] = ()) -> Set
     for anchor in anchor_set:
         if not graph.has_vertex(anchor):
             raise VertexNotFoundError(anchor)
+    if resolve_backend(backend, graph.num_vertices) == BACKEND_COMPACT:
+        from repro.cores.decomposition import compact_k_core_ids
+
+        cgraph = CompactGraph.from_graph(graph, ordered=False)
+        anchor_ids = [cgraph.interner.id_of(anchor) for anchor in anchor_set]
+        return cgraph.interner.translate(compact_k_core_ids(cgraph, k, anchor_ids))
     degrees = {vertex: graph.degree(vertex) for vertex in graph.vertices()}
     removed: Set[Vertex] = set()
     queue = [
@@ -63,6 +90,7 @@ def compute_followers(
     k: int,
     anchors: Iterable[Vertex],
     k_core_vertices: Optional[Set[Vertex]] = None,
+    backend: str = BACKEND_DICT,
 ) -> Set[Vertex]:
     """Return ``F_k(S, G)``: the followers of the anchor set ``S`` (Definition 3).
 
@@ -71,9 +99,9 @@ def compute_followers(
     avoid recomputing the plain k-core.
     """
     anchor_set = set(anchors)
-    anchored = anchored_k_core(graph, k, anchor_set)
+    anchored = anchored_k_core(graph, k, anchor_set, backend=backend)
     if k_core_vertices is None:
-        k_core_vertices = anchored_k_core(graph, k, ())
+        k_core_vertices = anchored_k_core(graph, k, (), backend=backend)
     return anchored - k_core_vertices - anchor_set
 
 
@@ -83,6 +111,7 @@ def follower_gain(
     base_anchors: Iterable[Vertex],
     candidate: Vertex,
     k_core_vertices: Optional[Set[Vertex]] = None,
+    backend: str = BACKEND_DICT,
 ) -> Set[Vertex]:
     """Return the extra followers gained by adding ``candidate`` to ``base_anchors``.
 
@@ -90,8 +119,10 @@ def follower_gain(
     ``F_k(S ∪ {x}) \\ (F_k(S) ∪ {x})``.
     """
     base_set = set(base_anchors)
-    base_followers = compute_followers(graph, k, base_set, k_core_vertices)
-    extended = compute_followers(graph, k, base_set | {candidate}, k_core_vertices)
+    base_followers = compute_followers(graph, k, base_set, k_core_vertices, backend=backend)
+    extended = compute_followers(
+        graph, k, base_set | {candidate}, k_core_vertices, backend=backend
+    )
     return extended - base_followers - {candidate}
 
 
@@ -246,3 +277,141 @@ def full_shell_followers(
                 if support[neighbour] < k:
                     removal_queue.append(neighbour)
     return shell - removed
+
+
+# ---------------------------------------------------------------------------
+# Compact (flat integer-array) kernels
+# ---------------------------------------------------------------------------
+def compact_marginal_followers(
+    cgraph: CompactGraph,
+    k: int,
+    candidate_id: int,
+    core: Sequence[float],
+) -> Tuple[Set[int], int]:
+    """Region-restricted follower cascade over a compact snapshot.
+
+    ``core`` is indexed by vertex id and holds the *current* (possibly
+    anchored) core numbers.  Returns ``(follower ids, visited count)`` where
+    the visited count matches the dict kernel's ``visit_log`` length exactly
+    (region pops plus cascade removals).
+    """
+    if k < 1:
+        raise ParameterError("k must be >= 1 for follower computation")
+    if core[candidate_id] >= k:
+        return set(), 0
+
+    target = k - 1
+    indptr = cgraph.indptr
+    indices = cgraph.indices
+    visited = 0
+
+    region: Set[int] = set()
+    stack: List[int] = []
+    for position in range(indptr[candidate_id], indptr[candidate_id + 1]):
+        neighbour = indices[position]
+        if core[neighbour] == target and neighbour not in region:
+            region.add(neighbour)
+            stack.append(neighbour)
+    while stack:
+        current = stack.pop()
+        visited += 1
+        for position in range(indptr[current], indptr[current + 1]):
+            neighbour = indices[position]
+            if (
+                core[neighbour] == target
+                and neighbour not in region
+                and neighbour != candidate_id
+            ):
+                region.add(neighbour)
+                stack.append(neighbour)
+
+    if not region:
+        return set(), visited
+
+    support: Dict[int, int] = {}
+    for vid in region:
+        count = 0
+        for position in range(indptr[vid], indptr[vid + 1]):
+            neighbour = indices[position]
+            if neighbour == candidate_id:
+                count += 1
+            elif core[neighbour] >= k:
+                count += 1
+            elif neighbour in region:
+                count += 1
+        support[vid] = count
+
+    removal_queue = [vid for vid, count in support.items() if count < k]
+    removed: Set[int] = set()
+    while removal_queue:
+        vid = removal_queue.pop()
+        if vid in removed:
+            continue
+        removed.add(vid)
+        visited += 1
+        for position in range(indptr[vid], indptr[vid + 1]):
+            neighbour = indices[position]
+            if neighbour in region and neighbour not in removed:
+                support[neighbour] -= 1
+                if support[neighbour] < k:
+                    removal_queue.append(neighbour)
+    return region - removed, visited
+
+
+def compact_full_shell_followers(
+    cgraph: CompactGraph,
+    k: int,
+    candidate_id: int,
+    core: Sequence[float],
+) -> Tuple[Set[int], int]:
+    """Whole-shell follower cascade over a compact snapshot (OLAK baseline).
+
+    Same result set as :func:`compact_marginal_followers`; the visited count
+    covers every shell vertex plus the cascade removals, matching the dict
+    kernel's instrumentation.
+    """
+    if k < 1:
+        raise ParameterError("k must be >= 1 for follower computation")
+    if core[candidate_id] >= k:
+        return set(), 0
+
+    target = k - 1
+    indptr = cgraph.indptr
+    indices = cgraph.indices
+    shell = {
+        vid
+        for vid in range(cgraph.num_vertices)
+        if core[vid] == target and vid != candidate_id
+    }
+    visited = len(shell)
+    if not shell:
+        return set(), visited
+
+    support: Dict[int, int] = {}
+    for vid in shell:
+        count = 0
+        for position in range(indptr[vid], indptr[vid + 1]):
+            neighbour = indices[position]
+            if neighbour == candidate_id:
+                count += 1
+            elif core[neighbour] >= k:
+                count += 1
+            elif neighbour in shell:
+                count += 1
+        support[vid] = count
+
+    removal_queue = [vid for vid, count in support.items() if count < k]
+    removed: Set[int] = set()
+    while removal_queue:
+        vid = removal_queue.pop()
+        if vid in removed:
+            continue
+        removed.add(vid)
+        visited += 1
+        for position in range(indptr[vid], indptr[vid + 1]):
+            neighbour = indices[position]
+            if neighbour in shell and neighbour not in removed:
+                support[neighbour] -= 1
+                if support[neighbour] < k:
+                    removal_queue.append(neighbour)
+    return shell - removed, visited

@@ -11,17 +11,14 @@ decomposition per candidate.
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Optional, Set
 
 from repro.anchored.anchored_core import AnchoredCoreIndex
 from repro.anchored.result import AnchoredKCoreResult, SolverStats
 from repro.errors import ParameterError
+from repro.graph.compact import BACKEND_AUTO
 from repro.graph.static import Graph, Vertex
-
-
-def _tie_break_key(vertex: Vertex) -> Tuple[str, str]:
-    """Deterministic tie-breaking key across heterogeneous vertex identifiers."""
-    return (type(vertex).__name__, repr(vertex))
+from repro.ordering import tie_break_key
 
 
 class GreedyAnchoredKCore:
@@ -42,6 +39,10 @@ class GreedyAnchoredKCore:
         Stop early once no candidate gains any followers (default); the paper's
         formulation allows fewer than ``l`` anchors in that situation because
         additional anchors cannot enlarge the anchored k-core.
+    backend:
+        Execution backend for the core index (``"auto"`` / ``"dict"`` /
+        ``"compact"``, see :mod:`repro.graph.compact`); results are identical,
+        only the speed differs.
     """
 
     name = "Greedy"
@@ -54,6 +55,7 @@ class GreedyAnchoredKCore:
         order_pruning: bool = True,
         stop_on_zero_gain: bool = True,
         initial_anchors: Iterable[Vertex] = (),
+        backend: str = BACKEND_AUTO,
     ) -> None:
         if budget < 0:
             raise ParameterError("budget must be non-negative")
@@ -63,11 +65,14 @@ class GreedyAnchoredKCore:
         self._order_pruning = order_pruning
         self._stop_on_zero_gain = stop_on_zero_gain
         self._initial_anchors = tuple(initial_anchors)
+        self._backend = backend
 
     def select(self) -> AnchoredKCoreResult:
         """Run the greedy selection and return the resulting anchor set."""
         started = time.perf_counter()
-        index = AnchoredCoreIndex(self._graph, self._k, anchors=self._initial_anchors)
+        index = AnchoredCoreIndex(
+            self._graph, self._k, anchors=self._initial_anchors, backend=self._backend
+        )
         chosen: List[Vertex] = list(self._initial_anchors)
         stats = SolverStats()
 
@@ -75,7 +80,7 @@ class GreedyAnchoredKCore:
             candidates = index.candidate_anchors(order_pruning=self._order_pruning)
             best_vertex: Optional[Vertex] = None
             best_gain: Set[Vertex] = set()
-            for candidate in sorted(candidates, key=_tie_break_key):
+            for candidate in sorted(candidates, key=tie_break_key):
                 gained = index.marginal_followers(candidate)
                 if len(gained) > len(best_gain):
                     best_vertex, best_gain = candidate, gained

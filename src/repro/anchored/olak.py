@@ -17,17 +17,14 @@ which is exactly how it behaves in the paper's Figures 3-8.
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Optional, Set
 
 from repro.anchored.anchored_core import AnchoredCoreIndex
 from repro.anchored.result import AnchoredKCoreResult, SolverStats
 from repro.errors import ParameterError
+from repro.graph.compact import BACKEND_AUTO
 from repro.graph.static import Graph, Vertex
-
-
-def _tie_break_key(vertex: Vertex) -> Tuple[str, str]:
-    """Deterministic tie-breaking key across heterogeneous vertex identifiers."""
-    return (type(vertex).__name__, repr(vertex))
+from repro.ordering import tie_break_key
 
 
 class OLAKAnchoredKCore:
@@ -42,6 +39,7 @@ class OLAKAnchoredKCore:
         budget: int,
         stop_on_zero_gain: bool = True,
         initial_anchors: Iterable[Vertex] = (),
+        backend: str = BACKEND_AUTO,
     ) -> None:
         if budget < 0:
             raise ParameterError("budget must be non-negative")
@@ -50,11 +48,14 @@ class OLAKAnchoredKCore:
         self._budget = budget
         self._stop_on_zero_gain = stop_on_zero_gain
         self._initial_anchors = tuple(initial_anchors)
+        self._backend = backend
 
     def select(self) -> AnchoredKCoreResult:
         """Run the OLAK-style selection and return the resulting anchor set."""
         started = time.perf_counter()
-        index = AnchoredCoreIndex(self._graph, self._k, anchors=self._initial_anchors)
+        index = AnchoredCoreIndex(
+            self._graph, self._k, anchors=self._initial_anchors, backend=self._backend
+        )
         chosen: List[Vertex] = list(self._initial_anchors)
         stats = SolverStats()
 
@@ -62,7 +63,7 @@ class OLAKAnchoredKCore:
             candidates = index.all_non_core_vertices()
             best_vertex: Optional[Vertex] = None
             best_gain: Set[Vertex] = set()
-            for candidate in sorted(candidates, key=_tie_break_key):
+            for candidate in sorted(candidates, key=tie_break_key):
                 gained = index.marginal_followers(candidate, full_shell=True)
                 if len(gained) > len(best_gain):
                     best_vertex, best_gain = candidate, gained

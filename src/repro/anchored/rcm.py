@@ -23,17 +23,14 @@ verifies only a shortlist of candidates per iteration.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.anchored.anchored_core import AnchoredCoreIndex
 from repro.anchored.result import AnchoredKCoreResult, SolverStats
 from repro.errors import ParameterError
+from repro.graph.compact import BACKEND_AUTO
 from repro.graph.static import Graph, Vertex
-
-
-def _tie_break_key(vertex: Vertex) -> Tuple[str, str]:
-    """Deterministic tie-breaking key across heterogeneous vertex identifiers."""
-    return (type(vertex).__name__, repr(vertex))
+from repro.ordering import tie_break_key
 
 
 class RCMAnchoredKCore:
@@ -49,6 +46,7 @@ class RCMAnchoredKCore:
         shortlist_size: int = 20,
         stop_on_zero_gain: bool = True,
         initial_anchors: Iterable[Vertex] = (),
+        backend: str = BACKEND_AUTO,
     ) -> None:
         if budget < 0:
             raise ParameterError("budget must be non-negative")
@@ -60,6 +58,7 @@ class RCMAnchoredKCore:
         self._shortlist_size = shortlist_size
         self._stop_on_zero_gain = stop_on_zero_gain
         self._initial_anchors = tuple(initial_anchors)
+        self._backend = backend
 
     # ------------------------------------------------------------------
     # Scoring
@@ -103,7 +102,9 @@ class RCMAnchoredKCore:
     def select(self) -> AnchoredKCoreResult:
         """Run the RCM-style selection and return the resulting anchor set."""
         started = time.perf_counter()
-        index = AnchoredCoreIndex(self._graph, self._k, anchors=self._initial_anchors)
+        index = AnchoredCoreIndex(
+            self._graph, self._k, anchors=self._initial_anchors, backend=self._backend
+        )
         chosen: List[Vertex] = list(self._initial_anchors)
         stats = SolverStats()
 
@@ -114,7 +115,7 @@ class RCMAnchoredKCore:
                 break
             shortlist = sorted(
                 scores,
-                key=lambda vertex: (-scores[vertex], _tie_break_key(vertex)),
+                key=lambda vertex: (-scores[vertex], tie_break_key(vertex)),
             )[: self._shortlist_size]
             best_vertex: Optional[Vertex] = None
             best_gain: Set[Vertex] = set()

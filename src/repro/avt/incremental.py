@@ -36,12 +36,9 @@ from repro.anchored.result import AnchoredKCoreResult, SolverStats
 from repro.avt.problem import AVTProblem, AVTResult, SnapshotResult
 from repro.cores.maintenance import CoreMaintainer
 from repro.errors import ParameterError
+from repro.graph.compact import BACKEND_AUTO
 from repro.graph.static import Graph, Vertex
-
-
-def _tie_break_key(vertex: Vertex) -> Tuple[str, str]:
-    """Deterministic tie-breaking key across heterogeneous vertex identifiers."""
-    return (type(vertex).__name__, repr(vertex))
+from repro.ordering import tie_break_key
 
 
 class IncAVTTracker:
@@ -69,6 +66,10 @@ class IncAVTTracker:
         "downgrades when the percentage of updated edges is high" (Section
         6.2.2), which is visible as the IncAVT time jump at eu-core T=21.
         Set to ``None`` to disable restarts.
+    backend:
+        Execution backend (``"auto"`` / ``"dict"`` / ``"compact"``, see
+        :mod:`repro.graph.compact`) used for core maintenance, the Greedy
+        first-snapshot/restart solves and the swap/fill core indexes.
     """
 
     name = "IncAVT"
@@ -79,11 +80,13 @@ class IncAVTTracker:
         neighbourhood_hops: int = 1,
         swap_all_anchors: bool = False,
         restart_churn_ratio: Optional[float] = 0.15,
+        backend: str = BACKEND_AUTO,
     ) -> None:
         self._fill_budget = fill_budget
         self._neighbourhood_hops = max(0, neighbourhood_hops)
         self._swap_all_anchors = swap_all_anchors
         self._restart_churn_ratio = restart_churn_ratio
+        self._backend = backend
 
     # ------------------------------------------------------------------
     # Public API
@@ -102,9 +105,13 @@ class IncAVTTracker:
             return result
 
         # Snapshot 1: solved from scratch with the Greedy algorithm (Algorithm 6, line 2).
-        maintainer = CoreMaintainer(problem.evolving_graph.base, copy_graph=True)
+        maintainer = CoreMaintainer(
+            problem.evolving_graph.base, copy_graph=True, backend=self._backend
+        )
         first_graph = maintainer.graph
-        greedy = GreedyAnchoredKCore(first_graph, problem.k, problem.budget)
+        greedy = GreedyAnchoredKCore(
+            first_graph, problem.k, problem.budget, backend=self._backend
+        )
         first = greedy.select()
         result.append(
             SnapshotResult(
@@ -138,7 +145,7 @@ class IncAVTTracker:
                 delta.apply(maintainer.graph)
                 maintainer.refresh_from_graph()
                 restart = GreedyAnchoredKCore(
-                    maintainer.graph, problem.k, problem.budget
+                    maintainer.graph, problem.k, problem.budget, backend=self._backend
                 ).select()
                 anchors = list(restart.anchors)
                 stats = restart.stats
@@ -238,7 +245,7 @@ class IncAVTTracker:
             # Theorem-3 relaxation: a useful anchor must touch the (k-1)-shell.
             if any(core.get(neighbour) == target for neighbour in graph.neighbors(vertex)):
                 filtered.append(vertex)
-        return sorted(filtered, key=_tie_break_key)
+        return sorted(filtered, key=tie_break_key)
 
     def _update_anchor_set(
         self,
@@ -274,7 +281,7 @@ class IncAVTTracker:
         for old_anchor in swap_targets:
             position = anchors.index(old_anchor)
             base_anchors = [anchor for anchor in anchors if anchor != old_anchor]
-            index = AnchoredCoreIndex(graph, k, anchors=base_anchors)
+            index = AnchoredCoreIndex(graph, k, anchors=base_anchors, backend=self._backend)
             base_followers = index.followers()
             base_total = len(base_followers)
 
@@ -299,7 +306,7 @@ class IncAVTTracker:
 
         # Fill phase: spend any unused budget on the restricted pool.
         if self._fill_budget and len(anchors) < budget:
-            index = AnchoredCoreIndex(graph, k, anchors=anchors)
+            index = AnchoredCoreIndex(graph, k, anchors=anchors, backend=self._backend)
             while len(anchors) < budget:
                 best_vertex: Optional[Vertex] = None
                 best_gain = 0

@@ -16,6 +16,7 @@ from repro.anchored.greedy import GreedyAnchoredKCore
 from repro.anchored.olak import OLAKAnchoredKCore
 from repro.anchored.rcm import RCMAnchoredKCore
 from repro.avt.problem import AVTProblem, AVTResult, SnapshotResult
+from repro.graph.compact import BACKEND_AUTO
 from repro.graph.static import Graph
 
 SolverFactory = Callable[[Graph, int, int], object]
@@ -72,7 +73,12 @@ class SnapshotTracker:
 class GreedyTracker(SnapshotTracker):
     """The paper's optimised Greedy applied independently at every snapshot."""
 
-    def __init__(self, order_pruning: bool = True, stop_on_zero_gain: bool = True) -> None:
+    def __init__(
+        self,
+        order_pruning: bool = True,
+        stop_on_zero_gain: bool = True,
+        backend: str = BACKEND_AUTO,
+    ) -> None:
         super().__init__(
             lambda graph, k, budget: GreedyAnchoredKCore(
                 graph,
@@ -80,6 +86,7 @@ class GreedyTracker(SnapshotTracker):
                 budget,
                 order_pruning=order_pruning,
                 stop_on_zero_gain=stop_on_zero_gain,
+                backend=backend,
             ),
             name="Greedy",
         )
@@ -88,10 +95,10 @@ class GreedyTracker(SnapshotTracker):
 class OLAKTracker(SnapshotTracker):
     """OLAK re-run from scratch at every snapshot (baseline)."""
 
-    def __init__(self, stop_on_zero_gain: bool = True) -> None:
+    def __init__(self, stop_on_zero_gain: bool = True, backend: str = BACKEND_AUTO) -> None:
         super().__init__(
             lambda graph, k, budget: OLAKAnchoredKCore(
-                graph, k, budget, stop_on_zero_gain=stop_on_zero_gain
+                graph, k, budget, stop_on_zero_gain=stop_on_zero_gain, backend=backend
             ),
             name="OLAK",
         )
@@ -100,7 +107,12 @@ class OLAKTracker(SnapshotTracker):
 class RCMTracker(SnapshotTracker):
     """RCM re-run from scratch at every snapshot (baseline)."""
 
-    def __init__(self, shortlist_size: int = 20, stop_on_zero_gain: bool = True) -> None:
+    def __init__(
+        self,
+        shortlist_size: int = 20,
+        stop_on_zero_gain: bool = True,
+        backend: str = BACKEND_AUTO,
+    ) -> None:
         super().__init__(
             lambda graph, k, budget: RCMAnchoredKCore(
                 graph,
@@ -108,6 +120,7 @@ class RCMTracker(SnapshotTracker):
                 budget,
                 shortlist_size=shortlist_size,
                 stop_on_zero_gain=stop_on_zero_gain,
+                backend=backend,
             ),
             name="RCM",
         )

@@ -45,6 +45,7 @@ from repro.bench.runner import ExperimentTable, TrackerSpec, default_trackers, r
 from repro.bench.workloads import build_problem, dataset_k_values
 from repro.errors import ParameterError
 from repro.graph.datasets import DATASET_NAMES
+from repro.ordering import tie_break_key
 
 
 @dataclass(frozen=True)
@@ -350,8 +351,8 @@ def experiment_table4_anchor_selection(profile: BenchProfile) -> Tuple[Experimen
                 "algorithm": outcome.algorithm,
                 "k": k,
                 "l": budget,
-                "anchors": sorted(outcome.anchors, key=repr),
-                "followers": sorted(outcome.followers, key=repr),
+                "anchors": sorted(outcome.anchors, key=tie_break_key),
+                "followers": sorted(outcome.followers, key=tie_break_key),
                 "num_followers": outcome.num_followers,
                 "time_s": round(outcome.stats.runtime_seconds, 6),
             }

@@ -110,3 +110,55 @@ def _format_value(value: object) -> str:
             return f"{value:.0f}"
         return f"{value:.3f}"
     return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable benchmark records (perf trajectory across PRs)
+# ---------------------------------------------------------------------------
+def bench_environment() -> Dict[str, object]:
+    """Return the provenance stamp attached to every benchmark JSON record.
+
+    Captures the git SHA (``"unknown"`` outside a checkout), a UTC timestamp
+    and the Python version, so ``BENCH_*.json`` files from different PRs can
+    be compared as a time series.
+    """
+    import platform
+    import subprocess
+    from datetime import datetime, timezone
+    from pathlib import Path
+
+    try:
+        sha = (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+                # Resolve against the checkout this module lives in, not the
+                # process cwd — the record must stamp the code under test.
+                cwd=Path(__file__).resolve().parents[3],
+            ).stdout.strip()
+        )
+    except Exception:
+        sha = "unknown"
+    return {
+        "git_sha": sha,
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
+
+
+def write_bench_json(path, name: str, payload: Mapping[str, object]) -> None:
+    """Write one benchmark record as pretty-printed JSON with provenance.
+
+    ``payload`` holds the benchmark-specific numbers (timings, hit rates,
+    speedups); the record wraps it with the benchmark ``name`` and
+    :func:`bench_environment`.
+    """
+    import json
+    from pathlib import Path
+
+    record = {"benchmark": name, "environment": bench_environment(), **dict(payload)}
+    Path(path).write_text(json.dumps(record, indent=2, sort_keys=False) + "\n", encoding="utf-8")

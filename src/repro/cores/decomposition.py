@@ -12,6 +12,14 @@ process in which a designated anchor set is never removed (anchored vertices
 "meet the requirement of k-core regardless of the degree constraint",
 Section 2.1).  Anchored vertices receive the core value
 :data:`ANCHOR_CORE` (infinity).
+
+Two interchangeable execution backends are provided (see
+:mod:`repro.graph.compact`): the historical adjacency-set ``dict`` peeling,
+and a flat integer-array kernel over a :class:`~repro.graph.compact.CompactGraph`
+snapshot whose heap entries are single packed ints (``degree * n + id``).
+Because the compact snapshot interns vertices in tie-break order, the two
+backends produce *identical* core numbers **and** identical removal orders;
+``backend="auto"`` (the default) picks compact for large graphs.
 """
 
 from __future__ import annotations
@@ -19,10 +27,18 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import ParameterError
+from repro.graph.compact import (
+    BACKEND_AUTO,
+    BACKEND_COMPACT,
+    BACKEND_DICT,
+    CompactGraph,
+    resolve_backend,
+)
 from repro.graph.static import Graph, Vertex
+from repro.ordering import tie_break_key
 
 #: Core value assigned to anchored vertices — they can never be peeled.
 ANCHOR_CORE: float = math.inf
@@ -77,34 +93,36 @@ class CoreDecomposition:
         return max(finite, default=0)
 
 
-def _sort_key(vertex: Vertex) -> Tuple[str, str]:
-    """Deterministic tie-breaking key for heterogeneous vertex identifiers."""
-    return (type(vertex).__name__, repr(vertex))
-
-
-def core_decomposition(graph: Graph) -> CoreDecomposition:
+def core_decomposition(graph: Graph, backend: str = BACKEND_AUTO) -> CoreDecomposition:
     """Run core decomposition on ``graph``.
 
     Vertices of equal current degree are peeled in a deterministic order so
     repeated runs produce identical removal orders.  Complexity is
     O(m log n) with the lazy-deletion heap used here, which is more than fast
-    enough for the pure-Python experiment scale.
+    enough for the pure-Python experiment scale; ``backend="compact"`` (or
+    ``"auto"`` on a large graph) runs the same peeling over flat int arrays.
     """
-    return anchored_core_decomposition(graph, anchors=())
+    return anchored_core_decomposition(graph, anchors=(), backend=backend)
 
 
-def anchored_core_decomposition(graph: Graph, anchors: Iterable[Vertex]) -> CoreDecomposition:
+def anchored_core_decomposition(
+    graph: Graph, anchors: Iterable[Vertex], backend: str = BACKEND_AUTO
+) -> CoreDecomposition:
     """Run core decomposition in which ``anchors`` are never removed.
 
     Anchored vertices still contribute to their neighbours' degrees throughout
     the peeling, which is exactly the anchored k-core semantics of
     Definition 4: the anchored k-core for any ``k`` is
-    ``{v : core(v) >= k}`` with anchors mapped to infinity.
+    ``{v : core(v) >= k}`` with anchors mapped to infinity.  Both backends
+    produce the same mapping and the same removal order.
     """
     anchor_set = frozenset(anchors)
     for anchor in anchor_set:
         if not graph.has_vertex(anchor):
             raise ParameterError(f"anchor {anchor!r} is not a vertex of the graph")
+
+    if resolve_backend(backend, graph.num_vertices) == BACKEND_COMPACT:
+        return _compact_anchored_decomposition(graph, anchor_set)
 
     effective: Dict[Vertex, int] = {}
     heap: List[Tuple[int, Tuple[str, str], Vertex]] = []
@@ -113,7 +131,7 @@ def anchored_core_decomposition(graph: Graph, anchors: Iterable[Vertex]) -> Core
             continue
         degree = graph.degree(vertex)
         effective[vertex] = degree
-        heap.append((degree, _sort_key(vertex), vertex))
+        heap.append((degree, tie_break_key(vertex), vertex))
     heapq.heapify(heap)
 
     core: Dict[Vertex, float] = {}
@@ -135,28 +153,144 @@ def anchored_core_decomposition(graph: Graph, anchors: Iterable[Vertex]) -> Core
             if neighbour in anchor_set or neighbour in removed:
                 continue
             effective[neighbour] -= 1
-            heapq.heappush(heap, (effective[neighbour], _sort_key(neighbour), neighbour))
+            heapq.heappush(heap, (effective[neighbour], tie_break_key(neighbour), neighbour))
 
-    for anchor in sorted(anchor_set, key=_sort_key):
+    for anchor in sorted(anchor_set, key=tie_break_key):
         core[anchor] = ANCHOR_CORE
         order.append(anchor)
     return CoreDecomposition(core=core, order=tuple(order), anchors=anchor_set)
 
 
-def core_numbers(graph: Graph) -> Dict[Vertex, int]:
+# ---------------------------------------------------------------------------
+# Compact (flat integer-array) kernels
+# ---------------------------------------------------------------------------
+def compact_peel(
+    cgraph: CompactGraph, anchor_ids: Iterable[int] = ()
+) -> Tuple[List[float], List[int]]:
+    """Peel a compact snapshot; return ``(core values, removal order)`` by id.
+
+    ``cgraph`` must be *ordered* (id == tie-break rank) so that the packed
+    single-int heap entries ``degree * n + id`` reproduce the dict backend's
+    deterministic removal order exactly.  Anchored ids receive
+    :data:`ANCHOR_CORE` and are appended to the order last, sorted by id.
+    """
+    if not cgraph.ordered:
+        raise ParameterError("compact_peel requires an ordered CompactGraph")
+    n = cgraph.num_vertices
+    core: List[float] = [0] * n
+    order: List[int] = []
+    if n == 0:
+        return core, order
+
+    indptr = cgraph.indptr
+    indices = cgraph.indices
+    effective = list(cgraph.degrees)
+    is_anchor = bytearray(n)
+    for anchor_id in anchor_ids:
+        is_anchor[anchor_id] = 1
+    removed = bytearray(n)
+
+    heap = [effective[vid] * n + vid for vid in range(n) if not is_anchor[vid]]
+    heapq.heapify(heap)
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    current_core = 0
+    while heap:
+        entry = heappop(heap)
+        degree, vid = divmod(entry, n)
+        if removed[vid] or degree != effective[vid]:
+            continue
+        if degree > current_core:
+            current_core = degree
+        core[vid] = current_core
+        order.append(vid)
+        removed[vid] = 1
+        for position in range(indptr[vid], indptr[vid + 1]):
+            neighbour = indices[position]
+            if is_anchor[neighbour] or removed[neighbour]:
+                continue
+            slack = effective[neighbour] - 1
+            effective[neighbour] = slack
+            heappush(heap, slack * n + neighbour)
+
+    for vid in range(n):
+        if is_anchor[vid]:
+            core[vid] = ANCHOR_CORE
+            order.append(vid)
+    return core, order
+
+
+def _compact_anchored_decomposition(
+    graph: Graph, anchor_set: FrozenSet[Vertex]
+) -> CoreDecomposition:
+    """Anchored decomposition through the compact kernel, translated back."""
+    cgraph = CompactGraph.from_graph(graph, ordered=True)
+    interner = cgraph.interner
+    anchor_ids = [interner.id_of(anchor) for anchor in anchor_set]
+    core_by_id, order_ids = compact_peel(cgraph, anchor_ids)
+    vertices = interner.vertices
+    core = {vertices[vid]: core_by_id[vid] for vid in range(len(vertices))}
+    order = tuple(vertices[vid] for vid in order_ids)
+    return CoreDecomposition(core=core, order=order, anchors=anchor_set)
+
+
+def compact_k_core_ids(
+    cgraph: CompactGraph, k: int, anchor_ids: Iterable[int] = ()
+) -> Set[int]:
+    """Return the (anchored) k-core of a compact snapshot as a set of ids.
+
+    Runs the direct O(n + m) deletion cascade over the flat arrays; anchored
+    ids are never removed.  Works on ordered and unordered snapshots alike
+    (the result is an order-independent set).
+    """
+    n = cgraph.num_vertices
+    indptr = cgraph.indptr
+    indices = cgraph.indices
+    degrees = list(cgraph.degrees)
+    is_anchor = bytearray(n)
+    for anchor_id in anchor_ids:
+        is_anchor[anchor_id] = 1
+    removed = bytearray(n)
+    queue = [vid for vid in range(n) if degrees[vid] < k and not is_anchor[vid]]
+    while queue:
+        vid = queue.pop()
+        if removed[vid]:
+            continue
+        removed[vid] = 1
+        for position in range(indptr[vid], indptr[vid + 1]):
+            neighbour = indices[position]
+            if removed[neighbour] or is_anchor[neighbour]:
+                continue
+            degrees[neighbour] -= 1
+            if degrees[neighbour] < k:
+                queue.append(neighbour)
+    return {vid for vid in range(n) if not removed[vid]}
+
+
+def core_numbers(graph: Graph, backend: str = BACKEND_AUTO) -> Dict[Vertex, int]:
     """Return ``{vertex: core number}`` with plain integer values."""
-    decomposition = core_decomposition(graph)
+    decomposition = core_decomposition(graph, backend=backend)
     return {vertex: int(value) for vertex, value in decomposition.core.items()}
 
 
-def k_core(graph: Graph, k: int) -> Set[Vertex]:
+def k_core(graph: Graph, k: int, backend: str = BACKEND_DICT) -> Set[Vertex]:
     """Return the vertex set of the k-core of ``graph``.
 
     Implemented as a direct peeling cascade, which is faster than a full
-    decomposition when only a single ``k`` is needed.
+    decomposition when only a single ``k`` is needed.  Unlike the full
+    decomposition, a one-shot cascade cannot amortise a compact snapshot
+    build, so the default backend is ``"dict"`` here; pass
+    ``backend="compact"`` only when measuring the kernel itself (consumers
+    that hold a reusable :class:`~repro.graph.compact.CompactGraph`, such as
+    :class:`~repro.anchored.anchored_core.AnchoredCoreIndex`, call
+    :func:`compact_k_core_ids` directly instead).
     """
     if k < 0:
         raise ParameterError("k must be non-negative")
+    if resolve_backend(backend, graph.num_vertices) == BACKEND_COMPACT:
+        cgraph = CompactGraph.from_graph(graph, ordered=False)
+        return cgraph.interner.translate(compact_k_core_ids(cgraph, k))
     degrees = {vertex: graph.degree(vertex) for vertex in graph.vertices()}
     removed: Set[Vertex] = set()
     queue = [vertex for vertex, degree in degrees.items() if degree < k]
@@ -174,12 +308,12 @@ def k_core(graph: Graph, k: int) -> Set[Vertex]:
     return {vertex for vertex in degrees if vertex not in removed}
 
 
-def k_shell(graph: Graph, k: int) -> Set[Vertex]:
+def k_shell(graph: Graph, k: int, backend: str = BACKEND_AUTO) -> Set[Vertex]:
     """Return the k-shell of ``graph`` (vertices whose core number equals ``k``)."""
-    decomposition = core_decomposition(graph)
+    decomposition = core_decomposition(graph, backend=backend)
     return decomposition.shell_vertices(k)
 
 
-def degeneracy(graph: Graph) -> int:
+def degeneracy(graph: Graph, backend: str = BACKEND_AUTO) -> int:
     """Return the degeneracy of ``graph`` (its largest non-empty core index)."""
-    return core_decomposition(graph).degeneracy()
+    return core_decomposition(graph, backend=backend).degeneracy()

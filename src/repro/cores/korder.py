@@ -24,8 +24,14 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
-from repro.cores.decomposition import ANCHOR_CORE, CoreDecomposition, core_decomposition
+from repro.cores.decomposition import (
+    ANCHOR_CORE,
+    CoreDecomposition,
+    compact_peel,
+    core_decomposition,
+)
 from repro.errors import InvariantViolationError, VertexNotFoundError
+from repro.graph.compact import BACKEND_AUTO, BACKEND_COMPACT, CompactGraph, resolve_backend
 from repro.graph.static import Graph, Vertex
 
 
@@ -34,12 +40,35 @@ class KOrder:
 
     Instances are built from a :class:`CoreDecomposition` (or directly from a
     graph via :meth:`from_graph`) and expose O(1) order comparison, per-shell
-    sequences and remaining degrees.
+    sequences and remaining degrees.  ``backend`` selects the execution layer
+    for the decomposition and the remaining-degree pass (see
+    :mod:`repro.graph.compact`); the resulting index is identical either way.
     """
 
-    def __init__(self, graph: Graph, decomposition: Optional[CoreDecomposition] = None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        decomposition: Optional[CoreDecomposition] = None,
+        backend: str = BACKEND_AUTO,
+    ) -> None:
+        self._backend = resolve_backend(backend, graph.num_vertices)
+        # One CSR snapshot amortised over both the peel and the deg+ pass; a
+        # caller-supplied decomposition leaves nothing to amortise the build
+        # against, so that path stays on the dict deg+ pass.
+        cgraph: Optional[CompactGraph] = None
         if decomposition is None:
-            decomposition = core_decomposition(graph)
+            if self._backend == BACKEND_COMPACT:
+                cgraph = CompactGraph.from_graph(graph, ordered=True)
+                vertices = cgraph.interner.vertices
+                core_ids, order_ids = compact_peel(cgraph)
+                decomposition = CoreDecomposition(
+                    core={
+                        vertices[vid]: core_ids[vid] for vid in range(len(vertices))
+                    },
+                    order=tuple(vertices[vid] for vid in order_ids),
+                )
+            else:
+                decomposition = core_decomposition(graph, backend=self._backend)
         self._graph = graph
         self._core: Dict[Vertex, float] = dict(decomposition.core)
         self._anchors = set(decomposition.anchors)
@@ -48,15 +77,18 @@ class KOrder:
             vertex: position for position, vertex in enumerate(decomposition.order)
         }
         self._shells: Dict[int, List[Vertex]] = decomposition.shells()
-        self._deg_plus: Dict[Vertex, int] = self._compute_remaining_degrees()
+        if cgraph is not None:
+            self._deg_plus = self._compute_remaining_degrees_compact(cgraph)
+        else:
+            self._deg_plus = self._compute_remaining_degrees()
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_graph(cls, graph: Graph) -> "KOrder":
+    def from_graph(cls, graph: Graph, backend: str = BACKEND_AUTO) -> "KOrder":
         """Build the K-order of ``graph`` by running core decomposition."""
-        return cls(graph)
+        return cls(graph, backend=backend)
 
     def _compute_remaining_degrees(self) -> Dict[Vertex, int]:
         """Compute ``deg+`` for every vertex from the stored ranks."""
@@ -67,6 +99,26 @@ class KOrder:
                 if self._rank.get(neighbour, -1) > rank:
                     count += 1
             deg_plus[vertex] = count
+        return deg_plus
+
+    def _compute_remaining_degrees_compact(self, cgraph: CompactGraph) -> Dict[Vertex, int]:
+        """``deg+`` over the already-built CSR snapshot: one int-array pass."""
+        interner = cgraph.interner
+        indptr = cgraph.indptr
+        indices = cgraph.indices
+        rank = self._rank
+        vertices = interner.vertices
+        rank_ids = [rank.get(vertex, -1) for vertex in vertices]
+        deg_plus: Dict[Vertex, int] = {}
+        for vid in range(len(vertices)):
+            own_rank = rank_ids[vid]
+            if own_rank < 0:
+                continue
+            count = 0
+            for position in range(indptr[vid], indptr[vid + 1]):
+                if rank_ids[indices[position]] > own_rank:
+                    count += 1
+            deg_plus[vertices[vid]] = count
         return deg_plus
 
     # ------------------------------------------------------------------

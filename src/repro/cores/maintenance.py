@@ -13,6 +13,14 @@ updates via :meth:`apply_delta` additionally report the paper's ``VI`` and
 number is ``k - 1`` afterwards — which is exactly the candidate pool the
 incremental tracker (IncAVT, Algorithm 6) probes.
 
+The maintainer is backend-aware (see :mod:`repro.graph.compact`): in compact
+mode it keeps the public hashable-vertex graph as the source of truth for the
+*structure* but mirrors the adjacency into integer-id sets
+(:class:`~repro.graph.compact.DynamicCompactAdjacency`) and stores the core
+numbers in a flat list indexed by id, so the subcore/eviction traversals of
+the inner loops run entirely over small ints.  Mirror upkeep is O(1) per edge
+operation; results are identical across backends.
+
 The maintained core numbers are the single source of truth for the incremental
 tracker; a :meth:`validate` hook recomputes them from scratch and raises if
 they ever diverge, and the property-based tests exercise that hook on random
@@ -26,6 +34,12 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.cores.decomposition import core_numbers as recompute_core_numbers
 from repro.errors import InvariantViolationError, ParameterError
+from repro.graph.compact import (
+    BACKEND_AUTO,
+    BACKEND_COMPACT,
+    DynamicCompactAdjacency,
+    resolve_backend,
+)
 from repro.graph.dynamic import EdgeDelta
 from repro.graph.static import Edge, Graph, Vertex
 
@@ -98,18 +112,31 @@ class CoreMaintainer:
         graph: Graph,
         copy_graph: bool = True,
         core: Optional[Dict[Vertex, int]] = None,
+        backend: str = BACKEND_AUTO,
     ) -> None:
         """Wrap ``graph``; recompute core numbers unless ``core`` supplies them.
 
         ``core`` exists for checkpoint restore: a caller that persisted the
         maintained core numbers alongside the graph can resume without paying
         a fresh decomposition.  The values are trusted; :meth:`validate`
-        cross-checks them on demand.
+        cross-checks them on demand.  ``backend`` selects the traversal
+        implementation (``"auto"`` resolves by initial graph size).
         """
         self._graph = graph.copy() if copy_graph else graph
-        self._core: Dict[Vertex, int] = (
-            dict(core) if core is not None else recompute_core_numbers(self._graph)
-        )
+        self._backend = resolve_backend(backend, self._graph.num_vertices)
+        initial = dict(core) if core is not None else recompute_core_numbers(self._graph)
+        if self._backend == BACKEND_COMPACT:
+            self._mirror: Optional[DynamicCompactAdjacency] = (
+                DynamicCompactAdjacency.from_graph(self._graph)
+            )
+            self._icore: List[int] = [
+                initial.get(vertex, 0) for vertex in self._mirror.interner.vertices
+            ]
+            self._core: Optional[Dict[Vertex, int]] = None
+        else:
+            self._mirror = None
+            self._icore = []
+            self._core = initial
         self._visited_last = 0
 
     # ------------------------------------------------------------------
@@ -120,20 +147,53 @@ class CoreMaintainer:
         """The maintained graph (mutated in place by the update methods)."""
         return self._graph
 
+    @property
+    def backend(self) -> str:
+        """The resolved execution backend (``"dict"`` or ``"compact"``)."""
+        return self._backend
+
     def core_numbers(self) -> Dict[Vertex, int]:
         """Return a copy of the maintained core numbers."""
+        if self._mirror is not None:
+            # The interner's vertex list is kept in exact sync with the graph,
+            # so zipping it against the core array avoids n hash lookups.
+            return dict(zip(self._mirror.interner.vertices, self._icore))
         return dict(self._core)
 
     def core(self, vertex: Vertex) -> int:
         """Return the maintained core number of ``vertex``."""
+        if self._mirror is not None:
+            vid = self._mirror.interner.get_id(vertex)
+            if vid < 0:
+                raise KeyError(vertex)
+            return self._icore[vid]
         return self._core[vertex]
+
+    def _core_get(self, vertex: Vertex, default: Optional[int] = None) -> Optional[int]:
+        """``dict.get``-style lookup that works on both backends."""
+        if self._mirror is not None:
+            vid = self._mirror.interner.get_id(vertex)
+            return default if vid < 0 else self._icore[vid]
+        return self._core.get(vertex, default)
 
     def k_core_vertices(self, k: int) -> Set[Vertex]:
         """Return ``{v : core(v) >= k}`` under the maintained core numbers."""
+        if self._mirror is not None:
+            return {
+                vertex
+                for vertex, value in zip(self._mirror.interner.vertices, self._icore)
+                if value >= k
+            }
         return {vertex for vertex, value in self._core.items() if value >= k}
 
     def shell_vertices(self, k: int) -> Set[Vertex]:
         """Return ``{v : core(v) == k}`` under the maintained core numbers."""
+        if self._mirror is not None:
+            return {
+                vertex
+                for vertex, value in zip(self._mirror.interner.vertices, self._icore)
+                if value == k
+            }
         return {vertex for vertex, value in self._core.items() if value == k}
 
     # ------------------------------------------------------------------
@@ -149,9 +209,19 @@ class CoreMaintainer:
         for vertex in (u, v):
             if not self._graph.has_vertex(vertex):
                 self._graph.add_vertex(vertex)
-                self._core[vertex] = 0
+                if self._mirror is not None:
+                    vid = self._mirror.ensure_vertex(vertex)
+                    while len(self._icore) <= vid:
+                        self._icore.append(0)
+                else:
+                    self._core[vertex] = 0
         if not self._graph.add_edge(u, v):
             return set()
+        if self._mirror is not None:
+            interner = self._mirror.interner
+            u_id, v_id = interner.id_of(u), interner.id_of(v)
+            self._mirror.add_edge_ids(u_id, v_id)
+            return self._process_insertion_compact(u_id, v_id)
         return self._process_insertion(u, v)
 
     def remove_edge(self, u: Vertex, v: Vertex) -> Set[Vertex]:
@@ -162,6 +232,11 @@ class CoreMaintainer:
         if not self._graph.has_edge(u, v):
             return set()
         self._graph.remove_edge(u, v)
+        if self._mirror is not None:
+            interner = self._mirror.interner
+            u_id, v_id = interner.id_of(u), interner.id_of(v)
+            self._mirror.remove_edge_ids(u_id, v_id)
+            return self._process_deletion_compact(u_id, v_id)
         return self._process_deletion(u, v)
 
     # ------------------------------------------------------------------
@@ -211,13 +286,15 @@ class CoreMaintainer:
             if self._graph.has_edge(u, v):
                 continue
             for endpoint in (u, v):
-                if endpoint not in pre_core and endpoint in self._core:
-                    pre_core[endpoint] = self._core[endpoint]
+                if endpoint not in pre_core:
+                    value = self._core_get(endpoint)
+                    if value is not None:
+                        pre_core[endpoint] = value
             increased = self.insert_edge(u, v)
             for vertex in self._visited_vertices_last:
                 if vertex not in pre_core:
                     # An insertion raises a risen vertex by exactly 1.
-                    pre_core[vertex] = self._core[vertex] - (1 if vertex in increased else 0)
+                    pre_core[vertex] = self.core(vertex) - (1 if vertex in increased else 0)
             effect.increased |= increased
             effect.insertion_touched.update((u, v))
             effect.insertion_touched |= increased
@@ -229,12 +306,12 @@ class CoreMaintainer:
                 continue
             for endpoint in (u, v):
                 if endpoint not in pre_core:
-                    pre_core[endpoint] = self._core[endpoint]
+                    pre_core[endpoint] = self.core(endpoint)
             decreased = self.remove_edge(u, v)
             for vertex in self._visited_vertices_last:
                 if vertex not in pre_core:
                     # A deletion lowers a dropped vertex by exactly 1.
-                    pre_core[vertex] = self._core[vertex] + (1 if vertex in decreased else 0)
+                    pre_core[vertex] = self.core(vertex) + (1 if vertex in decreased else 0)
             effect.decreased |= decreased
             effect.deletion_touched.update((u, v))
             effect.deletion_touched |= decreased
@@ -244,10 +321,10 @@ class CoreMaintainer:
         if k is not None:
             target = k - 1
             effect.insertion_affected = {
-                vertex for vertex in effect.insertion_touched if self._core.get(vertex) == target
+                vertex for vertex in effect.insertion_touched if self._core_get(vertex) == target
             }
             effect.deletion_affected = {
-                vertex for vertex in effect.deletion_touched if self._core.get(vertex) == target
+                vertex for vertex in effect.deletion_touched if self._core_get(vertex) == target
             }
         return effect
 
@@ -257,9 +334,17 @@ class CoreMaintainer:
         Used when a caller mutates the maintained graph wholesale (e.g. a
         snapshot delta so large that per-edge maintenance would cost more than
         one fresh decomposition — the situation the paper describes for
-        high-churn snapshots).
+        high-churn snapshots).  In compact mode the integer mirror is rebuilt
+        alongside (the caller may have added or removed arbitrary edges).
         """
-        self._core = recompute_core_numbers(self._graph)
+        fresh = recompute_core_numbers(self._graph)
+        if self._mirror is not None:
+            self._mirror = DynamicCompactAdjacency.from_graph(self._graph)
+            self._icore = [
+                fresh.get(vertex, 0) for vertex in self._mirror.interner.vertices
+            ]
+        else:
+            self._core = fresh
         self._visited_last = 0
         self._visited_vertices_last = set()
 
@@ -269,11 +354,12 @@ class CoreMaintainer:
     def validate(self) -> None:
         """Recompute core numbers from scratch and raise on any divergence."""
         fresh = recompute_core_numbers(self._graph)
-        if fresh != self._core:
+        maintained = self.core_numbers()
+        if fresh != maintained:
             differing = {
-                vertex: (self._core.get(vertex), fresh.get(vertex))
-                for vertex in set(fresh) | set(self._core)
-                if self._core.get(vertex) != fresh.get(vertex)
+                vertex: (maintained.get(vertex), fresh.get(vertex))
+                for vertex in set(fresh) | set(maintained)
+                if maintained.get(vertex) != fresh.get(vertex)
             }
             raise InvariantViolationError(
                 f"maintained core numbers diverged from recomputation: {differing}"
@@ -331,6 +417,54 @@ class CoreMaintainer:
         self._visited_vertices_last = set(candidates)
         return increased
 
+    def _process_insertion_compact(self, u_id: int, v_id: int) -> Set[Vertex]:
+        icore = self._icore
+        adj = self._mirror.adj
+        root_core = min(icore[u_id], icore[v_id])
+        roots = [w for w in (u_id, v_id) if icore[w] == root_core]
+
+        candidates: Set[int] = set()
+        stack: List[int] = []
+        for root in roots:
+            if root not in candidates:
+                candidates.add(root)
+                stack.append(root)
+        while stack:
+            current = stack.pop()
+            for neighbour in adj[current]:
+                if icore[neighbour] == root_core and neighbour not in candidates:
+                    candidates.add(neighbour)
+                    stack.append(neighbour)
+
+        support: Dict[int, int] = {}
+        for candidate in candidates:
+            support[candidate] = sum(
+                1
+                for neighbour in adj[candidate]
+                if icore[neighbour] > root_core or neighbour in candidates
+            )
+        evict_queue = [w for w, s in support.items() if s <= root_core]
+        evicted: Set[int] = set()
+        while evict_queue:
+            w = evict_queue.pop()
+            if w in evicted:
+                continue
+            evicted.add(w)
+            for neighbour in adj[w]:
+                if neighbour in candidates and neighbour not in evicted:
+                    support[neighbour] -= 1
+                    if support[neighbour] <= root_core:
+                        evict_queue.append(neighbour)
+
+        increased_ids = candidates - evicted
+        risen = root_core + 1
+        for w in increased_ids:
+            icore[w] = risen
+        vertices = self._mirror.interner.vertices
+        self._visited_last = len(candidates)
+        self._visited_vertices_last = {vertices[w] for w in candidates}
+        return {vertices[w] for w in increased_ids}
+
     # ------------------------------------------------------------------
     # Deletion cascade (Lemmas 3-4)
     # ------------------------------------------------------------------
@@ -377,6 +511,46 @@ class CoreMaintainer:
         self._visited_last = len(visited)
         self._visited_vertices_last = visited
         return dropped
+
+    def _process_deletion_compact(self, u_id: int, v_id: int) -> Set[Vertex]:
+        icore = self._icore
+        adj = self._mirror.adj
+        root_core = min(icore[u_id], icore[v_id])
+        visited: Set[int] = set()
+
+        support: Dict[int, int] = {}
+
+        def compute_support(w: int) -> int:
+            return sum(1 for x in adj[w] if icore[x] >= root_core)
+
+        dropped: Set[int] = set()
+        queue: List[int] = []
+        for w in (u_id, v_id):
+            if icore[w] == root_core and w not in dropped:
+                visited.add(w)
+                support[w] = compute_support(w)
+                if support[w] < root_core:
+                    dropped.add(w)
+                    queue.append(w)
+
+        while queue:
+            w = queue.pop()
+            for x in adj[w]:
+                if icore[x] != root_core or x in dropped:
+                    continue
+                visited.add(x)
+                if x not in support:
+                    support[x] = compute_support(x)
+                support[x] -= 1
+                if support[x] < root_core:
+                    dropped.add(x)
+                    queue.append(x)
+            icore[w] = root_core - 1
+
+        vertices = self._mirror.interner.vertices
+        self._visited_last = len(visited)
+        self._visited_vertices_last = {vertices[w] for w in visited}
+        return {vertices[w] for w in dropped}
 
     # Default values so apply_delta can read them even before any update ran.
     _visited_vertices_last: Set[Vertex] = frozenset()  # type: ignore[assignment]

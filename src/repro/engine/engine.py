@@ -45,6 +45,7 @@ from repro.engine.cache import CacheKey, ResultCache
 from repro.engine.ingest import IngestBuffer
 from repro.engine.stats import EngineStats
 from repro.errors import CheckpointError, ParameterError
+from repro.graph.compact import BACKEND_AUTO
 from repro.graph.dynamic import EdgeDelta
 from repro.graph.static import Graph, Vertex
 
@@ -91,6 +92,12 @@ class StreamingAVTEngine:
     core:
         Trusted precomputed core numbers for ``graph`` (checkpoint restore);
         omit to compute them fresh.
+    backend:
+        Execution backend (``"auto"`` / ``"dict"`` / ``"compact"``, see
+        :mod:`repro.graph.compact`) for core maintenance and the cold
+        solvers.  ``"auto"`` resolves against the graph handed to the
+        constructor; pass ``"compact"`` explicitly when starting from a small
+        or empty graph that is expected to grow large.
     """
 
     def __init__(
@@ -103,6 +110,7 @@ class StreamingAVTEngine:
         default_solver: str = "greedy",
         copy_graph: bool = True,
         core: Optional[Dict[Vertex, int]] = None,
+        backend: str = BACKEND_AUTO,
     ) -> None:
         if batch_size is not None and batch_size < 1:
             raise ParameterError("batch_size must be >= 1 (or None to disable)")
@@ -110,8 +118,13 @@ class StreamingAVTEngine:
             raise ParameterError(
                 f"unknown solver {default_solver!r}; expected one of {sorted(SOLVERS)}"
             )
+        # CoreMaintainer validates ``backend`` via resolve_backend below.
+        self._backend = backend
         self._maintainer = CoreMaintainer(
-            graph if graph is not None else Graph(), copy_graph=copy_graph, core=core
+            graph if graph is not None else Graph(),
+            copy_graph=copy_graph,
+            core=core,
+            backend=backend,
         )
         self._buffer = IngestBuffer(self._maintainer.graph)
         self._cache = ResultCache(cache_capacity)
@@ -124,7 +137,7 @@ class StreamingAVTEngine:
         # long-lived server must not accumulate one per historical query shape.
         self._warm: "OrderedDict[Tuple[int, int, str], _WarmState]" = OrderedDict()
         self._warm_capacity = max(cache_capacity, 16)
-        self._refresher = IncAVTTracker()
+        self._refresher = IncAVTTracker(backend=backend)
 
     # ------------------------------------------------------------------
     # Views
@@ -329,7 +342,9 @@ class StreamingAVTEngine:
     def _answer_cold(
         self, k: int, budget: int, solver_name: str, started: float
     ) -> AnchoredKCoreResult:
-        solver = SOLVERS[solver_name](self._maintainer.graph, k, budget)
+        solver = SOLVERS[solver_name](
+            self._maintainer.graph, k, budget, backend=self._backend
+        )
         result = solver.select()
         self._stats.cold_solves += 1
         self._stats.cold_seconds += time.perf_counter() - started
@@ -354,6 +369,7 @@ class StreamingAVTEngine:
             "batch_size": self._batch_size,
             "warm_queries": self._warm_queries,
             "default_solver": self._default_solver,
+            "backend": self._backend,
             "warm": {
                 warm_key: {
                     "version": state.version,
@@ -388,6 +404,7 @@ class StreamingAVTEngine:
                 batch_size=overrides.pop("batch_size", state["batch_size"]),
                 warm_queries=overrides.pop("warm_queries", state["warm_queries"]),
                 default_solver=overrides.pop("default_solver", state["default_solver"]),
+                backend=overrides.pop("backend", state.get("backend", BACKEND_AUTO)),
             )
             if overrides:
                 raise ParameterError(f"unknown restore overrides: {sorted(overrides)}")

@@ -1,11 +1,37 @@
-"""Graph substrate: static graphs, snapshot sequences, generators, datasets, IO."""
+"""Graph substrate: static graphs, snapshot sequences, generators, datasets, IO.
+
+Two execution backends live here: the hashable-vertex adjacency-set
+:class:`Graph` (the mutable public representation) and the compact
+integer-ID layer of :mod:`repro.graph.compact` (interning plus flat CSR
+arrays) that the hot kernels run on for large graphs.
+"""
 
 from repro.graph.static import Graph
 from repro.graph.dynamic import EdgeDelta, EvolvingGraph, SnapshotSequence
+from repro.graph.compact import (
+    BACKEND_AUTO,
+    BACKEND_COMPACT,
+    BACKEND_DICT,
+    BACKENDS,
+    COMPACT_THRESHOLD,
+    CompactGraph,
+    DynamicCompactAdjacency,
+    VertexInterner,
+    resolve_backend,
+)
 
 __all__ = [
     "Graph",
     "EdgeDelta",
     "EvolvingGraph",
     "SnapshotSequence",
+    "BACKEND_AUTO",
+    "BACKEND_COMPACT",
+    "BACKEND_DICT",
+    "BACKENDS",
+    "COMPACT_THRESHOLD",
+    "CompactGraph",
+    "DynamicCompactAdjacency",
+    "VertexInterner",
+    "resolve_backend",
 ]

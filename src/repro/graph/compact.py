@@ -1,0 +1,269 @@
+"""Compact integer-ID graph backend: interning plus flat-array adjacency.
+
+The public API of the library works with arbitrary hashable vertex
+identifiers held in an adjacency-set ``dict`` (:class:`~repro.graph.static.Graph`).
+That representation is ideal for mutation and for small graphs, but every hot
+kernel — peeling decomposition, the K-order index, the shell-local follower
+cascade, incremental core maintenance — pays hashing and pointer-chasing
+costs on every vertex touch.  This module provides the dense execution layer
+those kernels run on instead:
+
+* :class:`VertexInterner` maps hashable vertex ids to dense ``0..n-1``
+  integers (and back).  Interning is append-only: an id, once assigned, is
+  stable for the interner's lifetime.
+* :class:`CompactGraph` is a frozen CSR-style snapshot — ``indptr`` /
+  ``indices`` flat arrays of ints — built from a :class:`Graph` in one pass.
+  With ``ordered=True`` (the default) vertices are interned in
+  :func:`repro.ordering.tie_break_key` order, so the integer id of a vertex
+  *is* its deterministic tie-break rank; the peeling kernels exploit this to
+  reproduce bit-identical removal orders with single-int heap entries.
+* :class:`DynamicCompactAdjacency` is the mutable sibling (list of int sets)
+  used by :class:`repro.cores.maintenance.CoreMaintainer` to run the
+  insertion/deletion traversals over ints while the graph evolves.
+
+Backend selection
+-----------------
+Call sites accept a ``backend=`` argument with one of :data:`BACKEND_AUTO`
+(``"auto"``), :data:`BACKEND_DICT` (``"dict"``) or :data:`BACKEND_COMPACT`
+(``"compact"``).  ``auto`` — the default everywhere — resolves to the compact
+backend once the graph has at least :data:`COMPACT_THRESHOLD` vertices and to
+the dict backend below it, so small graphs (and the existing test-suite) keep
+the zero-translation dict path while large graphs transparently get the flat
+kernels.  Both backends produce identical results; the cross-backend property
+tests enforce this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import ParameterError, VertexNotFoundError
+from repro.graph.static import Graph, Vertex
+from repro.ordering import tie_break_key
+
+#: Resolve to compact for graphs with at least this many vertices.
+BACKEND_AUTO = "auto"
+#: Always use the adjacency-set ``dict`` implementation.
+BACKEND_DICT = "dict"
+#: Always use the flat integer-array implementation.
+BACKEND_COMPACT = "compact"
+
+#: Every accepted ``backend=`` value.
+BACKENDS = (BACKEND_AUTO, BACKEND_DICT, BACKEND_COMPACT)
+
+#: ``auto`` switches to the compact backend at this vertex count.  The
+#: crossover is where interning cost is clearly amortised by the kernels;
+#: below it the dict path's lack of translation wins.
+COMPACT_THRESHOLD = 4096
+
+
+def resolve_backend(
+    backend: str, num_vertices: int, threshold: int = COMPACT_THRESHOLD
+) -> str:
+    """Resolve a requested backend to ``"dict"`` or ``"compact"``.
+
+    ``"auto"`` picks compact when ``num_vertices >= threshold``.  Raises
+    :class:`~repro.errors.ParameterError` on unknown names.
+    """
+    if backend not in BACKENDS:
+        raise ParameterError(
+            f"unknown backend {backend!r}; expected one of {sorted(BACKENDS)}"
+        )
+    if backend == BACKEND_AUTO:
+        return BACKEND_COMPACT if num_vertices >= threshold else BACKEND_DICT
+    return backend
+
+
+class VertexInterner:
+    """Bidirectional mapping between hashable vertex ids and dense integers.
+
+    Ids are assigned in first-seen order, starting at 0, and never change or
+    disappear — consumers may therefore index flat arrays by id for the
+    interner's whole lifetime.
+    """
+
+    __slots__ = ("_ids", "_vertices")
+
+    def __init__(self, vertices: Optional[Iterable[Vertex]] = None) -> None:
+        self._ids: Dict[Vertex, int] = {}
+        self._vertices: List[Vertex] = []
+        if vertices is not None:
+            for vertex in vertices:
+                self.intern(vertex)
+
+    def intern(self, vertex: Vertex) -> int:
+        """Return the id of ``vertex``, assigning the next dense id if new."""
+        vid = self._ids.get(vertex)
+        if vid is None:
+            vid = len(self._vertices)
+            self._ids[vertex] = vid
+            self._vertices.append(vertex)
+        return vid
+
+    def id_of(self, vertex: Vertex) -> int:
+        """Return the id of an already-interned vertex.
+
+        Raises :class:`~repro.errors.VertexNotFoundError` for unknown vertices.
+        """
+        try:
+            return self._ids[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def get_id(self, vertex: Vertex, default: int = -1) -> int:
+        """Return the id of ``vertex`` or ``default`` when not interned."""
+        return self._ids.get(vertex, default)
+
+    def vertex_of(self, vid: int) -> Vertex:
+        """Return the vertex carrying integer id ``vid``."""
+        return self._vertices[vid]
+
+    @property
+    def vertices(self) -> List[Vertex]:
+        """The interned vertices, indexed by id (live list — do not mutate)."""
+        return self._vertices
+
+    def translate(self, vids: Iterable[int]) -> set:
+        """Return ``vids`` as a set of the original hashable vertices."""
+        vertices = self._vertices
+        return {vertices[vid] for vid in vids}
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._ids
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VertexInterner(n={len(self._vertices)})"
+
+
+class CompactGraph:
+    """Frozen CSR snapshot of a :class:`~repro.graph.static.Graph`.
+
+    ``indices[indptr[i]:indptr[i + 1]]`` holds the neighbour ids of vertex
+    ``i``; ``degrees[i]`` is that row's length.  The structure is a snapshot:
+    mutating the source graph afterwards does not update it.
+
+    With ``ordered=True`` vertices are interned in deterministic
+    :func:`~repro.ordering.tie_break_key` order, making the integer id double
+    as the tie-break rank the peeling kernels need.  ``ordered=False`` skips
+    the sort (one ``repr`` call per vertex) and is appropriate for kernels
+    whose results are order-independent sets, e.g. the k-core cascade.
+    """
+
+    __slots__ = ("interner", "indptr", "indices", "degrees", "ordered", "num_edges")
+
+    def __init__(
+        self,
+        interner: VertexInterner,
+        indptr: List[int],
+        indices: List[int],
+        ordered: bool,
+        num_edges: int,
+    ) -> None:
+        self.interner = interner
+        self.indptr = indptr
+        self.indices = indices
+        self.ordered = ordered
+        self.num_edges = num_edges
+        self.degrees = [
+            indptr[i + 1] - indptr[i] for i in range(len(interner))
+        ]
+
+    @classmethod
+    def from_graph(cls, graph: Graph, ordered: bool = True) -> "CompactGraph":
+        """Build a CSR snapshot of ``graph`` (one adjacency pass)."""
+        if ordered:
+            vertex_order = sorted(graph.vertices(), key=tie_break_key)
+        else:
+            vertex_order = list(graph.vertices())
+        interner = VertexInterner(vertex_order)
+        ids = interner._ids
+        indptr: List[int] = [0]
+        indices: List[int] = []
+        append = indices.append
+        for vertex in vertex_order:
+            for neighbour in graph.neighbors(vertex):
+                append(ids[neighbour])
+            indptr.append(len(indices))
+        return cls(
+            interner,
+            indptr,
+            indices,
+            ordered=ordered,
+            num_edges=graph.num_edges,
+        )
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the snapshot."""
+        return len(self.interner)
+
+    def neighbor_ids(self, vid: int) -> List[int]:
+        """Return the neighbour ids of ``vid`` (a fresh list)."""
+        return self.indices[self.indptr[vid] : self.indptr[vid + 1]]
+
+    def __len__(self) -> int:
+        return len(self.interner)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompactGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"ordered={self.ordered})"
+        )
+
+
+class DynamicCompactAdjacency:
+    """Mutable integer-ID adjacency: one set of neighbour ids per vertex.
+
+    The incremental maintenance kernels traverse this structure instead of the
+    hashable-vertex graph: neighbour iteration yields small ints, and the core
+    numbers live in a flat list indexed by id.  Vertices are append-only
+    (edge removal keeps endpoints), matching :class:`CoreMaintainer`'s
+    contract.
+    """
+
+    __slots__ = ("interner", "adj")
+
+    def __init__(self, interner: Optional[VertexInterner] = None) -> None:
+        self.interner = interner if interner is not None else VertexInterner()
+        self.adj: List[set] = [set() for _ in range(len(self.interner))]
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "DynamicCompactAdjacency":
+        """Mirror the adjacency of ``graph`` (ids in graph iteration order)."""
+        mirror = cls(VertexInterner(graph.vertices()))
+        ids = mirror.interner._ids
+        adj = mirror.adj
+        for vertex in graph.vertices():
+            row = adj[ids[vertex]]
+            for neighbour in graph.neighbors(vertex):
+                row.add(ids[neighbour])
+        return mirror
+
+    def ensure_vertex(self, vertex: Vertex) -> int:
+        """Intern ``vertex`` (creating an empty adjacency row) and return its id."""
+        vid = self.interner.intern(vertex)
+        while len(self.adj) <= vid:
+            self.adj.append(set())
+        return vid
+
+    def add_edge_ids(self, u_id: int, v_id: int) -> None:
+        """Record the undirected edge between two existing ids."""
+        self.adj[u_id].add(v_id)
+        self.adj[v_id].add(u_id)
+
+    def remove_edge_ids(self, u_id: int, v_id: int) -> None:
+        """Drop the undirected edge between two existing ids (if present)."""
+        self.adj[u_id].discard(v_id)
+        self.adj[v_id].discard(u_id)
+
+    def __len__(self) -> int:
+        return len(self.adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DynamicCompactAdjacency(n={len(self.adj)})"

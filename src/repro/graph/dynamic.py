@@ -20,6 +20,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from repro.errors import SnapshotError
 from repro.graph.static import Edge, Graph, Vertex
+from repro.ordering import edge_tie_break_key, tie_break_key
 
 
 def _normalise_edge(edge: Edge) -> Tuple[Vertex, Vertex]:
@@ -28,9 +29,10 @@ def _normalise_edge(edge: Edge) -> Tuple[Vertex, Vertex]:
     try:
         return (u, v) if u <= v else (v, u)  # type: ignore[operator]
     except TypeError:
-        # Mixed / unorderable vertex types: fall back to repr ordering, which is
-        # stable within a single process and sufficient for set semantics.
-        return (u, v) if repr(u) <= repr(v) else (v, u)
+        # Mixed / unorderable vertex types: fall back to the shared tie-break
+        # ordering, which is stable within a single process and sufficient for
+        # set semantics.
+        return (u, v) if tie_break_key(u) <= tie_break_key(v) else (v, u)
 
 
 @dataclass(frozen=True)
@@ -55,8 +57,8 @@ class EdgeDelta:
         removed: Iterable[Edge] = (),
     ) -> "EdgeDelta":
         """Build a delta from arbitrary edge iterables (edges are canonicalised)."""
-        ins = tuple(sorted({_normalise_edge(e) for e in inserted}, key=repr))
-        rem = tuple(sorted({_normalise_edge(e) for e in removed}, key=repr))
+        ins = tuple(sorted({_normalise_edge(e) for e in inserted}, key=edge_tie_break_key))
+        rem = tuple(sorted({_normalise_edge(e) for e in removed}, key=edge_tie_break_key))
         return cls(inserted=ins, removed=rem)
 
     @classmethod

@@ -28,6 +28,7 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 from repro.errors import ParameterError
 from repro.graph.dynamic import EdgeDelta, EvolvingGraph, SnapshotSequence
 from repro.graph.static import Graph, Vertex
+from repro.ordering import edge_tie_break_key, tie_break_key
 
 
 def _as_rng(seed: int | random.Random | None) -> random.Random:
@@ -185,7 +186,7 @@ def powerlaw_cluster_graph(
                 and graph.degree(last_target) > 0
             )
             if close_triangle:
-                target = rng.choice(sorted(graph.neighbors(last_target), key=repr))
+                target = rng.choice(sorted(graph.neighbors(last_target), key=tie_break_key))
             else:
                 target = rng.choice(repeated)
             if target == new_vertex or graph.has_edge(new_vertex, target):
@@ -279,11 +280,11 @@ def perturb_snapshots(
     if lo_rem < 0 or hi_rem < lo_rem or lo_ins < 0 or hi_ins < lo_ins:
         raise ParameterError("per-step removal/insertion ranges must be non-negative and ordered")
     rng = _as_rng(seed)
-    vertices = sorted(base.vertices(), key=repr)
+    vertices = sorted(base.vertices(), key=tie_break_key)
     current = base.copy()
     deltas: List[EdgeDelta] = []
     for _ in range(num_snapshots - 1):
-        existing = sorted(current.edges(), key=repr)
+        existing = sorted(current.edges(), key=edge_tie_break_key)
         num_removals = min(rng.randint(lo_rem, hi_rem), len(existing))
         removed = rng.sample(existing, num_removals) if num_removals else []
         removed_set = {frozenset(edge) for edge in removed}

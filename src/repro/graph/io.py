@@ -18,6 +18,7 @@ from repro.errors import DatasetError
 from repro.graph.generators import TemporalEdge, split_stream_into_snapshots
 from repro.graph.dynamic import SnapshotSequence
 from repro.graph.static import Graph
+from repro.ordering import edge_tie_break_key
 
 PathLike = Union[str, Path]
 
@@ -105,7 +106,7 @@ def write_edge_list(graph: Graph, path: PathLike) -> None:
     path = Path(path)
     with open(path, "wt", encoding="utf-8") as handle:
         handle.write(f"# Undirected graph: {graph.num_vertices} nodes, {graph.num_edges} edges\n")
-        for u, v in sorted(graph.edges(), key=repr):
+        for u, v in sorted(graph.edges(), key=edge_tie_break_key):
             handle.write(f"{u} {v}\n")
 
 

@@ -1,0 +1,37 @@
+"""Deterministic vertex and edge ordering shared across the whole library.
+
+Vertex identifiers are arbitrary hashable objects (the experiments use
+integers, the datasets sometimes strings), so Python's default comparison is
+not available across types.  Every algorithm that needs a reproducible
+iteration order — the peeling decomposition's tie-breaking, the greedy
+solvers' candidate scans, the generators' seeded sampling, edge-list IO —
+must therefore sort by the same explicit key, otherwise two call sites can
+disagree about "the first candidate" and produce different (both valid, but
+non-reproducible) results.
+
+This module is that single source of truth.  :func:`tie_break_key` orders
+vertices by ``(type name, repr)``: total within one run, stable across runs
+for the value-like identifiers the library supports, and identical to the key
+the solvers historically used.  :func:`edge_tie_break_key` lifts it to edge
+pairs so heterogeneous edge lists sort identically everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence, Tuple
+
+Vertex = Hashable
+
+#: The shape of a vertex sort key: ``(type name, repr)``.
+VertexKey = Tuple[str, str]
+
+
+def tie_break_key(vertex: Vertex) -> VertexKey:
+    """Deterministic tie-breaking key across heterogeneous vertex identifiers."""
+    return (type(vertex).__name__, repr(vertex))
+
+
+def edge_tie_break_key(edge: Sequence[Vertex]) -> Tuple[VertexKey, VertexKey]:
+    """Deterministic sort key for an edge ``(u, v)`` built from the vertex keys."""
+    u, v = edge
+    return (tie_break_key(u), tie_break_key(v))

@@ -1,0 +1,231 @@
+"""Property tests: the dict and compact backends are observationally identical.
+
+The compact integer-ID backend (:mod:`repro.graph.compact`) re-implements
+every hot kernel — peeling decomposition, k-core cascades, the K-order
+remaining degrees, follower computation, greedy selection, incremental
+maintenance — over flat int arrays.  These tests pin the contract that makes
+``backend="auto"`` safe: for *any* graph (isolated vertices, non-integer and
+mixed-type vertex ids included) both backends return identical results, down
+to the removal order and the instrumentation counters.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.anchored.anchored_core import AnchoredCoreIndex
+from repro.anchored.followers import anchored_k_core
+from repro.anchored.greedy import GreedyAnchoredKCore
+from repro.anchored.olak import OLAKAnchoredKCore
+from repro.anchored.rcm import RCMAnchoredKCore
+from repro.cores.decomposition import (
+    anchored_core_decomposition,
+    core_decomposition,
+    k_core,
+)
+from repro.cores.korder import KOrder
+from repro.cores.maintenance import CoreMaintainer
+from repro.graph.dynamic import EdgeDelta
+from repro.graph.static import Graph
+
+SETTINGS = settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+#: Vertex pools exercising the interner: contiguous ints, sparse ints,
+#: strings, and a mixed-type universe (ints and strings together).
+VERTEX_POOLS = (
+    list(range(12)),
+    [3, 7, 1000, 9999, -5, 0, 42, 18, 2, 61],
+    ["alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"],
+    [0, 1, 2, "x", "y", "z", 77, "alice", -3, "bob"],
+)
+
+
+@st.composite
+def graphs(draw) -> Graph:
+    """Random small graphs over a drawn vertex pool, isolated vertices kept."""
+    pool = draw(st.sampled_from(VERTEX_POOLS))
+    num_vertices = draw(st.integers(min_value=1, max_value=len(pool)))
+    vertices = pool[:num_vertices]
+    possible_edges = [
+        (u, v) for i, u in enumerate(vertices) for v in vertices[i + 1 :]
+    ]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), max_size=3 * num_vertices, unique=True)
+        if possible_edges
+        else st.just([])
+    )
+    # Only some vertices carry edges; the rest stay isolated on purpose.
+    return Graph(edges=edges, vertices=vertices)
+
+
+@st.composite
+def graphs_with_anchors(draw):
+    graph = draw(graphs())
+    universe = sorted(graph.vertices(), key=repr)
+    anchors = draw(st.lists(st.sampled_from(universe), max_size=3, unique=True))
+    return graph, anchors
+
+
+@st.composite
+def graphs_with_k(draw):
+    graph = draw(graphs())
+    k = draw(st.integers(min_value=1, max_value=4))
+    return graph, k
+
+
+def _assert_results_equal(first, second):
+    assert first.anchors == second.anchors
+    assert first.followers == second.followers
+    assert first.anchored_core_size == second.anchored_core_size
+    assert first.stats.candidates_evaluated == second.stats.candidates_evaluated
+    assert first.stats.visited_vertices == second.stats.visited_vertices
+
+
+@SETTINGS
+@given(graphs_with_anchors())
+def test_decomposition_identical_across_backends(graph_and_anchors):
+    graph, anchors = graph_and_anchors
+    dict_result = anchored_core_decomposition(graph, anchors, backend="dict")
+    compact_result = anchored_core_decomposition(graph, anchors, backend="compact")
+    assert dict(dict_result.core) == dict(compact_result.core)
+    assert dict_result.order == compact_result.order
+    assert dict_result.anchors == compact_result.anchors
+
+
+@SETTINGS
+@given(graphs_with_k())
+def test_k_core_and_anchored_cascade_identical(graph_and_k):
+    graph, k = graph_and_k
+    assert k_core(graph, k, backend="dict") == k_core(graph, k, backend="compact")
+    anchors = sorted(graph.vertices(), key=repr)[:2]
+    assert anchored_k_core(graph, k, anchors, backend="dict") == anchored_k_core(
+        graph, k, anchors, backend="compact"
+    )
+
+
+@SETTINGS
+@given(graphs())
+def test_korder_identical_across_backends(graph):
+    dict_order = KOrder(graph, backend="dict")
+    compact_order = KOrder(graph, backend="compact")
+    assert dict_order.core_numbers() == compact_order.core_numbers()
+    assert dict_order.shells() == compact_order.shells()
+    for vertex in graph.vertices():
+        assert dict_order.rank(vertex) == compact_order.rank(vertex)
+        assert dict_order.remaining_degree(vertex) == compact_order.remaining_degree(vertex)
+    compact_order.validate()
+
+
+@SETTINGS
+@given(graphs_with_k())
+def test_index_candidates_and_followers_identical(graph_and_k):
+    graph, k = graph_and_k
+    dict_index = AnchoredCoreIndex(graph, k, backend="dict")
+    compact_index = AnchoredCoreIndex(graph, k, backend="compact")
+    assert dict_index.core_numbers() == dict(compact_index.core_numbers())
+    assert dict_index.candidate_anchors() == compact_index.candidate_anchors()
+    assert dict_index.candidate_anchors(order_pruning=False) == compact_index.candidate_anchors(
+        order_pruning=False
+    )
+    assert dict_index.all_non_core_vertices() == compact_index.all_non_core_vertices()
+    assert dict_index.plain_k_core() == compact_index.plain_k_core()
+    assert dict_index.shell() == compact_index.shell()
+    for candidate in sorted(dict_index.all_non_core_vertices(), key=repr):
+        assert dict_index.marginal_followers(candidate) == compact_index.marginal_followers(
+            candidate
+        )
+        assert dict_index.marginal_followers(
+            candidate, full_shell=True
+        ) == compact_index.marginal_followers(candidate, full_shell=True)
+    assert dict_index.visited_vertices == compact_index.visited_vertices
+    assert dict_index.candidates_evaluated == compact_index.candidates_evaluated
+
+
+@SETTINGS
+@given(graphs_with_k(), st.integers(min_value=0, max_value=3))
+def test_greedy_identical_across_backends(graph_and_k, budget):
+    graph, k = graph_and_k
+    _assert_results_equal(
+        GreedyAnchoredKCore(graph, k, budget, backend="dict").select(),
+        GreedyAnchoredKCore(graph, k, budget, backend="compact").select(),
+    )
+
+
+@SETTINGS
+@given(graphs_with_k(), st.integers(min_value=0, max_value=3))
+def test_olak_identical_across_backends(graph_and_k, budget):
+    graph, k = graph_and_k
+    _assert_results_equal(
+        OLAKAnchoredKCore(graph, k, budget, backend="dict").select(),
+        OLAKAnchoredKCore(graph, k, budget, backend="compact").select(),
+    )
+
+
+@SETTINGS
+@given(graphs_with_k(), st.integers(min_value=0, max_value=3))
+def test_rcm_identical_across_backends(graph_and_k, budget):
+    graph, k = graph_and_k
+    _assert_results_equal(
+        RCMAnchoredKCore(graph, k, budget, backend="dict").select(),
+        RCMAnchoredKCore(graph, k, budget, backend="compact").select(),
+    )
+
+
+@st.composite
+def edit_scripts(draw):
+    """A starting graph plus a sequence of edge insertions/removals."""
+    graph = draw(graphs())
+    pool = sorted(graph.vertices(), key=repr)
+    operations = []
+    if len(pool) >= 2:
+        pairs = [(u, v) for i, u in enumerate(pool) for v in pool[i + 1 :]]
+        operations = draw(
+            st.lists(
+                st.tuples(st.booleans(), st.sampled_from(pairs)),
+                max_size=25,
+            )
+        )
+    return graph, operations
+
+
+@SETTINGS
+@given(edit_scripts())
+def test_maintenance_identical_across_backends(script):
+    graph, operations = script
+    dict_maintainer = CoreMaintainer(graph, backend="dict")
+    compact_maintainer = CoreMaintainer(graph, backend="compact")
+    for insert, (u, v) in operations:
+        if insert:
+            assert dict_maintainer.insert_edge(u, v) == compact_maintainer.insert_edge(u, v)
+        else:
+            assert dict_maintainer.remove_edge(u, v) == compact_maintainer.remove_edge(u, v)
+        assert dict_maintainer._visited_last == compact_maintainer._visited_last
+    assert dict_maintainer.core_numbers() == compact_maintainer.core_numbers()
+    compact_maintainer.validate()
+
+
+@SETTINGS
+@given(edit_scripts(), st.integers(min_value=1, max_value=4))
+def test_apply_delta_identical_across_backends(script, k):
+    graph, operations = script
+    inserted = [edge for insert, edge in operations if insert]
+    removed = [edge for insert, edge in operations if not insert]
+    delta = EdgeDelta.from_iterables(inserted=inserted, removed=removed)
+    dict_maintainer = CoreMaintainer(graph, backend="dict")
+    compact_maintainer = CoreMaintainer(graph, backend="compact")
+    dict_effect = dict_maintainer.apply_delta(delta, k=k)
+    compact_effect = compact_maintainer.apply_delta(delta, k=k)
+    for attribute in (
+        "increased",
+        "decreased",
+        "insertion_affected",
+        "deletion_affected",
+        "insertion_touched",
+        "deletion_touched",
+        "pre_update_core",
+        "visited",
+    ):
+        assert getattr(dict_effect, attribute) == getattr(compact_effect, attribute), attribute
+    assert dict_maintainer.core_numbers() == compact_maintainer.core_numbers()
+    compact_maintainer.validate()

@@ -1,0 +1,107 @@
+"""Unit tests for the compact integer-ID backend structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cores.decomposition import compact_k_core_ids, compact_peel, core_decomposition
+from repro.errors import ParameterError, VertexNotFoundError
+from repro.graph.compact import (
+    BACKEND_COMPACT,
+    BACKEND_DICT,
+    COMPACT_THRESHOLD,
+    CompactGraph,
+    DynamicCompactAdjacency,
+    VertexInterner,
+    resolve_backend,
+)
+from repro.graph.static import Graph
+
+
+class TestVertexInterner:
+    def test_ids_are_dense_and_stable(self):
+        interner = VertexInterner()
+        assert interner.intern("a") == 0
+        assert interner.intern("b") == 1
+        assert interner.intern("a") == 0  # re-interning does not move ids
+        assert interner.id_of("b") == 1
+        assert interner.vertex_of(0) == "a"
+        assert len(interner) == 2
+        assert "a" in interner and "c" not in interner
+        assert list(interner) == ["a", "b"]
+
+    def test_unknown_vertex_raises(self):
+        interner = VertexInterner(["only"])
+        with pytest.raises(VertexNotFoundError):
+            interner.id_of("missing")
+        assert interner.get_id("missing") == -1
+
+    def test_translate_round_trips(self):
+        interner = VertexInterner([10, "x", 20])
+        assert interner.translate([0, 2]) == {10, 20}
+
+
+class TestCompactGraph:
+    def test_csr_shape_matches_graph(self):
+        graph = Graph(edges=[(1, 2), (2, 3)], vertices=[1, 2, 3, 99])
+        cgraph = CompactGraph.from_graph(graph)
+        assert cgraph.num_vertices == 4
+        assert cgraph.num_edges == 2
+        assert sum(cgraph.degrees) == 2 * graph.num_edges
+        two = cgraph.interner.id_of(2)
+        neighbours = cgraph.interner.translate(cgraph.neighbor_ids(two))
+        assert neighbours == {1, 3}
+        # Vertex 99 is isolated: empty row.
+        assert cgraph.neighbor_ids(cgraph.interner.id_of(99)) == []
+
+    def test_ordered_snapshot_ids_follow_tie_break_order(self):
+        graph = Graph(vertices=[5, 1, 3])
+        cgraph = CompactGraph.from_graph(graph, ordered=True)
+        assert [cgraph.interner.vertex_of(vid) for vid in range(3)] == [1, 3, 5]
+
+    def test_compact_peel_requires_ordered_snapshot(self):
+        graph = Graph(edges=[(1, 2)])
+        unordered = CompactGraph.from_graph(graph, ordered=False)
+        with pytest.raises(ParameterError):
+            compact_peel(unordered)
+
+    def test_compact_peel_empty_graph(self):
+        cgraph = CompactGraph.from_graph(Graph())
+        core, order = compact_peel(cgraph)
+        assert core == [] and order == []
+
+    def test_compact_k_core_ids_matches_decomposition(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+        cgraph = CompactGraph.from_graph(graph)
+        members = cgraph.interner.translate(compact_k_core_ids(cgraph, 2))
+        assert members == core_decomposition(graph).k_core_vertices(2)
+
+
+class TestDynamicCompactAdjacency:
+    def test_mirror_tracks_edges(self):
+        graph = Graph(edges=[("a", "b")], vertices=["a", "b", "c"])
+        mirror = DynamicCompactAdjacency.from_graph(graph)
+        a, b = mirror.interner.id_of("a"), mirror.interner.id_of("b")
+        assert b in mirror.adj[a] and a in mirror.adj[b]
+        c = mirror.ensure_vertex("c")
+        d = mirror.ensure_vertex("d")  # new vertex grows the structure
+        assert len(mirror) == 4
+        mirror.add_edge_ids(c, d)
+        assert d in mirror.adj[c]
+        mirror.remove_edge_ids(c, d)
+        assert d not in mirror.adj[c]
+        mirror.remove_edge_ids(c, d)  # removing an absent edge is a no-op
+
+
+class TestResolveBackend:
+    def test_explicit_backends_pass_through(self):
+        assert resolve_backend("dict", 10**9) == BACKEND_DICT
+        assert resolve_backend("compact", 1) == BACKEND_COMPACT
+
+    def test_auto_resolves_by_size(self):
+        assert resolve_backend("auto", COMPACT_THRESHOLD - 1) == BACKEND_DICT
+        assert resolve_backend("auto", COMPACT_THRESHOLD) == BACKEND_COMPACT
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ParameterError):
+            resolve_backend("numpy", 10)
