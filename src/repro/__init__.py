@@ -41,37 +41,70 @@ The library is layered; each layer only depends on the ones above it::
 
     repro.graph     Graph (adjacency-set dict, hashable vertex ids)  ── public substrate
                     compact: VertexInterner · CompactGraph (CSR) ·
-                    DynamicCompactAdjacency                          ── execution layer
+                    DynamicCompactAdjacency                          ── snapshot structures
+    repro.backends  ExecutionBackend protocol · registry · auto
+                    policy · dict / compact / numpy kernels          ── execution layer
     repro.cores     core_decomposition · KOrder · CoreMaintainer     ── k-core machinery
     repro.anchored  followers · AnchoredCoreIndex ·
                     Greedy / OLAK / RCM / brute force                ── anchored k-core
     repro.avt       per-snapshot trackers · IncAVTTracker            ── dynamic tracking
     repro.engine    StreamingAVTEngine (ingest, cache, warm solves)  ── online serving
 
-Every hot kernel exists twice: a hashable-vertex ``dict`` implementation and
-a flat integer-array implementation over the compact backend.  The split
-follows the symbolic-vs-numeric layering of dataflow systems: user code
-always speaks hashable vertex ids; the kernels run on dense ``0..n-1`` ints.
+*Execution backends* — every hot kernel (peeling decomposition, k-core
+cascades, K-order ``deg+``, the follower cascades and candidate scans behind
+the anchored core index, the incremental maintenance traversals) is defined
+once as the :class:`~repro.backends.ExecutionBackend` protocol and
+implemented by the registered backends; public modules never branch on a
+backend name, they call through the object the registry resolves.  The three
+built-ins:
 
-*Interning semantics* — :class:`~repro.graph.VertexInterner` assigns dense
-ids in first-seen order and never reuses or moves them, so flat arrays stay
-index-stable for the interner's lifetime.  Ordered
+================  =============================================  =========================================
+backend           implementation                                 ``auto`` picks it when
+================  =============================================  =========================================
+``dict``          hashable vertices over the adjacency-set       the graph has fewer than
+                  graph; zero setup or translation cost          :data:`~repro.backends.COMPACT_THRESHOLD`
+                                                                 vertices, or for any one-shot cascade
+                                                                 (a single O(n + m) pass cannot amortise
+                                                                 a snapshot build)
+``compact``       flat int arrays over an interned CSR           large amortised workloads when numpy is
+                  snapshot; packed single-int heap peeling       not installed
+``numpy``         vectorised numpy kernels over the same CSR     large amortised workloads when numpy is
+                  contract (wave peeling, bincount support       installed (highest auto priority)
+                  counts, edge-level candidate scans)
+================  =============================================  =========================================
+
+All registered backends guarantee identical core numbers, identical
+*removal orders* and identical instrumentation counts (enforced by
+``tests/test_backend_equivalence.py``); only speed differs —
+``benchmarks/bench_backend_compare.py`` tracks the gaps and emits
+``BENCH_backend.json`` / ``BENCH_numpy.json``.  The determinism hinges on
+the interning semantics: :class:`~repro.graph.VertexInterner` assigns dense
+ids in first-seen order and never moves them, and ordered
 :class:`~repro.graph.CompactGraph` snapshots intern in
-:func:`repro.ordering.tie_break_key` order, making the id double as the
-deterministic tie-break rank — which is why both backends produce identical
-peeling orders, not merely identical core numbers.
+:func:`repro.ordering.tie_break_key` order so the integer id doubles as the
+deterministic tie-break rank.
 
-*Backend selection* — solvers, trackers, ``CoreMaintainer``, ``KOrder`` and
-``StreamingAVTEngine`` accept ``backend="auto" | "dict" | "compact"``.
-``auto`` (the default) resolves to compact at
-:data:`~repro.graph.COMPACT_THRESHOLD` vertices and to dict below it.
-One-shot cascades (:func:`k_core`, :func:`anchored_k_core`,
-:func:`compute_followers`) default to ``dict`` because a single O(n + m)
-pass cannot amortise building the snapshot; long-lived consumers
-(:class:`AnchoredCoreIndex`, ``CoreMaintainer``) build one compact structure
-and reuse it across every refresh, scan and cascade.  Results are identical
-across backends (enforced by ``tests/test_backend_equivalence.py``); only
-speed differs — ``benchmarks/bench_backend_compare.py`` tracks the gap.
+*Custom backends* — implement the protocol and register it::
+
+    from repro.backends import ExecutionBackend, register_backend
+
+    class MyBackend(ExecutionBackend):
+        name = "mine"
+        ...  # decompose / k_core / remaining_degrees /
+             # build_core_index / build_maintenance
+
+    register_backend("mine", MyBackend, auto_priority=5)
+    GreedyAnchoredKCore(graph, k=3, budget=5, backend="mine")
+
+``auto_priority`` ranks the backend for ``auto`` on large amortised
+workloads; an ``is_available`` probe lets optional-dependency backends (like
+numpy) degrade gracefully.  This registry is also the seam the planned
+sharded backend plugs into.
+
+*Dynamic re-resolution* — ``StreamingAVTEngine(backend="auto")`` re-resolves
+at flush time and migrates its :class:`CoreMaintainer` state, so an engine
+that starts empty upgrades off the dict backend once the ingested stream
+crosses the threshold.
 """
 
 from repro.anchored import (
@@ -115,12 +148,21 @@ from repro.engine import (
     load_checkpoint,
     save_checkpoint,
 )
-from repro.graph import (
+from repro.backends import (
     BACKEND_AUTO,
     BACKEND_COMPACT,
     BACKEND_DICT,
+    BACKEND_NUMPY,
     BACKENDS,
     COMPACT_THRESHOLD,
+    ExecutionBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
+from repro.graph import (
     CompactGraph,
     DynamicCompactAdjacency,
     EdgeDelta,
@@ -128,7 +170,6 @@ from repro.graph import (
     Graph,
     SnapshotSequence,
     VertexInterner,
-    resolve_backend,
 )
 from repro.graph.datasets import (
     DATASET_NAMES,
@@ -148,15 +189,21 @@ __all__ = [
     "EdgeDelta",
     "EvolvingGraph",
     "SnapshotSequence",
-    # compact backend
+    # execution backends
     "BACKEND_AUTO",
     "BACKEND_COMPACT",
     "BACKEND_DICT",
+    "BACKEND_NUMPY",
     "BACKENDS",
     "COMPACT_THRESHOLD",
     "CompactGraph",
     "DynamicCompactAdjacency",
+    "ExecutionBackend",
     "VertexInterner",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
     "resolve_backend",
     # datasets
     "DATASET_NAMES",

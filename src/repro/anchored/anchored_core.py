@@ -13,49 +13,33 @@ infinite degree, so the core numbers that drive steps (1) and (2) must be the
 * the instrumentation counters (candidates evaluated, vertices visited) that
   the paper's Figures 4, 6 and 8 report.
 
-The index is backend-aware (see :mod:`repro.graph.compact`): in compact mode
-it snapshots the graph once into CSR arrays and runs every refresh, candidate
-scan and follower cascade over flat int arrays, translating back to the
-caller's hashable vertices only at the API boundary.  Because the solvers
-never mutate the graph during a selection run, the one-off snapshot is valid
-for the index's whole lifetime; results are identical across backends.
+The index is execution-backend-agnostic: it validates inputs, owns the anchor
+set and the instrumentation, and delegates every kernel — the anchored peel,
+the candidate scans, the follower cascades — to the
+:class:`~repro.backends.CoreIndexKernel` built by the resolved
+:class:`~repro.backends.ExecutionBackend` (``backend="auto"`` picks by graph
+size; see :mod:`repro.backends.registry`).  Snapshot-based kernels build
+their snapshot once for the index's lifetime — valid because the solvers
+never mutate the graph during a selection run — and results are identical
+across all registered backends.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Iterable, Mapping, Optional, Set, Union
 
-from repro.anchored.followers import (
-    compact_full_shell_followers,
-    compact_marginal_followers,
-    full_shell_followers,
-    marginal_followers,
-)
-from repro.cores.decomposition import (
-    ANCHOR_CORE,
-    CoreDecomposition,
-    anchored_core_decomposition,
-    compact_k_core_ids,
-    compact_peel,
-)
+from repro.backends import BACKEND_AUTO, ExecutionBackend, get_backend
 from repro.errors import ParameterError, VertexNotFoundError
-from repro.graph.compact import (
-    BACKEND_AUTO,
-    BACKEND_COMPACT,
-    BACKEND_DICT,
-    CompactGraph,
-    resolve_backend,
-)
 from repro.graph.static import Graph, Vertex
 
 
 class AnchoredCoreIndex:
     """Mutable index of a graph, a degree constraint ``k`` and a growing anchor set.
 
-    ``backend`` selects the execution layer: ``"dict"`` works directly on the
-    adjacency-set graph, ``"compact"`` on a one-off CSR snapshot with integer
-    kernels, and ``"auto"`` (default) picks compact for large graphs.  The
-    graph must not be mutated while the index is alive (the solvers never do).
+    ``backend`` selects the execution layer (a registered name, ``"auto"``,
+    or an :class:`~repro.backends.ExecutionBackend` instance — see
+    :mod:`repro.backends`).  The graph must not be mutated while the index is
+    alive (the solvers never do).
     """
 
     def __init__(
@@ -63,7 +47,7 @@ class AnchoredCoreIndex:
         graph: Graph,
         k: int,
         anchors: Iterable[Vertex] = (),
-        backend: str = BACKEND_AUTO,
+        backend: Union[str, ExecutionBackend] = BACKEND_AUTO,
     ) -> None:
         if k < 1:
             raise ParameterError("k must be >= 1")
@@ -73,26 +57,13 @@ class AnchoredCoreIndex:
         for anchor in self._anchors:
             if not graph.has_vertex(anchor):
                 raise VertexNotFoundError(anchor)
-        self._backend = resolve_backend(backend, graph.num_vertices)
+        self._backend = get_backend(backend, graph.num_vertices)
+        self._kernel = self._backend.build_core_index(graph)
         self._plain_k_core: Optional[Set[Vertex]] = None
-        # Dict-mode state.
-        self._decomposition: Optional[CoreDecomposition] = None
-        self._rank: Dict[Vertex, int] = {}
-        # Compact-mode state (flat arrays indexed by vertex id).
-        self._cgraph: Optional[CompactGraph] = None
-        self._anchor_ids: Set[int] = set()
-        self._core_ids: List[float] = []
-        self._rank_ids: List[int] = []
-        self._core_map_cache: Optional[Dict[Vertex, float]] = None
-        if self._backend == BACKEND_COMPACT:
-            self._cgraph = CompactGraph.from_graph(graph, ordered=True)
-            self._anchor_ids = {
-                self._cgraph.interner.id_of(anchor) for anchor in self._anchors
-            }
         # Instrumentation shared with the solver wrappers.
         self.candidates_evaluated = 0
         self.visited_vertices = 0
-        self._refresh()
+        self._kernel.refresh(self._anchors)
 
     # ------------------------------------------------------------------
     # Views
@@ -109,8 +80,8 @@ class AnchoredCoreIndex:
 
     @property
     def backend(self) -> str:
-        """The resolved execution backend (``"dict"`` or ``"compact"``)."""
-        return self._backend
+        """The name of the resolved execution backend (e.g. ``"dict"``)."""
+        return self._backend.name
 
     @property
     def anchors(self) -> Set[Vertex]:
@@ -119,50 +90,24 @@ class AnchoredCoreIndex:
 
     def core(self, vertex: Vertex) -> float:
         """Return the anchored core number of ``vertex`` (anchors map to infinity)."""
-        if self._cgraph is not None:
-            return self._core_ids[self._cgraph.interner.id_of(vertex)]
-        return self._decomposition.core[vertex]
+        return self._kernel.core_of(vertex)
 
     def core_numbers(self) -> Mapping[Vertex, float]:
         """Return the anchored core-number mapping (live, do not mutate)."""
-        if self._cgraph is not None:
-            if self._core_map_cache is None:
-                vertices = self._cgraph.interner.vertices
-                core_ids = self._core_ids
-                self._core_map_cache = {
-                    vertices[vid]: core_ids[vid] for vid in range(len(vertices))
-                }
-            return self._core_map_cache
-        return self._decomposition.core
+        return self._kernel.core_numbers()
 
     def anchored_core_vertices(self) -> Set[Vertex]:
         """Return the anchored k-core ``C_k(S)`` under the current anchor set."""
-        if self._cgraph is not None:
-            k = self._k
-            core_ids = self._core_ids
-            return self._cgraph.interner.translate(
-                vid for vid in range(len(core_ids)) if core_ids[vid] >= k
-            )
-        return self._decomposition.k_core_vertices(self._k)
+        return self._kernel.vertices_with_core_at_least(self._k)
 
     def anchored_core_size(self) -> int:
         """Return ``|C_k(S)|``."""
-        if self._cgraph is not None:
-            k = self._k
-            return sum(1 for value in self._core_ids if value >= k)
-        return len(self.anchored_core_vertices())
+        return self._kernel.count_core_at_least(self._k)
 
     def plain_k_core(self) -> Set[Vertex]:
         """Return the k-core of the graph without any anchors (cached)."""
         if self._plain_k_core is None:
-            if self._cgraph is not None:
-                self._plain_k_core = self._cgraph.interner.translate(
-                    compact_k_core_ids(self._cgraph, self._k)
-                )
-            else:
-                from repro.cores.decomposition import k_core
-
-                self._plain_k_core = k_core(self._graph, self._k, backend=BACKEND_DICT)
+            self._plain_k_core = self._kernel.plain_k_core(self._k)
         return set(self._plain_k_core)
 
     def followers(self) -> Set[Vertex]:
@@ -171,13 +116,7 @@ class AnchoredCoreIndex:
 
     def shell(self) -> Set[Vertex]:
         """Return the ``(k-1)``-shell under the anchored core numbers."""
-        if self._cgraph is not None:
-            target = self._k - 1
-            core_ids = self._core_ids
-            return self._cgraph.interner.translate(
-                vid for vid in range(len(core_ids)) if core_ids[vid] == target
-            )
-        return self._decomposition.shell_vertices(self._k - 1)
+        return self._kernel.shell_vertices(self._k - 1)
 
     # ------------------------------------------------------------------
     # Candidate enumeration
@@ -191,45 +130,7 @@ class AnchoredCoreIndex:
         anchored removal order; without pruning the positional condition is
         dropped (the coarser filter used by the OLAK adaptation).
         """
-        if self._cgraph is not None:
-            return self._compact_candidate_anchors(order_pruning)
-        target = self._k - 1
-        core = self._decomposition.core
-        candidates: Set[Vertex] = set()
-        for vertex, value in core.items():
-            if vertex in self._anchors or value >= self._k:
-                continue
-            rank = self._rank[vertex]
-            for neighbour in self._graph.neighbors(vertex):
-                if core.get(neighbour) != target:
-                    continue
-                if not order_pruning or self._rank[neighbour] > rank:
-                    candidates.add(vertex)
-                    break
-        return candidates
-
-    def _compact_candidate_anchors(self, order_pruning: bool) -> Set[Vertex]:
-        k = self._k
-        target = k - 1
-        cgraph = self._cgraph
-        indptr = cgraph.indptr
-        indices = cgraph.indices
-        core_ids = self._core_ids
-        rank_ids = self._rank_ids
-        anchor_ids = self._anchor_ids
-        candidates: List[int] = []
-        for vid in range(len(core_ids)):
-            if core_ids[vid] >= k or vid in anchor_ids:
-                continue
-            rank = rank_ids[vid]
-            for position in range(indptr[vid], indptr[vid + 1]):
-                neighbour = indices[position]
-                if core_ids[neighbour] != target:
-                    continue
-                if not order_pruning or rank_ids[neighbour] > rank:
-                    candidates.append(vid)
-                    break
-        return cgraph.interner.translate(candidates)
+        return self._kernel.candidate_anchors(self._k, order_pruning)
 
     def all_non_core_vertices(self) -> Set[Vertex]:
         """Return every un-anchored vertex outside the anchored k-core.
@@ -237,21 +138,7 @@ class AnchoredCoreIndex:
         This is the unpruned candidate universe that the per-snapshot OLAK
         adaptation scans, and the universe the brute-force solver enumerates.
         """
-        if self._cgraph is not None:
-            k = self._k
-            core_ids = self._core_ids
-            anchor_ids = self._anchor_ids
-            return self._cgraph.interner.translate(
-                vid
-                for vid in range(len(core_ids))
-                if core_ids[vid] < k and vid not in anchor_ids
-            )
-        core = self._decomposition.core
-        return {
-            vertex
-            for vertex, value in core.items()
-            if value < self._k and vertex not in self._anchors
-        }
+        return self._kernel.non_core_vertices(self._k)
 
     # ------------------------------------------------------------------
     # Follower evaluation
@@ -264,30 +151,9 @@ class AnchoredCoreIndex:
         return the same set, the flag only changes the amount of work counted
         by the instrumentation.
         """
-        if self._cgraph is not None:
-            candidate_id = self._cgraph.interner.id_of(candidate)
-            if full_shell:
-                gained_ids, visited = compact_full_shell_followers(
-                    self._cgraph, self._k, candidate_id, self._core_ids
-                )
-            else:
-                gained_ids, visited = compact_marginal_followers(
-                    self._cgraph, self._k, candidate_id, self._core_ids
-                )
-            self.candidates_evaluated += 1
-            self.visited_vertices += max(visited, 1)
-            return self._cgraph.interner.translate(gained_ids)
-        visit_log: List[Vertex] = []
-        if full_shell:
-            gained = full_shell_followers(
-                self._graph, self._k, candidate, self._decomposition.core, visit_log
-            )
-        else:
-            gained = marginal_followers(
-                self._graph, self._k, candidate, self._decomposition.core, visit_log
-            )
+        gained, visited = self._kernel.marginal_followers(self._k, candidate, full_shell)
         self.candidates_evaluated += 1
-        self.visited_vertices += max(len(visit_log), 1)
+        self.visited_vertices += max(visited, 1)
         return gained
 
     # ------------------------------------------------------------------
@@ -300,9 +166,7 @@ class AnchoredCoreIndex:
         if vertex in self._anchors:
             return
         self._anchors.add(vertex)
-        if self._cgraph is not None:
-            self._anchor_ids.add(self._cgraph.interner.id_of(vertex))
-        self._refresh()
+        self._kernel.refresh(self._anchors)
 
     def set_anchors(self, anchors: Iterable[Vertex]) -> None:
         """Replace the anchor set wholesale and refresh the decomposition."""
@@ -311,25 +175,4 @@ class AnchoredCoreIndex:
             if not self._graph.has_vertex(anchor):
                 raise VertexNotFoundError(anchor)
         self._anchors = new_anchors
-        if self._cgraph is not None:
-            self._anchor_ids = {
-                self._cgraph.interner.id_of(anchor) for anchor in new_anchors
-            }
-        self._refresh()
-
-    def _refresh(self) -> None:
-        if self._cgraph is not None:
-            core_ids, order_ids = compact_peel(self._cgraph, self._anchor_ids)
-            self._core_ids = core_ids
-            rank_ids = [0] * len(core_ids)
-            for position, vid in enumerate(order_ids):
-                rank_ids[vid] = position
-            self._rank_ids = rank_ids
-            self._core_map_cache = None
-            return
-        self._decomposition = anchored_core_decomposition(
-            self._graph, self._anchors, backend=BACKEND_DICT
-        )
-        self._rank = {
-            vertex: position for position, vertex in enumerate(self._decomposition.order)
-        }
+        self._kernel.refresh(self._anchors)

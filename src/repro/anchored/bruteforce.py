@@ -15,13 +15,13 @@ from __future__ import annotations
 
 import time
 from itertools import combinations
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.anchored.anchored_core import AnchoredCoreIndex
 from repro.anchored.followers import anchored_k_core, compute_followers
 from repro.anchored.result import AnchoredKCoreResult, SolverStats
 from repro.errors import ParameterError
-from repro.graph.compact import BACKEND_AUTO
+from repro.backends import BACKEND_AUTO, ExecutionBackend
 from repro.graph.static import Graph, Vertex
 from repro.ordering import tie_break_key
 
@@ -51,7 +51,7 @@ class BruteForceAnchoredKCore:
         budget: int,
         max_combinations: int = 2_000_000,
         candidate_universe: Optional[Iterable[Vertex]] = None,
-        backend: str = BACKEND_AUTO,
+        backend: Union[str, ExecutionBackend] = BACKEND_AUTO,
     ) -> None:
         if budget < 0:
             raise ParameterError("budget must be non-negative")

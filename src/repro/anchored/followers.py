@@ -18,23 +18,25 @@ fast path and the test-suite keeps the reference honest.
 Every cascade also exists as a flat integer-array kernel
 (:func:`compact_marginal_followers`, :func:`compact_full_shell_followers`)
 operating on a :class:`~repro.graph.compact.CompactGraph` snapshot plus a
-core-number list indexed by vertex id.  :class:`repro.anchored.anchored_core.AnchoredCoreIndex`
-drives these directly in compact mode; they return identical follower sets to
-the dict cascades and report the same visited-vertex counts for the paper's
-instrumentation figures.
+core-number list indexed by vertex id — these are the primitives the
+``compact`` execution backend (:mod:`repro.backends.compact_backend`) is
+built from, and the ``numpy`` backend vectorises the same cascades.  All
+backends return identical follower sets and report the same visited-vertex
+counts for the paper's instrumentation figures.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
-from repro.errors import ParameterError, VertexNotFoundError
-from repro.graph.compact import (
-    BACKEND_COMPACT,
-    BACKEND_DICT,
-    CompactGraph,
-    resolve_backend,
+from repro.backends import (
+    BACKEND_AUTO,
+    WORKLOAD_ONE_SHOT,
+    ExecutionBackend,
+    get_backend,
 )
+from repro.errors import ParameterError, VertexNotFoundError
+from repro.graph.compact import CompactGraph
 from repro.graph.static import Graph, Vertex
 
 
@@ -42,15 +44,15 @@ def anchored_k_core(
     graph: Graph,
     k: int,
     anchors: Iterable[Vertex] = (),
-    backend: str = BACKEND_DICT,
+    backend: Union[str, ExecutionBackend] = BACKEND_AUTO,
 ) -> Set[Vertex]:
     """Return the anchored k-core ``C_k(S)``: k-core plus anchors plus followers.
 
     Anchored vertices are never peeled.  With an empty anchor set this is the
-    plain k-core.  Runs a single O(n + m) deletion cascade.  A one-shot
-    cascade cannot amortise a compact snapshot build, so the default backend
-    is ``"dict"``; ``backend="compact"`` runs the flat int-array kernel
-    (identical result) for callers that want to measure it.
+    plain k-core.  Runs a single O(n + m) deletion cascade; the workload-aware
+    ``"auto"`` policy resolves one-shot cascades to the dict backend at any
+    size because a lone pass cannot amortise building a snapshot (see
+    :mod:`repro.backends.registry`).
     """
     if k < 0:
         raise ParameterError("k must be non-negative")
@@ -58,31 +60,9 @@ def anchored_k_core(
     for anchor in anchor_set:
         if not graph.has_vertex(anchor):
             raise VertexNotFoundError(anchor)
-    if resolve_backend(backend, graph.num_vertices) == BACKEND_COMPACT:
-        from repro.cores.decomposition import compact_k_core_ids
-
-        cgraph = CompactGraph.from_graph(graph, ordered=False)
-        anchor_ids = [cgraph.interner.id_of(anchor) for anchor in anchor_set]
-        return cgraph.interner.translate(compact_k_core_ids(cgraph, k, anchor_ids))
-    degrees = {vertex: graph.degree(vertex) for vertex in graph.vertices()}
-    removed: Set[Vertex] = set()
-    queue = [
-        vertex
-        for vertex, degree in degrees.items()
-        if degree < k and vertex not in anchor_set
-    ]
-    while queue:
-        vertex = queue.pop()
-        if vertex in removed:
-            continue
-        removed.add(vertex)
-        for neighbour in graph.neighbors(vertex):
-            if neighbour in removed or neighbour in anchor_set:
-                continue
-            degrees[neighbour] -= 1
-            if degrees[neighbour] < k:
-                queue.append(neighbour)
-    return {vertex for vertex in degrees if vertex not in removed}
+    return get_backend(backend, graph.num_vertices, workload=WORKLOAD_ONE_SHOT).k_core(
+        graph, k, anchor_set
+    )
 
 
 def compute_followers(
@@ -90,7 +70,7 @@ def compute_followers(
     k: int,
     anchors: Iterable[Vertex],
     k_core_vertices: Optional[Set[Vertex]] = None,
-    backend: str = BACKEND_DICT,
+    backend: Union[str, ExecutionBackend] = BACKEND_AUTO,
 ) -> Set[Vertex]:
     """Return ``F_k(S, G)``: the followers of the anchor set ``S`` (Definition 3).
 
@@ -111,7 +91,7 @@ def follower_gain(
     base_anchors: Iterable[Vertex],
     candidate: Vertex,
     k_core_vertices: Optional[Set[Vertex]] = None,
-    backend: str = BACKEND_DICT,
+    backend: Union[str, ExecutionBackend] = BACKEND_AUTO,
 ) -> Set[Vertex]:
     """Return the extra followers gained by adding ``candidate`` to ``base_anchors``.
 

@@ -11,12 +11,12 @@ decomposition per candidate.
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Set
+from typing import Iterable, List, Optional, Set, Union
 
 from repro.anchored.anchored_core import AnchoredCoreIndex
 from repro.anchored.result import AnchoredKCoreResult, SolverStats
 from repro.errors import ParameterError
-from repro.graph.compact import BACKEND_AUTO
+from repro.backends import BACKEND_AUTO, ExecutionBackend
 from repro.graph.static import Graph, Vertex
 from repro.ordering import tie_break_key
 
@@ -41,7 +41,7 @@ class GreedyAnchoredKCore:
         additional anchors cannot enlarge the anchored k-core.
     backend:
         Execution backend for the core index (``"auto"`` / ``"dict"`` /
-        ``"compact"``, see :mod:`repro.graph.compact`); results are identical,
+        ``"compact"``, see :mod:`repro.backends`); results are identical,
         only the speed differs.
     """
 
@@ -55,7 +55,7 @@ class GreedyAnchoredKCore:
         order_pruning: bool = True,
         stop_on_zero_gain: bool = True,
         initial_anchors: Iterable[Vertex] = (),
-        backend: str = BACKEND_AUTO,
+        backend: Union[str, ExecutionBackend] = BACKEND_AUTO,
     ) -> None:
         if budget < 0:
             raise ParameterError("budget must be non-negative")

@@ -17,12 +17,12 @@ which is exactly how it behaves in the paper's Figures 3-8.
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Set
+from typing import Iterable, List, Optional, Set, Union
 
 from repro.anchored.anchored_core import AnchoredCoreIndex
 from repro.anchored.result import AnchoredKCoreResult, SolverStats
 from repro.errors import ParameterError
-from repro.graph.compact import BACKEND_AUTO
+from repro.backends import BACKEND_AUTO, ExecutionBackend
 from repro.graph.static import Graph, Vertex
 from repro.ordering import tie_break_key
 
@@ -39,7 +39,7 @@ class OLAKAnchoredKCore:
         budget: int,
         stop_on_zero_gain: bool = True,
         initial_anchors: Iterable[Vertex] = (),
-        backend: str = BACKEND_AUTO,
+        backend: Union[str, ExecutionBackend] = BACKEND_AUTO,
     ) -> None:
         if budget < 0:
             raise ParameterError("budget must be non-negative")

@@ -23,12 +23,12 @@ verifies only a shortlist of candidates per iteration.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Union
 
 from repro.anchored.anchored_core import AnchoredCoreIndex
 from repro.anchored.result import AnchoredKCoreResult, SolverStats
 from repro.errors import ParameterError
-from repro.graph.compact import BACKEND_AUTO
+from repro.backends import BACKEND_AUTO, ExecutionBackend
 from repro.graph.static import Graph, Vertex
 from repro.ordering import tie_break_key
 
@@ -46,7 +46,7 @@ class RCMAnchoredKCore:
         shortlist_size: int = 20,
         stop_on_zero_gain: bool = True,
         initial_anchors: Iterable[Vertex] = (),
-        backend: str = BACKEND_AUTO,
+        backend: Union[str, ExecutionBackend] = BACKEND_AUTO,
     ) -> None:
         if budget < 0:
             raise ParameterError("budget must be non-negative")

@@ -27,7 +27,7 @@ the static algorithms — the effect the paper's Figures 3-8 measure.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.anchored.anchored_core import AnchoredCoreIndex
 from repro.anchored.followers import compute_followers
@@ -36,7 +36,7 @@ from repro.anchored.result import AnchoredKCoreResult, SolverStats
 from repro.avt.problem import AVTProblem, AVTResult, SnapshotResult
 from repro.cores.maintenance import CoreMaintainer
 from repro.errors import ParameterError
-from repro.graph.compact import BACKEND_AUTO
+from repro.backends import BACKEND_AUTO, ExecutionBackend
 from repro.graph.static import Graph, Vertex
 from repro.ordering import tie_break_key
 
@@ -68,7 +68,7 @@ class IncAVTTracker:
         Set to ``None`` to disable restarts.
     backend:
         Execution backend (``"auto"`` / ``"dict"`` / ``"compact"``, see
-        :mod:`repro.graph.compact`) used for core maintenance, the Greedy
+        :mod:`repro.backends`) used for core maintenance, the Greedy
         first-snapshot/restart solves and the swap/fill core indexes.
     """
 
@@ -80,7 +80,7 @@ class IncAVTTracker:
         neighbourhood_hops: int = 1,
         swap_all_anchors: bool = False,
         restart_churn_ratio: Optional[float] = 0.15,
-        backend: str = BACKEND_AUTO,
+        backend: Union[str, ExecutionBackend] = BACKEND_AUTO,
     ) -> None:
         self._fill_budget = fill_budget
         self._neighbourhood_hops = max(0, neighbourhood_hops)

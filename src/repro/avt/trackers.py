@@ -8,7 +8,7 @@ machinery; the incremental algorithm lives in :mod:`repro.avt.incremental`.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Optional, Union
 
 from repro.anchored.bruteforce import BruteForceAnchoredKCore
 from repro.anchored.exact_small_k import ExactSmallK
@@ -16,7 +16,7 @@ from repro.anchored.greedy import GreedyAnchoredKCore
 from repro.anchored.olak import OLAKAnchoredKCore
 from repro.anchored.rcm import RCMAnchoredKCore
 from repro.avt.problem import AVTProblem, AVTResult, SnapshotResult
-from repro.graph.compact import BACKEND_AUTO
+from repro.backends import BACKEND_AUTO, ExecutionBackend
 from repro.graph.static import Graph
 
 SolverFactory = Callable[[Graph, int, int], object]
@@ -77,7 +77,7 @@ class GreedyTracker(SnapshotTracker):
         self,
         order_pruning: bool = True,
         stop_on_zero_gain: bool = True,
-        backend: str = BACKEND_AUTO,
+        backend: Union[str, ExecutionBackend] = BACKEND_AUTO,
     ) -> None:
         super().__init__(
             lambda graph, k, budget: GreedyAnchoredKCore(
@@ -95,7 +95,7 @@ class GreedyTracker(SnapshotTracker):
 class OLAKTracker(SnapshotTracker):
     """OLAK re-run from scratch at every snapshot (baseline)."""
 
-    def __init__(self, stop_on_zero_gain: bool = True, backend: str = BACKEND_AUTO) -> None:
+    def __init__(self, stop_on_zero_gain: bool = True, backend: Union[str, ExecutionBackend] = BACKEND_AUTO) -> None:
         super().__init__(
             lambda graph, k, budget: OLAKAnchoredKCore(
                 graph, k, budget, stop_on_zero_gain=stop_on_zero_gain, backend=backend
@@ -111,7 +111,7 @@ class RCMTracker(SnapshotTracker):
         self,
         shortlist_size: int = 20,
         stop_on_zero_gain: bool = True,
-        backend: str = BACKEND_AUTO,
+        backend: Union[str, ExecutionBackend] = BACKEND_AUTO,
     ) -> None:
         super().__init__(
             lambda graph, k, budget: RCMAnchoredKCore(

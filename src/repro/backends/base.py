@@ -1,0 +1,271 @@
+"""The :class:`ExecutionBackend` protocol: the kernel surface of the library.
+
+Every hot computation in the library — the peeling decomposition, the one-shot
+k-core cascade, the K-order remaining degrees, the follower cascades behind
+:class:`repro.anchored.anchored_core.AnchoredCoreIndex`, and the incremental
+maintenance traversals of :class:`repro.cores.maintenance.CoreMaintainer` —
+is expressed against the abstract surface defined here.  Public modules never
+branch on a backend name; they obtain an :class:`ExecutionBackend` from the
+registry (:mod:`repro.backends.registry`) and call through it.  Adding a new
+backend is therefore additive: implement this surface, call
+:func:`repro.backends.register_backend`, and every solver, tracker and the
+streaming engine can run on it via ``backend="<name>"``.
+
+The surface splits into one-shot kernels (methods directly on the backend)
+and two long-lived kernel handles that amortise a per-graph setup cost:
+
+* :class:`CoreIndexKernel` — the state behind ``AnchoredCoreIndex``: an
+  anchored peeling that is refreshed every time an anchor commits, plus the
+  candidate scans and follower cascades that read it.  Built once per
+  (graph, solver run); the graph must not mutate while it is alive.
+* :class:`MaintenanceKernel` — the state behind ``CoreMaintainer``: the
+  maintained core numbers plus whatever adjacency mirror the backend needs to
+  run the insertion/deletion traversals while the graph evolves.
+
+Contract shared by all implementations (enforced by
+``tests/test_backend_equivalence.py``): identical core numbers, identical
+*removal orders* (vertices interned in :func:`repro.ordering.tie_break_key`
+order so integer id doubles as tie-break rank), identical follower sets and
+identical visited-vertex instrumentation counts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+# LAYERING GUARD: this module (and registry.py / the package __init__) must
+# never import repro.graph or repro.cores at runtime — only under
+# TYPE_CHECKING or inside the lazy backend factories.  repro.graph.compact
+# re-imports the backend constants from here for backwards compatibility, so
+# a non-lazy downward import would close an import cycle at package load.
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cores.decomposition import CoreDecomposition
+    from repro.graph.static import Graph, Vertex
+
+# ---------------------------------------------------------------------------
+# Backend names
+# ---------------------------------------------------------------------------
+#: Resolution policy: pick a registered backend by graph size and workload.
+BACKEND_AUTO = "auto"
+#: The adjacency-set ``dict`` implementation (hashable vertices, no setup).
+BACKEND_DICT = "dict"
+#: Flat integer-array kernels over an interned CSR snapshot.
+BACKEND_COMPACT = "compact"
+#: Vectorised numpy kernels over the same CSR contract (optional dependency).
+BACKEND_NUMPY = "numpy"
+
+#: Every built-in ``backend=`` value (third-party backends register more).
+BACKENDS = (BACKEND_AUTO, BACKEND_DICT, BACKEND_COMPACT, BACKEND_NUMPY)
+
+#: ``auto`` switches away from the dict backend at this vertex count.  The
+#: crossover is where interning cost is clearly amortised by the kernels;
+#: below it the dict path's lack of translation wins.
+COMPACT_THRESHOLD = 4096
+
+# ---------------------------------------------------------------------------
+# Workload hints for the auto policy
+# ---------------------------------------------------------------------------
+#: A single O(n + m) pass (e.g. one k-core cascade): building a snapshot
+#: costs as much as the pass itself, so translation can never pay off.
+WORKLOAD_ONE_SHOT = "one-shot"
+#: Work that amortises a per-graph setup: a full peel, a long-lived core
+#: index reused across refreshes/scans/cascades, or incremental maintenance.
+WORKLOAD_AMORTIZED = "amortized"
+
+
+class CoreIndexKernel(ABC):
+    """Per-graph state behind :class:`repro.anchored.anchored_core.AnchoredCoreIndex`.
+
+    The kernel owns the anchored core numbers and removal ranks of a fixed
+    graph snapshot and re-derives them on :meth:`refresh`.  All query methods
+    read the state established by the most recent refresh.  Vertices are the
+    caller's hashable ids at this boundary; implementations translate
+    internally as needed.
+    """
+
+    @abstractmethod
+    def refresh(self, anchors: Set["Vertex"]) -> None:
+        """Recompute the anchored core numbers and removal ranks."""
+
+    @abstractmethod
+    def core_of(self, vertex: "Vertex") -> float:
+        """Anchored core number of ``vertex`` (anchors map to infinity)."""
+
+    @abstractmethod
+    def core_numbers(self) -> Mapping["Vertex", float]:
+        """The anchored core-number mapping (live, do not mutate)."""
+
+    @abstractmethod
+    def vertices_with_core_at_least(self, k: int) -> Set["Vertex"]:
+        """``{v : core(v) >= k}`` under the current anchored core numbers."""
+
+    @abstractmethod
+    def count_core_at_least(self, k: int) -> int:
+        """``|{v : core(v) >= k}|`` without materialising the set."""
+
+    @abstractmethod
+    def shell_vertices(self, value: int) -> Set["Vertex"]:
+        """``{v : core(v) == value}`` under the current anchored core numbers."""
+
+    @abstractmethod
+    def plain_k_core(self, k: int) -> Set["Vertex"]:
+        """The k-core of the snapshot with *no* anchors (anchor-independent)."""
+
+    @abstractmethod
+    def candidate_anchors(self, k: int, order_pruning: bool) -> Set["Vertex"]:
+        """Theorem-3 candidate anchors under the current anchored state.
+
+        The anchor set is the one established by the last :meth:`refresh`
+        (anchors carry core infinity there, which is what excludes them).
+        """
+
+    @abstractmethod
+    def non_core_vertices(self, k: int) -> Set["Vertex"]:
+        """Every un-anchored vertex outside the anchored k-core.
+
+        As with :meth:`candidate_anchors`, "un-anchored" refers to the
+        anchor set of the last :meth:`refresh`.
+        """
+
+    @abstractmethod
+    def marginal_followers(
+        self, k: int, candidate: "Vertex", full_shell: bool
+    ) -> Tuple[Set["Vertex"], int]:
+        """Followers gained by anchoring ``candidate`` next, plus visited count.
+
+        The visited count must match the dict reference cascade exactly
+        (region pops plus cascade removals) — it feeds the paper's
+        instrumentation figures.
+        """
+
+
+class MaintenanceKernel(ABC):
+    """Per-graph state behind :class:`repro.cores.maintenance.CoreMaintainer`.
+
+    The maintainer's hashable-vertex :class:`~repro.graph.static.Graph` stays
+    the source of truth for the structure; the kernel keeps the maintained
+    core numbers (and any adjacency mirror) in whatever representation its
+    traversals want.  Structure upkeep (:meth:`add_vertex` / :meth:`add_edge`
+    / :meth:`remove_edge`) is called *after* the graph itself mutated, before
+    the matching traversal runs.
+    """
+
+    @abstractmethod
+    def add_vertex(self, vertex: "Vertex") -> None:
+        """Register a brand-new vertex at core number 0."""
+
+    @abstractmethod
+    def add_edge(self, u: "Vertex", v: "Vertex") -> None:
+        """Mirror an edge insertion (both endpoints already registered)."""
+
+    @abstractmethod
+    def remove_edge(self, u: "Vertex", v: "Vertex") -> None:
+        """Mirror an edge removal."""
+
+    @abstractmethod
+    def process_insertion(
+        self, u: "Vertex", v: "Vertex"
+    ) -> Tuple[Set["Vertex"], Set["Vertex"]]:
+        """Run the insertion traversal (Lemmas 1-2) for a just-added edge.
+
+        Returns ``(increased, visited)``: the vertices whose core number rose,
+        and every vertex the traversal examined.
+        """
+
+    @abstractmethod
+    def process_deletion(
+        self, u: "Vertex", v: "Vertex"
+    ) -> Tuple[Set["Vertex"], Set["Vertex"]]:
+        """Run the deletion cascade (Lemmas 3-4) for a just-removed edge.
+
+        Returns ``(decreased, visited)``.
+        """
+
+    @abstractmethod
+    def core(self, vertex: "Vertex") -> int:
+        """Maintained core number of ``vertex``; raises ``KeyError`` if unknown."""
+
+    @abstractmethod
+    def core_get(self, vertex: "Vertex", default: Optional[int] = None) -> Optional[int]:
+        """``dict.get``-style core lookup."""
+
+    @abstractmethod
+    def core_numbers(self) -> Dict["Vertex", int]:
+        """A copy of the maintained core numbers."""
+
+    @abstractmethod
+    def k_core_vertices(self, k: int) -> Set["Vertex"]:
+        """``{v : core(v) >= k}`` under the maintained core numbers."""
+
+    @abstractmethod
+    def shell_vertices(self, k: int) -> Set["Vertex"]:
+        """``{v : core(v) == k}`` under the maintained core numbers."""
+
+
+class ExecutionBackend(ABC):
+    """One execution layer for every hot kernel in the library.
+
+    Implementations are stateless (all state lives in the kernel handles they
+    build), so a single instance is shared process-wide by the registry.
+    """
+
+    #: Registry name; also what ``resolved_backend.name``-style introspection
+    #: (e.g. ``AnchoredCoreIndex.backend``) reports.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # One-shot kernels
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def decompose(
+        self, graph: "Graph", anchors: FrozenSet["Vertex"] = frozenset()
+    ) -> "CoreDecomposition":
+        """Full (possibly anchored) peeling decomposition with removal order."""
+
+    @abstractmethod
+    def k_core(
+        self, graph: "Graph", k: int, anchors: Iterable["Vertex"] = ()
+    ) -> Set["Vertex"]:
+        """The (anchored) k-core via a direct O(n + m) deletion cascade."""
+
+    @abstractmethod
+    def remaining_degrees(
+        self, graph: "Graph", rank: Mapping["Vertex", int]
+    ) -> Dict["Vertex", int]:
+        """``deg+`` for every ranked vertex: neighbours positioned after it."""
+
+    def korder(self, graph: "Graph") -> Tuple["CoreDecomposition", Dict["Vertex", int]]:
+        """Decomposition plus remaining degrees, amortising shared setup.
+
+        The default runs :meth:`decompose` then :meth:`remaining_degrees`;
+        snapshot-based backends override it to build their snapshot once.
+        """
+        decomposition = self.decompose(graph)
+        rank = {vertex: position for position, vertex in enumerate(decomposition.order)}
+        return decomposition, self.remaining_degrees(graph, rank)
+
+    # ------------------------------------------------------------------
+    # Long-lived kernel handles
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def build_core_index(self, graph: "Graph") -> CoreIndexKernel:
+        """Build the anchored-core-index kernel for a frozen graph snapshot."""
+
+    @abstractmethod
+    def build_maintenance(
+        self, graph: "Graph", core: Dict["Vertex", int]
+    ) -> MaintenanceKernel:
+        """Build the maintenance kernel for ``graph`` with trusted ``core``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"

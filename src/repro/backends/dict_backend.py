@@ -1,0 +1,325 @@
+"""The ``dict`` execution backend: reference kernels over the adjacency-set graph.
+
+This is the historical implementation of every kernel, operating directly on
+hashable vertices with no setup or translation cost — the backend ``auto``
+picks for small graphs and for one-shot cascades, and the reference the other
+backends are property-tested against.  The follower cascades delegate to the
+public functions in :mod:`repro.anchored.followers` (which double as the
+paper-facing reference algorithms); the peeling, cascade and maintenance
+traversals live here.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.backends.base import (
+    BACKEND_DICT,
+    CoreIndexKernel,
+    ExecutionBackend,
+    MaintenanceKernel,
+)
+from repro.errors import VertexNotFoundError
+from repro.graph.static import Graph, Vertex
+from repro.ordering import tie_break_key
+
+
+def dict_anchored_peel(graph: Graph, anchor_set: FrozenSet[Vertex]):
+    """Anchored peeling over the adjacency-set graph (the reference order).
+
+    Vertices of equal current degree are peeled in deterministic
+    :func:`~repro.ordering.tie_break_key` order; anchored vertices are never
+    removed, still support their neighbours throughout, and are appended to
+    the order last.  Returns a :class:`~repro.cores.decomposition.CoreDecomposition`.
+    """
+    from repro.cores.decomposition import ANCHOR_CORE, CoreDecomposition
+
+    effective: Dict[Vertex, int] = {}
+    heap: List[Tuple[int, Tuple[str, str], Vertex]] = []
+    for vertex in graph.vertices():
+        if vertex in anchor_set:
+            continue
+        degree = graph.degree(vertex)
+        effective[vertex] = degree
+        heap.append((degree, tie_break_key(vertex), vertex))
+    heapq.heapify(heap)
+
+    core: Dict[Vertex, float] = {}
+    order: List[Vertex] = []
+    removed: Set[Vertex] = set()
+    current_core = 0
+    while heap:
+        degree, _, vertex = heapq.heappop(heap)
+        if vertex in removed:
+            continue
+        if degree != effective[vertex]:
+            # Stale heap entry: the true (smaller) degree entry is still queued.
+            continue
+        current_core = max(current_core, degree)
+        core[vertex] = current_core
+        order.append(vertex)
+        removed.add(vertex)
+        for neighbour in graph.neighbors(vertex):
+            if neighbour in anchor_set or neighbour in removed:
+                continue
+            effective[neighbour] -= 1
+            heapq.heappush(
+                heap, (effective[neighbour], tie_break_key(neighbour), neighbour)
+            )
+
+    for anchor in sorted(anchor_set, key=tie_break_key):
+        core[anchor] = ANCHOR_CORE
+        order.append(anchor)
+    return CoreDecomposition(core=core, order=tuple(order), anchors=anchor_set)
+
+
+def dict_k_core(graph: Graph, k: int, anchors: Iterable[Vertex] = ()) -> Set[Vertex]:
+    """(Anchored) k-core by a direct deletion cascade over the dict graph."""
+    anchor_set = set(anchors)
+    degrees = {vertex: graph.degree(vertex) for vertex in graph.vertices()}
+    removed: Set[Vertex] = set()
+    queue = [
+        vertex
+        for vertex, degree in degrees.items()
+        if degree < k and vertex not in anchor_set
+    ]
+    while queue:
+        vertex = queue.pop()
+        if vertex in removed:
+            continue
+        removed.add(vertex)
+        for neighbour in graph.neighbors(vertex):
+            if neighbour in removed or neighbour in anchor_set:
+                continue
+            degrees[neighbour] -= 1
+            if degrees[neighbour] < k:
+                queue.append(neighbour)
+    return {vertex for vertex in degrees if vertex not in removed}
+
+
+class DictCoreIndexKernel(CoreIndexKernel):
+    """Anchored-core-index state over the adjacency-set graph itself."""
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self._core: Dict[Vertex, float] = {}
+        self._rank: Dict[Vertex, int] = {}
+
+    def refresh(self, anchors: Set[Vertex]) -> None:
+        decomposition = dict_anchored_peel(self._graph, frozenset(anchors))
+        self._core = dict(decomposition.core)
+        self._rank = {
+            vertex: position for position, vertex in enumerate(decomposition.order)
+        }
+
+    def core_of(self, vertex: Vertex) -> float:
+        try:
+            return self._core[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def core_numbers(self) -> Mapping[Vertex, float]:
+        return self._core
+
+    def vertices_with_core_at_least(self, k: int) -> Set[Vertex]:
+        return {vertex for vertex, value in self._core.items() if value >= k}
+
+    def count_core_at_least(self, k: int) -> int:
+        return sum(1 for value in self._core.values() if value >= k)
+
+    def shell_vertices(self, value: int) -> Set[Vertex]:
+        return {vertex for vertex, core in self._core.items() if core == value}
+
+    def plain_k_core(self, k: int) -> Set[Vertex]:
+        return dict_k_core(self._graph, k)
+
+    def candidate_anchors(self, k: int, order_pruning: bool) -> Set[Vertex]:
+        target = k - 1
+        core = self._core
+        rank = self._rank
+        candidates: Set[Vertex] = set()
+        for vertex, value in core.items():
+            # Anchors carry core infinity, so ``value >= k`` excludes them.
+            if value >= k:
+                continue
+            own_rank = rank[vertex]
+            for neighbour in self._graph.neighbors(vertex):
+                if core.get(neighbour) != target:
+                    continue
+                if not order_pruning or rank[neighbour] > own_rank:
+                    candidates.add(vertex)
+                    break
+        return candidates
+
+    def non_core_vertices(self, k: int) -> Set[Vertex]:
+        return {vertex for vertex, value in self._core.items() if value < k}
+
+    def marginal_followers(
+        self, k: int, candidate: Vertex, full_shell: bool
+    ) -> Tuple[Set[Vertex], int]:
+        from repro.anchored.followers import full_shell_followers, marginal_followers
+
+        visit_log: List[Vertex] = []
+        if full_shell:
+            gained = full_shell_followers(self._graph, k, candidate, self._core, visit_log)
+        else:
+            gained = marginal_followers(self._graph, k, candidate, self._core, visit_log)
+        return gained, len(visit_log)
+
+
+class DictMaintenanceKernel(MaintenanceKernel):
+    """Maintenance traversals straight over the maintained graph."""
+
+    def __init__(self, graph: Graph, core: Dict[Vertex, int]) -> None:
+        self._graph = graph
+        self._core = core
+
+    # -- structure upkeep: the graph itself is the structure -------------
+    def add_vertex(self, vertex: Vertex) -> None:
+        self._core[vertex] = 0
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        pass
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        pass
+
+    # -- views -----------------------------------------------------------
+    def core(self, vertex: Vertex) -> int:
+        return self._core[vertex]
+
+    def core_get(self, vertex: Vertex, default: Optional[int] = None) -> Optional[int]:
+        return self._core.get(vertex, default)
+
+    def core_numbers(self) -> Dict[Vertex, int]:
+        return dict(self._core)
+
+    def k_core_vertices(self, k: int) -> Set[Vertex]:
+        return {vertex for vertex, value in self._core.items() if value >= k}
+
+    def shell_vertices(self, k: int) -> Set[Vertex]:
+        return {vertex for vertex, value in self._core.items() if value == k}
+
+    # -- insertion traversal (Lemmas 1-2) --------------------------------
+    def process_insertion(self, u: Vertex, v: Vertex) -> Tuple[Set[Vertex], Set[Vertex]]:
+        core = self._core
+        root_core = min(core[u], core[v])
+        roots = [w for w in (u, v) if core[w] == root_core]
+
+        # Subcore: shell-root_core vertices reachable from the roots through
+        # shell-root_core vertices.  Only these can rise, and by at most 1.
+        candidates: Set[Vertex] = set()
+        stack: List[Vertex] = []
+        for root in roots:
+            if root not in candidates:
+                candidates.add(root)
+                stack.append(root)
+        while stack:
+            current = stack.pop()
+            for neighbour in self._graph.neighbors(current):
+                if core[neighbour] == root_core and neighbour not in candidates:
+                    candidates.add(neighbour)
+                    stack.append(neighbour)
+
+        # Eviction: a candidate can rise only if it keeps more than root_core
+        # neighbours among (higher-core vertices ∪ surviving candidates).
+        support: Dict[Vertex, int] = {}
+        for candidate in candidates:
+            support[candidate] = sum(
+                1
+                for neighbour in self._graph.neighbors(candidate)
+                if core[neighbour] > root_core or neighbour in candidates
+            )
+        evict_queue = [w for w, s in support.items() if s <= root_core]
+        evicted: Set[Vertex] = set()
+        while evict_queue:
+            w = evict_queue.pop()
+            if w in evicted:
+                continue
+            evicted.add(w)
+            for neighbour in self._graph.neighbors(w):
+                if neighbour in candidates and neighbour not in evicted:
+                    support[neighbour] -= 1
+                    if support[neighbour] <= root_core:
+                        evict_queue.append(neighbour)
+
+        increased = candidates - evicted
+        for w in increased:
+            core[w] = root_core + 1
+        return increased, candidates
+
+    # -- deletion cascade (Lemmas 3-4) ------------------------------------
+    def process_deletion(self, u: Vertex, v: Vertex) -> Tuple[Set[Vertex], Set[Vertex]]:
+        core = self._core
+        root_core = min(core[u], core[v])
+        visited: Set[Vertex] = set()
+
+        # Support of a shell-root_core vertex: neighbours with core >= root_core
+        # (its max core degree).  A vertex drops when support falls below core.
+        support: Dict[Vertex, int] = {}
+
+        def compute_support(w: Vertex) -> int:
+            return sum(1 for x in self._graph.neighbors(w) if core[x] >= root_core)
+
+        dropped: Set[Vertex] = set()
+        queue: List[Vertex] = []
+        for w in (u, v):
+            if core[w] == root_core and w not in dropped:
+                visited.add(w)
+                support[w] = compute_support(w)
+                if support[w] < root_core:
+                    dropped.add(w)
+                    queue.append(w)
+
+        while queue:
+            w = queue.pop()
+            # Visit neighbours before lowering core(w): their lazily computed
+            # support still counts w, and the explicit decrement below then
+            # accounts for w exactly once.
+            for x in self._graph.neighbors(w):
+                if core[x] != root_core or x in dropped:
+                    continue
+                visited.add(x)
+                if x not in support:
+                    support[x] = compute_support(x)
+                # ``w`` no longer counts towards x's support.
+                support[x] -= 1
+                if support[x] < root_core:
+                    dropped.add(x)
+                    queue.append(x)
+            core[w] = root_core - 1
+
+        return dropped, visited
+
+
+class DictBackend(ExecutionBackend):
+    """The reference backend: every kernel over the adjacency-set graph."""
+
+    name = BACKEND_DICT
+
+    def decompose(self, graph: Graph, anchors: FrozenSet[Vertex] = frozenset()):
+        return dict_anchored_peel(graph, frozenset(anchors))
+
+    def k_core(self, graph: Graph, k: int, anchors: Iterable[Vertex] = ()) -> Set[Vertex]:
+        return dict_k_core(graph, k, anchors)
+
+    def remaining_degrees(
+        self, graph: Graph, rank: Mapping[Vertex, int]
+    ) -> Dict[Vertex, int]:
+        deg_plus: Dict[Vertex, int] = {}
+        for vertex, own_rank in rank.items():
+            count = 0
+            for neighbour in graph.neighbors(vertex):
+                if rank.get(neighbour, -1) > own_rank:
+                    count += 1
+            deg_plus[vertex] = count
+        return deg_plus
+
+    def build_core_index(self, graph: Graph) -> DictCoreIndexKernel:
+        return DictCoreIndexKernel(graph)
+
+    def build_maintenance(
+        self, graph: Graph, core: Dict[Vertex, int]
+    ) -> DictMaintenanceKernel:
+        return DictMaintenanceKernel(graph, core)

@@ -1,0 +1,551 @@
+"""The ``numpy`` execution backend: vectorised kernels over the CSR contract.
+
+Reuses the :class:`~repro.graph.compact.VertexInterner` / CSR snapshot
+contract of the compact backend but stores ``indptr`` / ``indices`` as numpy
+arrays and replaces the per-vertex Python loops with array passes:
+
+* **Peeling** runs in two phases.  Phase A computes the core numbers with
+  vectorised wave peeling (kill every vertex at or below the current level at
+  once, decrement the survivors' effective degrees with one ``bincount`` per
+  wave).  Phase B reconstructs the *exact* removal order of the reference
+  heap peel shell by shell: each shell's starting effective degrees
+  (``# neighbours with core >= c``) come from one vectorised pass, and the
+  within-shell cascade — the only genuinely sequential part — runs a packed
+  single-int heap over the same-shell subgraph only.  Because every
+  cross-shell edge is handled by the vectorised passes, the sequential loop
+  touches a fraction of the edges the compact backend's heap does.
+* **Cascades** (k-core, follower support counts) are wave-vectorised: support
+  counters come from masked ``bincount`` over gathered neighbour ranges and
+  whole removal fronts are processed per iteration.  Deletion cascades are
+  confluent, so the surviving set is identical to the sequential reference;
+  the visited-vertex instrumentation (region size plus removals) is matched
+  exactly.
+* **Candidate scans** and the K-order ``deg+`` pass are single edge-level
+  boolean reductions over ``(row, col)`` arrays.
+
+Import of numpy is gated: this module is only loaded by the registry's lazy
+factory once ``repro.backends.numpy_available()`` reports true, so the rest
+of the library works on a numpy-free interpreter.  Incremental maintenance is
+delegated to the compact kernel — the traversals touch tiny per-edge
+subcores, where flat Python int sets already beat numpy's per-call overhead.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+try:  # pragma: no cover - exercised implicitly by the no-numpy CI job
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+from repro.backends.base import BACKEND_NUMPY, CoreIndexKernel, ExecutionBackend
+from repro.backends.compact_backend import CompactMaintenanceKernel
+from repro.graph.compact import CompactGraph
+from repro.graph.static import Graph, Vertex
+
+
+class NumpyGraph:
+    """CSR snapshot with numpy arrays, sharing the interner contract.
+
+    Built *from* a :class:`~repro.graph.compact.CompactGraph` so the interning
+    semantics (ordered snapshots intern in tie-break order, id == rank) are
+    byte-identical across the compact and numpy backends.
+    """
+
+    __slots__ = (
+        "interner",
+        "indptr",
+        "indices",
+        "indptr_list",
+        "indices_list",
+        "degrees",
+        "ordered",
+        "num_edges",
+        "_row",
+    )
+
+    def __init__(self, cgraph: CompactGraph) -> None:
+        self.interner = cgraph.interner
+        self.indptr = np.asarray(cgraph.indptr, dtype=np.int64)
+        self.indices = np.asarray(cgraph.indices, dtype=np.int64)
+        # The source CompactGraph's plain-list CSR is kept (shared, not
+        # copied) for the scalar cascade drain: when a peeling wave goes
+        # thin, per-call numpy overhead dwarfs the work, and a Python queue
+        # over list-indexed rows is the faster tool.
+        self.indptr_list = cgraph.indptr
+        self.indices_list = cgraph.indices
+        self.degrees = self.indptr[1:] - self.indptr[:-1]
+        self.ordered = cgraph.ordered
+        self.num_edges = cgraph.num_edges
+        self._row = None
+
+    @classmethod
+    def from_graph(cls, graph: Graph, ordered: bool = True) -> "NumpyGraph":
+        return cls(CompactGraph.from_graph(graph, ordered=ordered))
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.interner)
+
+    @property
+    def row(self):
+        """Edge-level source ids: ``row[e]`` owns ``indices[e]`` (lazy)."""
+        if self._row is None:
+            self._row = np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64), self.degrees
+            )
+        return self._row
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NumpyGraph(n={self.num_vertices}, m={self.num_edges}, ordered={self.ordered})"
+
+
+def _gather(indptr, indices, frontier):
+    """Concatenated neighbour ids of ``frontier`` plus per-member counts."""
+    counts = indptr[frontier + 1] - indptr[frontier]
+    total = int(counts.sum())
+    if total == 0:
+        return indices[:0], counts
+    offsets = np.cumsum(counts) - counts
+    positions = np.repeat(indptr[frontier] - offsets, counts) + np.arange(total)
+    return indices[positions], counts
+
+
+#: Below this frontier size a vectorised wave pays more in fixed numpy-call
+#: overhead than the work it does; the cascade switches to a scalar queue.
+#: Long-cascade graphs (paths, grids, road networks) peel a handful of
+#: vertices per wave, so without the switch the wave loop degrades to
+#: O(waves) numpy dispatches.
+_SCALAR_DRAIN_CUTOFF = 48
+
+
+def _drain_scalar(ngraph, eff, alive, peelable, seeds, limit, core=None, level=0):
+    """Finish a cascade with a scalar queue once waves go thin.
+
+    Transitively kills every alive, peelable vertex whose effective degree is
+    (or drops) <= ``limit``, starting from ``seeds``; updates ``eff`` and
+    ``alive`` in place, assigns ``core[v] = level`` when ``core`` is given,
+    and returns the number of vertices killed.  Semantically identical to
+    running the vectorised wave loop to exhaustion at the same limit.
+    """
+    indptr = ngraph.indptr_list
+    indices = ngraph.indices_list
+    queue = [int(vid) for vid in seeds]
+    killed = 0
+    while queue:
+        vid = queue.pop()
+        if not alive[vid]:
+            continue
+        alive[vid] = False
+        if core is not None:
+            core[vid] = level
+        killed += 1
+        for position in range(indptr[vid], indptr[vid + 1]):
+            neighbour = indices[position]
+            if alive[neighbour] and peelable[neighbour]:
+                slack = eff[neighbour] - 1
+                eff[neighbour] = slack
+                if slack <= limit:
+                    queue.append(neighbour)
+    return killed
+
+
+def numpy_peel(ngraph: NumpyGraph, anchor_ids: Iterable[int] = ()):
+    """Peel a numpy snapshot; return ``(core array, removal order)`` by id.
+
+    Bit-identical to :func:`repro.cores.decomposition.compact_peel` on an
+    ordered snapshot: same core numbers, same removal order, anchors mapped
+    to infinity and appended last by id.
+    """
+    n = ngraph.num_vertices
+    core = np.zeros(n, dtype=np.float64)
+    order: List[int] = []
+    if n == 0:
+        return core, order
+    indptr = ngraph.indptr
+    indices = ngraph.indices
+
+    is_anchor = np.zeros(n, dtype=bool)
+    anchor_list = list(anchor_ids)
+    if anchor_list:
+        is_anchor[anchor_list] = True
+    peelable = ~is_anchor
+    alive = np.ones(n, dtype=bool)
+    eff = ngraph.degrees.astype(np.int64)
+    remaining = int(peelable.sum())
+
+    # Phase A: core numbers by wave peeling.  ``level`` mirrors the heap
+    # peel's running-max ``current_core``.  Each full-array scan happens once
+    # per *level* (levels strictly increase); within a level, the next wave's
+    # frontier is derived from the just-decremented neighbours only, keeping
+    # the cascade O(m) instead of O(n * waves) on long-cascade graphs (paths,
+    # grids).
+    level = 0
+    while remaining:
+        active = alive & peelable
+        current_min = int(eff[active].min())
+        if current_min > level:
+            level = current_min
+        frontier = np.nonzero(active & (eff <= level))[0]
+        while frontier.size:
+            if frontier.size < _SCALAR_DRAIN_CUTOFF:
+                remaining -= _drain_scalar(
+                    ngraph, eff, alive, peelable, frontier, level, core=core, level=level
+                )
+                break
+            core[frontier] = level
+            alive[frontier] = False
+            remaining -= int(frontier.size)
+            nbrs, _ = _gather(indptr, indices, frontier)
+            if nbrs.size:
+                nbrs = nbrs[alive[nbrs] & peelable[nbrs]]
+            if nbrs.size:
+                eff -= np.bincount(nbrs, minlength=n)
+                touched = np.unique(nbrs)
+                frontier = touched[eff[touched] <= level]
+            else:
+                frontier = nbrs
+
+    if anchor_list:
+        core[is_anchor] = math.inf
+
+    # Phase B: exact removal order, shell by shell.  At the instant shell c
+    # starts peeling every lower shell is gone and nothing else pops until
+    # the shell is exhausted, so the starting effective degree of a shell
+    # vertex is its count of core >= c neighbours (anchors are inf) and only
+    # same-shell removals change it — the reference heap order restricted to
+    # the shell is reproduced with a packed local heap over the same-shell
+    # subgraph.
+    finite = core[peelable] if anchor_list else core
+    levels = np.unique(finite).astype(np.int64) if finite.size else finite
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    for c in levels.tolist():
+        shell = np.nonzero(peelable & (core == c))[0]
+        size = int(shell.size)
+        nbrs, counts = _gather(indptr, indices, shell)
+        member_row = np.repeat(np.arange(size, dtype=np.int64), counts)
+        start_eff = np.bincount(member_row[core[nbrs] >= c], minlength=size)
+        same = core[nbrs] == c
+        position = np.full(n, -1, dtype=np.int64)
+        position[shell] = np.arange(size)
+        sub_counts = np.bincount(member_row[same], minlength=size)
+        sub_indptr = np.concatenate(([0], np.cumsum(sub_counts))).tolist()
+        sub_indices = position[nbrs[same]].tolist()
+
+        shell_list = shell.tolist()
+        eff_local = start_eff.tolist()
+        heap = (start_eff * size + np.arange(size)).tolist() if size else []
+        heapq.heapify(heap)
+        popped = bytearray(size)
+        while heap:
+            entry = heappop(heap)
+            degree, local = divmod(entry, size) if size > 1 else (entry, 0)
+            if popped[local] or degree != eff_local[local]:
+                continue
+            popped[local] = 1
+            order.append(shell_list[local])
+            for slot in range(sub_indptr[local], sub_indptr[local + 1]):
+                neighbour = sub_indices[slot]
+                if not popped[neighbour]:
+                    slack = eff_local[neighbour] - 1
+                    eff_local[neighbour] = slack
+                    heappush(heap, slack * size + neighbour)
+
+    for vid in np.nonzero(is_anchor)[0].tolist():
+        order.append(vid)
+    return core, order
+
+
+def numpy_k_core_ids(ngraph: NumpyGraph, k: int, anchor_ids: Iterable[int] = ()):
+    """(Anchored) k-core of a numpy snapshot as an id array (wave cascade)."""
+    n = ngraph.num_vertices
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    indptr = ngraph.indptr
+    indices = ngraph.indices
+    is_anchor = np.zeros(n, dtype=bool)
+    anchor_list = list(anchor_ids)
+    if anchor_list:
+        is_anchor[anchor_list] = True
+    peelable = ~is_anchor
+    alive = np.ones(n, dtype=bool)
+    eff = ngraph.degrees.astype(np.int64)
+    # One full scan seeds the cascade; later frontiers come from the
+    # just-decremented neighbours only, and thin waves fall back to the
+    # scalar drain (O(m) total, not O(n * waves)).
+    frontier = np.nonzero(peelable & (eff < k))[0]
+    while frontier.size:
+        if frontier.size < _SCALAR_DRAIN_CUTOFF:
+            _drain_scalar(ngraph, eff, alive, peelable, frontier, k - 1)
+            break
+        alive[frontier] = False
+        nbrs, _ = _gather(indptr, indices, frontier)
+        if nbrs.size:
+            nbrs = nbrs[alive[nbrs] & peelable[nbrs]]
+        if nbrs.size:
+            eff -= np.bincount(nbrs, minlength=n)
+            touched = np.unique(nbrs)
+            frontier = touched[eff[touched] < k]
+        else:
+            frontier = nbrs
+    return np.nonzero(alive)[0]
+
+
+def _support_cascade(ngraph: NumpyGraph, k: int, candidate_id: int, core, member_mask):
+    """Shared survival cascade: who of ``member_mask`` keeps >= k supporters.
+
+    Supporters are the candidate, vertices with core >= k, and surviving
+    members.  Returns ``(survivor ids, number removed)``; the cascade is
+    confluent so wave processing matches the sequential reference set.
+    """
+    n = ngraph.num_vertices
+    members = np.nonzero(member_mask)[0]
+    size = int(members.size)
+    nbrs, counts = _gather(ngraph.indptr, ngraph.indices, members)
+    member_row = np.repeat(np.arange(size, dtype=np.int64), counts)
+    supporting = (nbrs == candidate_id) | (core[nbrs] >= k) | member_mask[nbrs]
+    support = np.bincount(member_row[supporting], minlength=size)
+
+    position = np.full(n, -1, dtype=np.int64)
+    position[members] = np.arange(size)
+    removed = np.zeros(size, dtype=bool)
+    removed_total = 0
+    # One full scan seeds the cascade; later fronts come from the members
+    # whose support was just decremented (O(region edges) total).
+    front = np.nonzero(support < k)[0]
+    while front.size:
+        removed[front] = True
+        removed_total += int(front.size)
+        rnbrs, _ = _gather(ngraph.indptr, ngraph.indices, members[front])
+        rnbrs = rnbrs[member_mask[rnbrs]]
+        local = position[rnbrs]
+        local = local[~removed[local]]
+        if local.size:
+            support = support - np.bincount(local, minlength=size)
+            touched = np.unique(local)
+            front = touched[support[touched] < k]
+        else:
+            front = local
+    return members[~removed], removed_total
+
+
+def numpy_marginal_followers(
+    ngraph: NumpyGraph, k: int, candidate_id: int, core
+) -> Tuple[Set[int], int]:
+    """Region-restricted follower cascade; ``(follower ids, visited count)``.
+
+    The visited count matches the dict/compact kernels exactly: one per
+    region vertex plus one per cascade removal.
+    """
+    if core[candidate_id] >= k:
+        return set(), 0
+    n = ngraph.num_vertices
+    target = k - 1
+    shellish = core == target
+    in_region = np.zeros(n, dtype=bool)
+    row_start, row_end = int(ngraph.indptr[candidate_id]), int(ngraph.indptr[candidate_id + 1])
+    seeds = ngraph.indices[row_start:row_end]
+    seeds = seeds[shellish[seeds]]
+    in_region[seeds] = True
+    region_size = int(seeds.size)
+    frontier = seeds
+    while frontier.size:
+        nbrs, _ = _gather(ngraph.indptr, ngraph.indices, frontier)
+        fresh = np.unique(nbrs[shellish[nbrs] & ~in_region[nbrs]])
+        fresh = fresh[fresh != candidate_id]
+        in_region[fresh] = True
+        region_size += int(fresh.size)
+        frontier = fresh
+    if region_size == 0:
+        return set(), 0
+    survivors, removed_total = _support_cascade(ngraph, k, candidate_id, core, in_region)
+    return set(survivors.tolist()), region_size + removed_total
+
+
+def numpy_full_shell_followers(
+    ngraph: NumpyGraph, k: int, candidate_id: int, core
+) -> Tuple[Set[int], int]:
+    """Whole-shell follower cascade (OLAK baseline); same contract as above."""
+    if core[candidate_id] >= k:
+        return set(), 0
+    shell_mask = core == (k - 1)
+    shell_mask = shell_mask.copy()
+    shell_mask[candidate_id] = False
+    shell_size = int(shell_mask.sum())
+    if shell_size == 0:
+        return set(), 0
+    survivors, removed_total = _support_cascade(ngraph, k, candidate_id, core, shell_mask)
+    return set(survivors.tolist()), shell_size + removed_total
+
+
+class NumpyCoreIndexKernel(CoreIndexKernel):
+    """Anchored-core-index state over one ordered numpy snapshot."""
+
+    def __init__(self, graph: Graph) -> None:
+        self._ngraph = NumpyGraph.from_graph(graph, ordered=True)
+        n = self._ngraph.num_vertices
+        self._core = np.zeros(n, dtype=np.float64)
+        self._rank = np.zeros(n, dtype=np.int64)
+        self._core_map_cache: Optional[Dict[Vertex, float]] = None
+
+    def refresh(self, anchors: Set[Vertex]) -> None:
+        interner = self._ngraph.interner
+        anchor_ids = [interner.id_of(anchor) for anchor in anchors]
+        core, order = numpy_peel(self._ngraph, anchor_ids)
+        self._core = core
+        rank = np.zeros(self._ngraph.num_vertices, dtype=np.int64)
+        if order:
+            rank[np.asarray(order, dtype=np.int64)] = np.arange(len(order))
+        self._rank = rank
+        self._core_map_cache = None
+
+    @staticmethod
+    def _as_python(value) -> float:
+        return math.inf if math.isinf(value) else int(value)
+
+    def core_of(self, vertex: Vertex) -> float:
+        return self._as_python(self._core[self._ngraph.interner.id_of(vertex)])
+
+    def core_numbers(self) -> Mapping[Vertex, float]:
+        if self._core_map_cache is None:
+            vertices = self._ngraph.interner.vertices
+            self._core_map_cache = {
+                vertices[vid]: self._as_python(self._core[vid])
+                for vid in range(len(vertices))
+            }
+        return self._core_map_cache
+
+    def _translate(self, ids) -> Set[Vertex]:
+        return self._ngraph.interner.translate(ids.tolist())
+
+    def vertices_with_core_at_least(self, k: int) -> Set[Vertex]:
+        return self._translate(np.nonzero(self._core >= k)[0])
+
+    def count_core_at_least(self, k: int) -> int:
+        return int((self._core >= k).sum())
+
+    def shell_vertices(self, value: int) -> Set[Vertex]:
+        return self._translate(np.nonzero(self._core == value)[0])
+
+    def plain_k_core(self, k: int) -> Set[Vertex]:
+        return self._translate(numpy_k_core_ids(self._ngraph, k))
+
+    def candidate_anchors(self, k: int, order_pruning: bool) -> Set[Vertex]:
+        ngraph = self._ngraph
+        if ngraph.num_vertices == 0:
+            return set()
+        row = ngraph.row
+        col = ngraph.indices
+        core = self._core
+        # Anchors carry core infinity, so ``core < k`` excludes them for free.
+        mask = (core[row] < k) & (core[col] == k - 1)
+        if order_pruning:
+            rank = self._rank
+            mask &= rank[col] > rank[row]
+        return self._translate(np.unique(row[mask]))
+
+    def non_core_vertices(self, k: int) -> Set[Vertex]:
+        return self._translate(np.nonzero(self._core < k)[0])
+
+    def marginal_followers(
+        self, k: int, candidate: Vertex, full_shell: bool
+    ) -> Tuple[Set[Vertex], int]:
+        candidate_id = self._ngraph.interner.id_of(candidate)
+        if full_shell:
+            gained_ids, visited = numpy_full_shell_followers(
+                self._ngraph, k, candidate_id, self._core
+            )
+        else:
+            gained_ids, visited = numpy_marginal_followers(
+                self._ngraph, k, candidate_id, self._core
+            )
+        return self._ngraph.interner.translate(gained_ids), visited
+
+
+class NumpyBackend(ExecutionBackend):
+    """Vectorised numpy kernels behind the shared CSR/interner contract."""
+
+    name = BACKEND_NUMPY
+
+    def __init__(self) -> None:
+        if np is None:  # pragma: no cover - registry filters first
+            raise ImportError(
+                "the numpy execution backend requires numpy; "
+                "install it or pick backend='compact'"
+            )
+
+    def decompose(self, graph: Graph, anchors: FrozenSet[Vertex] = frozenset()):
+        from repro.cores.decomposition import ANCHOR_CORE, CoreDecomposition
+
+        anchor_set = frozenset(anchors)
+        ngraph = NumpyGraph.from_graph(graph, ordered=True)
+        interner = ngraph.interner
+        anchor_ids = [interner.id_of(anchor) for anchor in anchor_set]
+        core_arr, order_ids = numpy_peel(ngraph, anchor_ids)
+        vertices = interner.vertices
+        core = {
+            vertices[vid]: (ANCHOR_CORE if math.isinf(core_arr[vid]) else int(core_arr[vid]))
+            for vid in range(len(vertices))
+        }
+        order = tuple(vertices[vid] for vid in order_ids)
+        return CoreDecomposition(core=core, order=order, anchors=anchor_set)
+
+    def k_core(self, graph: Graph, k: int, anchors: Iterable[Vertex] = ()) -> Set[Vertex]:
+        ngraph = NumpyGraph.from_graph(graph, ordered=False)
+        anchor_ids = [ngraph.interner.id_of(anchor) for anchor in anchors]
+        return ngraph.interner.translate(
+            numpy_k_core_ids(ngraph, k, anchor_ids).tolist()
+        )
+
+    @staticmethod
+    def _deg_plus_array(ngraph: NumpyGraph, rank_arr):
+        mask = rank_arr[ngraph.indices] > rank_arr[ngraph.row]
+        return np.bincount(ngraph.row[mask], minlength=ngraph.num_vertices)
+
+    def remaining_degrees(
+        self, graph: Graph, rank: Mapping[Vertex, int]
+    ) -> Dict[Vertex, int]:
+        ngraph = NumpyGraph.from_graph(graph, ordered=False)
+        vertices = ngraph.interner.vertices
+        if not vertices:
+            return {}
+        rank_arr = np.asarray([rank.get(vertex, -1) for vertex in vertices], dtype=np.int64)
+        deg_plus = self._deg_plus_array(ngraph, rank_arr)
+        return {
+            vertices[vid]: int(deg_plus[vid])
+            for vid in range(len(vertices))
+            if rank_arr[vid] >= 0
+        }
+
+    def korder(self, graph: Graph):
+        """One numpy snapshot amortised over the peel and the deg+ pass."""
+        from repro.cores.decomposition import CoreDecomposition
+
+        ngraph = NumpyGraph.from_graph(graph, ordered=True)
+        n = ngraph.num_vertices
+        core_arr, order_ids = numpy_peel(ngraph)
+        vertices = ngraph.interner.vertices
+        core = {vertices[vid]: int(core_arr[vid]) for vid in range(n)}
+        order = tuple(vertices[vid] for vid in order_ids)
+        decomposition = CoreDecomposition(core=core, order=order)
+        if n == 0:
+            return decomposition, {}
+        rank_arr = np.zeros(n, dtype=np.int64)
+        rank_arr[np.asarray(order_ids, dtype=np.int64)] = np.arange(n)
+        deg_plus = self._deg_plus_array(ngraph, rank_arr)
+        return decomposition, {vertices[vid]: int(deg_plus[vid]) for vid in range(n)}
+
+    def build_core_index(self, graph: Graph) -> NumpyCoreIndexKernel:
+        return NumpyCoreIndexKernel(graph)
+
+    def build_maintenance(
+        self, graph: Graph, core: Dict[Vertex, int]
+    ) -> CompactMaintenanceKernel:
+        # Maintenance traversals touch tiny per-edge subcores; the compact
+        # integer mirror already minimises per-touch cost and numpy's
+        # per-call overhead would dominate, so the kernel is shared.
+        return CompactMaintenanceKernel(graph, core)

@@ -1,0 +1,195 @@
+"""Backend registry and the ``"auto"`` resolution policy.
+
+This module is the **single place** where backend selection policy lives.
+Call sites everywhere else pass an opaque ``backend=`` value — a registered
+name, ``"auto"``, or an :class:`~repro.backends.base.ExecutionBackend`
+instance — to :func:`get_backend` and use whatever comes back.
+
+Registration
+------------
+:func:`register_backend` associates a name with a zero-argument factory plus
+selection metadata.  The three built-ins are registered by
+:mod:`repro.backends` itself (with lazy factories, so importing the package
+never imports numpy); third parties can register more::
+
+    from repro.backends import ExecutionBackend, register_backend
+
+    class ShardedBackend(ExecutionBackend):
+        name = "sharded"
+        ...
+
+    register_backend("sharded", ShardedBackend, auto_priority=30)
+
+After that every ``backend=`` kwarg in the library accepts ``"sharded"``.
+
+The ``auto`` policy
+-------------------
+``"auto"`` resolves against the graph size *and* the workload shape:
+
+1. **One-shot cascades** (``workload="one-shot"``: a single O(n + m) pass
+   such as :func:`repro.cores.decomposition.k_core` or
+   :func:`repro.anchored.followers.anchored_k_core`) always resolve to the
+   dict backend, at any size: building an interned snapshot costs one full
+   pass itself, so a lone cascade can never amortise it.
+2. **Amortised workloads** (full peeling decompositions, the long-lived
+   :class:`~repro.anchored.anchored_core.AnchoredCoreIndex`, incremental
+   maintenance) resolve to the dict backend below
+   :data:`~repro.backends.base.COMPACT_THRESHOLD` vertices — translation
+   overhead dominates on small graphs — and above it to the *available*
+   registered backend with the highest ``auto_priority`` (numpy 20 >
+   compact 10 > dict 0, so numpy wins whenever it is importable).
+
+Explicit names bypass the policy entirely; asking for a registered but
+unavailable backend (e.g. ``"numpy"`` without numpy installed) raises
+:class:`~repro.errors.ParameterError` with an actionable message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.backends.base import (
+    BACKEND_AUTO,
+    BACKEND_DICT,
+    COMPACT_THRESHOLD,
+    WORKLOAD_AMORTIZED,
+    WORKLOAD_ONE_SHOT,
+    ExecutionBackend,
+)
+from repro.errors import ParameterError
+
+_WORKLOADS = (WORKLOAD_ONE_SHOT, WORKLOAD_AMORTIZED)
+
+
+@dataclass
+class _BackendSpec:
+    """Registry entry: how to build a backend and when ``auto`` may pick it."""
+
+    name: str
+    factory: Callable[[], ExecutionBackend]
+    auto_priority: int = 0
+    is_available: Callable[[], bool] = field(default=lambda: True)
+
+
+_REGISTRY: Dict[str, _BackendSpec] = {}
+_INSTANCES: Dict[str, ExecutionBackend] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], ExecutionBackend],
+    *,
+    auto_priority: int = 0,
+    is_available: Optional[Callable[[], bool]] = None,
+    replace: bool = False,
+) -> None:
+    """Register ``factory`` under ``name`` for every ``backend=`` kwarg.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable returning an :class:`ExecutionBackend`.
+        Called at most once; the instance is cached process-wide.
+    auto_priority:
+        Rank among available backends when ``"auto"`` resolves an amortised
+        workload on a large graph (highest wins; dict=0, compact=10,
+        numpy=20).
+    is_available:
+        Optional probe called at resolution time — return ``False`` while a
+        runtime dependency is missing and the backend is skipped by ``auto``
+        and rejected (with an explanation) when requested by name.
+    replace:
+        Allow overwriting an existing registration (off by default so typos
+        cannot silently shadow a built-in).
+    """
+    if name == BACKEND_AUTO:
+        raise ParameterError(f'"{BACKEND_AUTO}" is reserved for the resolution policy')
+    if not replace and name in _REGISTRY:
+        raise ParameterError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = _BackendSpec(
+        name=name,
+        factory=factory,
+        auto_priority=auto_priority,
+        is_available=is_available if is_available is not None else (lambda: True),
+    )
+    _INSTANCES.pop(name, None)
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Every registered backend name (available or not), registration order."""
+    return tuple(_REGISTRY)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backends whose availability probe currently passes."""
+    return tuple(name for name, spec in _REGISTRY.items() if spec.is_available())
+
+
+def resolve_backend(
+    backend: Union[str, ExecutionBackend],
+    num_vertices: int,
+    threshold: int = COMPACT_THRESHOLD,
+    workload: str = WORKLOAD_AMORTIZED,
+) -> str:
+    """Resolve a requested backend to a concrete registered *name*.
+
+    Implements the module-level policy: explicit names pass through
+    (validated), ``"auto"`` picks by workload and size.  Raises
+    :class:`~repro.errors.ParameterError` on unknown names.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend.name
+    if workload not in _WORKLOADS:
+        raise ParameterError(
+            f"unknown workload {workload!r}; expected one of {sorted(_WORKLOADS)}"
+        )
+    if backend != BACKEND_AUTO:
+        if backend not in _REGISTRY:
+            known = sorted((BACKEND_AUTO, *_REGISTRY))
+            raise ParameterError(
+                f"unknown backend {backend!r}; expected one of {known}"
+            )
+        return backend
+    if workload == WORKLOAD_ONE_SHOT or num_vertices < threshold:
+        return BACKEND_DICT
+    best = BACKEND_DICT
+    best_priority = _REGISTRY[BACKEND_DICT].auto_priority if BACKEND_DICT in _REGISTRY else 0
+    for name, spec in _REGISTRY.items():
+        if spec.auto_priority > best_priority and spec.is_available():
+            best, best_priority = name, spec.auto_priority
+    return best
+
+
+def get_backend(
+    backend: Union[str, ExecutionBackend],
+    num_vertices: int = 0,
+    *,
+    threshold: int = COMPACT_THRESHOLD,
+    workload: str = WORKLOAD_AMORTIZED,
+) -> ExecutionBackend:
+    """Return the :class:`ExecutionBackend` for a ``backend=`` kwarg value.
+
+    Accepts a backend instance (returned as-is, so resolved backends can be
+    re-threaded through ``backend=`` without a second resolution), a
+    registered name, or ``"auto"``.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    name = resolve_backend(backend, num_vertices, threshold=threshold, workload=workload)
+    # Probe availability on every call, not just the building one: a backend
+    # can become unavailable after its instance was cached (e.g. the
+    # REPRO_DISABLE_NUMPY switch flipping mid-process), and the contract is
+    # that requesting it by name then fails loudly.
+    spec = _REGISTRY[name]
+    if not spec.is_available():
+        raise ParameterError(
+            f"backend {name!r} is registered but unavailable "
+            f"(a runtime dependency is missing); "
+            f"available backends: {sorted(available_backends())}"
+        )
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = spec.factory()
+        _INSTANCES[name] = instance
+    return instance

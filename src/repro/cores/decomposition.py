@@ -13,13 +13,15 @@ process in which a designated anchor set is never removed (anchored vertices
 Section 2.1).  Anchored vertices receive the core value
 :data:`ANCHOR_CORE` (infinity).
 
-Two interchangeable execution backends are provided (see
-:mod:`repro.graph.compact`): the historical adjacency-set ``dict`` peeling,
-and a flat integer-array kernel over a :class:`~repro.graph.compact.CompactGraph`
-snapshot whose heap entries are single packed ints (``degree * n + id``).
-Because the compact snapshot interns vertices in tie-break order, the two
-backends produce *identical* core numbers **and** identical removal orders;
-``backend="auto"`` (the default) picks compact for large graphs.
+Execution is dispatched through the :mod:`repro.backends` registry: every
+function here accepts ``backend=`` (a registered name, ``"auto"``, or an
+:class:`~repro.backends.ExecutionBackend` instance) and calls the resolved
+backend's kernel.  All registered backends produce *identical* core numbers
+**and** identical removal orders — the compact/numpy snapshots intern
+vertices in tie-break order so the integer id doubles as the deterministic
+tie-break rank.  This module also hosts the flat integer-array kernel
+primitives (:func:`compact_peel`, :func:`compact_k_core_ids`) that the
+compact backend is built from.
 """
 
 from __future__ import annotations
@@ -27,18 +29,18 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple, Union
 
-from repro.errors import ParameterError
-from repro.graph.compact import (
+from repro.backends import (
     BACKEND_AUTO,
-    BACKEND_COMPACT,
-    BACKEND_DICT,
-    CompactGraph,
-    resolve_backend,
+    WORKLOAD_AMORTIZED,
+    WORKLOAD_ONE_SHOT,
+    ExecutionBackend,
+    get_backend,
 )
+from repro.errors import ParameterError
+from repro.graph.compact import CompactGraph
 from repro.graph.static import Graph, Vertex
-from repro.ordering import tie_break_key
 
 #: Core value assigned to anchored vertices — they can never be peeled.
 ANCHOR_CORE: float = math.inf
@@ -93,72 +95,40 @@ class CoreDecomposition:
         return max(finite, default=0)
 
 
-def core_decomposition(graph: Graph, backend: str = BACKEND_AUTO) -> CoreDecomposition:
+def core_decomposition(
+    graph: Graph, backend: Union[str, ExecutionBackend] = BACKEND_AUTO
+) -> CoreDecomposition:
     """Run core decomposition on ``graph``.
 
     Vertices of equal current degree are peeled in a deterministic order so
-    repeated runs produce identical removal orders.  Complexity is
-    O(m log n) with the lazy-deletion heap used here, which is more than fast
-    enough for the pure-Python experiment scale; ``backend="compact"`` (or
-    ``"auto"`` on a large graph) runs the same peeling over flat int arrays.
+    repeated runs produce identical removal orders.  The dict backend's
+    lazy-deletion heap is O(m log n), more than fast enough for the
+    pure-Python experiment scale; the compact and numpy backends run the
+    same peeling over flat int / numpy arrays.
     """
     return anchored_core_decomposition(graph, anchors=(), backend=backend)
 
 
 def anchored_core_decomposition(
-    graph: Graph, anchors: Iterable[Vertex], backend: str = BACKEND_AUTO
+    graph: Graph,
+    anchors: Iterable[Vertex],
+    backend: Union[str, ExecutionBackend] = BACKEND_AUTO,
 ) -> CoreDecomposition:
     """Run core decomposition in which ``anchors`` are never removed.
 
     Anchored vertices still contribute to their neighbours' degrees throughout
     the peeling, which is exactly the anchored k-core semantics of
     Definition 4: the anchored k-core for any ``k`` is
-    ``{v : core(v) >= k}`` with anchors mapped to infinity.  Both backends
-    produce the same mapping and the same removal order.
+    ``{v : core(v) >= k}`` with anchors mapped to infinity.  Every registered
+    backend produces the same mapping and the same removal order.
     """
     anchor_set = frozenset(anchors)
     for anchor in anchor_set:
         if not graph.has_vertex(anchor):
             raise ParameterError(f"anchor {anchor!r} is not a vertex of the graph")
-
-    if resolve_backend(backend, graph.num_vertices) == BACKEND_COMPACT:
-        return _compact_anchored_decomposition(graph, anchor_set)
-
-    effective: Dict[Vertex, int] = {}
-    heap: List[Tuple[int, Tuple[str, str], Vertex]] = []
-    for vertex in graph.vertices():
-        if vertex in anchor_set:
-            continue
-        degree = graph.degree(vertex)
-        effective[vertex] = degree
-        heap.append((degree, tie_break_key(vertex), vertex))
-    heapq.heapify(heap)
-
-    core: Dict[Vertex, float] = {}
-    order: List[Vertex] = []
-    removed: Set[Vertex] = set()
-    current_core = 0
-    while heap:
-        degree, _, vertex = heapq.heappop(heap)
-        if vertex in removed:
-            continue
-        if degree != effective[vertex]:
-            # Stale heap entry: the true (smaller) degree entry is still queued.
-            continue
-        current_core = max(current_core, degree)
-        core[vertex] = current_core
-        order.append(vertex)
-        removed.add(vertex)
-        for neighbour in graph.neighbors(vertex):
-            if neighbour in anchor_set or neighbour in removed:
-                continue
-            effective[neighbour] -= 1
-            heapq.heappush(heap, (effective[neighbour], tie_break_key(neighbour), neighbour))
-
-    for anchor in sorted(anchor_set, key=tie_break_key):
-        core[anchor] = ANCHOR_CORE
-        order.append(anchor)
-    return CoreDecomposition(core=core, order=tuple(order), anchors=anchor_set)
+    return get_backend(
+        backend, graph.num_vertices, workload=WORKLOAD_AMORTIZED
+    ).decompose(graph, anchor_set)
 
 
 # ---------------------------------------------------------------------------
@@ -221,20 +191,6 @@ def compact_peel(
     return core, order
 
 
-def _compact_anchored_decomposition(
-    graph: Graph, anchor_set: FrozenSet[Vertex]
-) -> CoreDecomposition:
-    """Anchored decomposition through the compact kernel, translated back."""
-    cgraph = CompactGraph.from_graph(graph, ordered=True)
-    interner = cgraph.interner
-    anchor_ids = [interner.id_of(anchor) for anchor in anchor_set]
-    core_by_id, order_ids = compact_peel(cgraph, anchor_ids)
-    vertices = interner.vertices
-    core = {vertices[vid]: core_by_id[vid] for vid in range(len(vertices))}
-    order = tuple(vertices[vid] for vid in order_ids)
-    return CoreDecomposition(core=core, order=order, anchors=anchor_set)
-
-
 def compact_k_core_ids(
     cgraph: CompactGraph, k: int, anchor_ids: Iterable[int] = ()
 ) -> Set[int]:
@@ -268,52 +224,45 @@ def compact_k_core_ids(
     return {vid for vid in range(n) if not removed[vid]}
 
 
-def core_numbers(graph: Graph, backend: str = BACKEND_AUTO) -> Dict[Vertex, int]:
+def core_numbers(
+    graph: Graph, backend: Union[str, ExecutionBackend] = BACKEND_AUTO
+) -> Dict[Vertex, int]:
     """Return ``{vertex: core number}`` with plain integer values."""
     decomposition = core_decomposition(graph, backend=backend)
     return {vertex: int(value) for vertex, value in decomposition.core.items()}
 
 
-def k_core(graph: Graph, k: int, backend: str = BACKEND_DICT) -> Set[Vertex]:
+def k_core(
+    graph: Graph, k: int, backend: Union[str, ExecutionBackend] = BACKEND_AUTO
+) -> Set[Vertex]:
     """Return the vertex set of the k-core of ``graph``.
 
     Implemented as a direct peeling cascade, which is faster than a full
-    decomposition when only a single ``k`` is needed.  Unlike the full
-    decomposition, a one-shot cascade cannot amortise a compact snapshot
-    build, so the default backend is ``"dict"`` here; pass
-    ``backend="compact"`` only when measuring the kernel itself (consumers
-    that hold a reusable :class:`~repro.graph.compact.CompactGraph`, such as
-    :class:`~repro.anchored.anchored_core.AnchoredCoreIndex`, call
-    :func:`compact_k_core_ids` directly instead).
+    decomposition when only a single ``k`` is needed.  The default
+    ``"auto"`` policy is workload-aware (see :mod:`repro.backends.registry`):
+    a one-shot cascade cannot amortise building a snapshot, so ``auto``
+    resolves to the dict backend at any size.  Consumers that hold a
+    reusable snapshot — e.g.
+    :class:`~repro.anchored.anchored_core.AnchoredCoreIndex` — run the
+    snapshot-native cascade through their backend kernel instead.
     """
     if k < 0:
         raise ParameterError("k must be non-negative")
-    if resolve_backend(backend, graph.num_vertices) == BACKEND_COMPACT:
-        cgraph = CompactGraph.from_graph(graph, ordered=False)
-        return cgraph.interner.translate(compact_k_core_ids(cgraph, k))
-    degrees = {vertex: graph.degree(vertex) for vertex in graph.vertices()}
-    removed: Set[Vertex] = set()
-    queue = [vertex for vertex, degree in degrees.items() if degree < k]
-    while queue:
-        vertex = queue.pop()
-        if vertex in removed:
-            continue
-        removed.add(vertex)
-        for neighbour in graph.neighbors(vertex):
-            if neighbour in removed:
-                continue
-            degrees[neighbour] -= 1
-            if degrees[neighbour] < k:
-                queue.append(neighbour)
-    return {vertex for vertex in degrees if vertex not in removed}
+    return get_backend(backend, graph.num_vertices, workload=WORKLOAD_ONE_SHOT).k_core(
+        graph, k
+    )
 
 
-def k_shell(graph: Graph, k: int, backend: str = BACKEND_AUTO) -> Set[Vertex]:
+def k_shell(
+    graph: Graph, k: int, backend: Union[str, ExecutionBackend] = BACKEND_AUTO
+) -> Set[Vertex]:
     """Return the k-shell of ``graph`` (vertices whose core number equals ``k``)."""
     decomposition = core_decomposition(graph, backend=backend)
     return decomposition.shell_vertices(k)
 
 
-def degeneracy(graph: Graph, backend: str = BACKEND_AUTO) -> int:
+def degeneracy(
+    graph: Graph, backend: Union[str, ExecutionBackend] = BACKEND_AUTO
+) -> int:
     """Return the degeneracy of ``graph`` (its largest non-empty core index)."""
     return core_decomposition(graph, backend=backend).degeneracy()

@@ -22,16 +22,17 @@ and is used by the property tests and by the maintenance layer's self-checks.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Union
 
-from repro.cores.decomposition import (
-    ANCHOR_CORE,
-    CoreDecomposition,
-    compact_peel,
-    core_decomposition,
+from repro.backends import (
+    BACKEND_AUTO,
+    BACKEND_DICT,
+    WORKLOAD_ONE_SHOT,
+    ExecutionBackend,
+    get_backend,
 )
+from repro.cores.decomposition import ANCHOR_CORE, CoreDecomposition, core_decomposition
 from repro.errors import InvariantViolationError, VertexNotFoundError
-from repro.graph.compact import BACKEND_AUTO, BACKEND_COMPACT, CompactGraph, resolve_backend
 from repro.graph.static import Graph, Vertex
 
 
@@ -41,34 +42,23 @@ class KOrder:
     Instances are built from a :class:`CoreDecomposition` (or directly from a
     graph via :meth:`from_graph`) and expose O(1) order comparison, per-shell
     sequences and remaining degrees.  ``backend`` selects the execution layer
-    for the decomposition and the remaining-degree pass (see
-    :mod:`repro.graph.compact`); the resulting index is identical either way.
+    (see :mod:`repro.backends`) for the decomposition and the
+    remaining-degree pass; snapshot-based backends amortise one snapshot over
+    both.  The resulting index is identical on every backend.
     """
 
     def __init__(
         self,
         graph: Graph,
         decomposition: Optional[CoreDecomposition] = None,
-        backend: str = BACKEND_AUTO,
+        backend: Union[str, ExecutionBackend] = BACKEND_AUTO,
     ) -> None:
-        self._backend = resolve_backend(backend, graph.num_vertices)
-        # One CSR snapshot amortised over both the peel and the deg+ pass; a
-        # caller-supplied decomposition leaves nothing to amortise the build
-        # against, so that path stays on the dict deg+ pass.
-        cgraph: Optional[CompactGraph] = None
+        backend_obj = get_backend(backend, graph.num_vertices)
+        self._backend = backend_obj.name
+        deg_plus: Optional[Dict[Vertex, int]] = None
         if decomposition is None:
-            if self._backend == BACKEND_COMPACT:
-                cgraph = CompactGraph.from_graph(graph, ordered=True)
-                vertices = cgraph.interner.vertices
-                core_ids, order_ids = compact_peel(cgraph)
-                decomposition = CoreDecomposition(
-                    core={
-                        vertices[vid]: core_ids[vid] for vid in range(len(vertices))
-                    },
-                    order=tuple(vertices[vid] for vid in order_ids),
-                )
-            else:
-                decomposition = core_decomposition(graph, backend=self._backend)
+            # korder() amortises one snapshot over the peel and the deg+ pass.
+            decomposition, deg_plus = backend_obj.korder(graph)
         self._graph = graph
         self._core: Dict[Vertex, float] = dict(decomposition.core)
         self._anchors = set(decomposition.anchors)
@@ -77,49 +67,26 @@ class KOrder:
             vertex: position for position, vertex in enumerate(decomposition.order)
         }
         self._shells: Dict[int, List[Vertex]] = decomposition.shells()
-        if cgraph is not None:
-            self._deg_plus = self._compute_remaining_degrees_compact(cgraph)
-        else:
-            self._deg_plus = self._compute_remaining_degrees()
+        if deg_plus is None:
+            # A caller-supplied decomposition leaves nothing to amortise a
+            # snapshot build against, so the lone deg+ pass always runs on
+            # the dict kernel (as it did before the registry existed) — a
+            # snapshot-based backend would build an O(n + m) structure to
+            # feed one O(n + m) pass.
+            deg_plus = get_backend(
+                BACKEND_DICT, graph.num_vertices, workload=WORKLOAD_ONE_SHOT
+            ).remaining_degrees(graph, self._rank)
+        self._deg_plus = deg_plus
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_graph(cls, graph: Graph, backend: str = BACKEND_AUTO) -> "KOrder":
+    def from_graph(
+        cls, graph: Graph, backend: Union[str, ExecutionBackend] = BACKEND_AUTO
+    ) -> "KOrder":
         """Build the K-order of ``graph`` by running core decomposition."""
         return cls(graph, backend=backend)
-
-    def _compute_remaining_degrees(self) -> Dict[Vertex, int]:
-        """Compute ``deg+`` for every vertex from the stored ranks."""
-        deg_plus: Dict[Vertex, int] = {}
-        for vertex, rank in self._rank.items():
-            count = 0
-            for neighbour in self._graph.neighbors(vertex):
-                if self._rank.get(neighbour, -1) > rank:
-                    count += 1
-            deg_plus[vertex] = count
-        return deg_plus
-
-    def _compute_remaining_degrees_compact(self, cgraph: CompactGraph) -> Dict[Vertex, int]:
-        """``deg+`` over the already-built CSR snapshot: one int-array pass."""
-        interner = cgraph.interner
-        indptr = cgraph.indptr
-        indices = cgraph.indices
-        rank = self._rank
-        vertices = interner.vertices
-        rank_ids = [rank.get(vertex, -1) for vertex in vertices]
-        deg_plus: Dict[Vertex, int] = {}
-        for vid in range(len(vertices)):
-            own_rank = rank_ids[vid]
-            if own_rank < 0:
-                continue
-            count = 0
-            for position in range(indptr[vid], indptr[vid + 1]):
-                if rank_ids[indices[position]] > own_rank:
-                    count += 1
-            deg_plus[vertices[vid]] = count
-        return deg_plus
 
     # ------------------------------------------------------------------
     # Queries

@@ -13,13 +13,17 @@ updates via :meth:`apply_delta` additionally report the paper's ``VI`` and
 number is ``k - 1`` afterwards — which is exactly the candidate pool the
 incremental tracker (IncAVT, Algorithm 6) probes.
 
-The maintainer is backend-aware (see :mod:`repro.graph.compact`): in compact
-mode it keeps the public hashable-vertex graph as the source of truth for the
-*structure* but mirrors the adjacency into integer-id sets
-(:class:`~repro.graph.compact.DynamicCompactAdjacency`) and stores the core
-numbers in a flat list indexed by id, so the subcore/eviction traversals of
-the inner loops run entirely over small ints.  Mirror upkeep is O(1) per edge
-operation; results are identical across backends.
+The maintainer is backend-aware (see :mod:`repro.backends`): the public
+hashable-vertex graph stays the source of truth for the *structure*, while
+the traversals and the maintained core numbers live in the resolved
+backend's :class:`~repro.backends.MaintenanceKernel` — the dict kernel walks
+the graph directly; the compact kernel (also used by the numpy backend,
+whose vectorisation cannot beat int-set traversals on per-edge subcores)
+mirrors the adjacency into integer-id sets with O(1) upkeep per edge
+operation.  Results are identical across backends, and a maintainer can be
+migrated to another backend mid-flight via :meth:`CoreMaintainer.switch_backend`
+(used by the streaming engine when an initially small graph outgrows the
+dict backend).
 
 The maintained core numbers are the single source of truth for the incremental
 tracker; a :meth:`validate` hook recomputes them from scratch and raises if
@@ -30,16 +34,11 @@ edit sequences.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional, Set, Union
 
+from repro.backends import BACKEND_AUTO, ExecutionBackend, get_backend
 from repro.cores.decomposition import core_numbers as recompute_core_numbers
 from repro.errors import InvariantViolationError, ParameterError
-from repro.graph.compact import (
-    BACKEND_AUTO,
-    BACKEND_COMPACT,
-    DynamicCompactAdjacency,
-    resolve_backend,
-)
 from repro.graph.dynamic import EdgeDelta
 from repro.graph.static import Edge, Graph, Vertex
 
@@ -112,7 +111,7 @@ class CoreMaintainer:
         graph: Graph,
         copy_graph: bool = True,
         core: Optional[Dict[Vertex, int]] = None,
-        backend: str = BACKEND_AUTO,
+        backend: Union[str, ExecutionBackend] = BACKEND_AUTO,
     ) -> None:
         """Wrap ``graph``; recompute core numbers unless ``core`` supplies them.
 
@@ -123,20 +122,13 @@ class CoreMaintainer:
         implementation (``"auto"`` resolves by initial graph size).
         """
         self._graph = graph.copy() if copy_graph else graph
-        self._backend = resolve_backend(backend, self._graph.num_vertices)
-        initial = dict(core) if core is not None else recompute_core_numbers(self._graph)
-        if self._backend == BACKEND_COMPACT:
-            self._mirror: Optional[DynamicCompactAdjacency] = (
-                DynamicCompactAdjacency.from_graph(self._graph)
-            )
-            self._icore: List[int] = [
-                initial.get(vertex, 0) for vertex in self._mirror.interner.vertices
-            ]
-            self._core: Optional[Dict[Vertex, int]] = None
-        else:
-            self._mirror = None
-            self._icore = []
-            self._core = initial
+        self._backend = get_backend(backend, self._graph.num_vertices)
+        initial = (
+            dict(core)
+            if core is not None
+            else recompute_core_numbers(self._graph, backend=self._backend)
+        )
+        self._kernel = self._backend.build_maintenance(self._graph, initial)
         self._visited_last = 0
 
     # ------------------------------------------------------------------
@@ -149,52 +141,51 @@ class CoreMaintainer:
 
     @property
     def backend(self) -> str:
-        """The resolved execution backend (``"dict"`` or ``"compact"``)."""
+        """The name of the resolved execution backend (e.g. ``"dict"``)."""
+        return self._backend.name
+
+    @property
+    def backend_instance(self) -> ExecutionBackend:
+        """The resolved :class:`~repro.backends.ExecutionBackend` itself."""
         return self._backend
+
+    def switch_backend(self, backend: Union[str, ExecutionBackend]) -> bool:
+        """Migrate the maintained state onto another execution backend.
+
+        Rebuilds the backend's maintenance kernel from the live graph and the
+        *current* maintained core numbers — no decomposition is re-run, so
+        the migration is O(n + m) structure mirroring only.  Returns whether
+        a switch actually happened (requesting the current backend, or
+        ``"auto"`` resolving to it, is a no-op).  The streaming engine calls
+        this at flush time when a graph that started below the auto threshold
+        outgrows the dict backend.
+        """
+        target = get_backend(backend, self._graph.num_vertices)
+        if target.name == self._backend.name:
+            return False
+        self._kernel = target.build_maintenance(self._graph, self.core_numbers())
+        self._backend = target
+        return True
 
     def core_numbers(self) -> Dict[Vertex, int]:
         """Return a copy of the maintained core numbers."""
-        if self._mirror is not None:
-            # The interner's vertex list is kept in exact sync with the graph,
-            # so zipping it against the core array avoids n hash lookups.
-            return dict(zip(self._mirror.interner.vertices, self._icore))
-        return dict(self._core)
+        return self._kernel.core_numbers()
 
     def core(self, vertex: Vertex) -> int:
         """Return the maintained core number of ``vertex``."""
-        if self._mirror is not None:
-            vid = self._mirror.interner.get_id(vertex)
-            if vid < 0:
-                raise KeyError(vertex)
-            return self._icore[vid]
-        return self._core[vertex]
+        return self._kernel.core(vertex)
 
     def _core_get(self, vertex: Vertex, default: Optional[int] = None) -> Optional[int]:
-        """``dict.get``-style lookup that works on both backends."""
-        if self._mirror is not None:
-            vid = self._mirror.interner.get_id(vertex)
-            return default if vid < 0 else self._icore[vid]
-        return self._core.get(vertex, default)
+        """``dict.get``-style lookup through the kernel."""
+        return self._kernel.core_get(vertex, default)
 
     def k_core_vertices(self, k: int) -> Set[Vertex]:
         """Return ``{v : core(v) >= k}`` under the maintained core numbers."""
-        if self._mirror is not None:
-            return {
-                vertex
-                for vertex, value in zip(self._mirror.interner.vertices, self._icore)
-                if value >= k
-            }
-        return {vertex for vertex, value in self._core.items() if value >= k}
+        return self._kernel.k_core_vertices(k)
 
     def shell_vertices(self, k: int) -> Set[Vertex]:
         """Return ``{v : core(v) == k}`` under the maintained core numbers."""
-        if self._mirror is not None:
-            return {
-                vertex
-                for vertex, value in zip(self._mirror.interner.vertices, self._icore)
-                if value == k
-            }
-        return {vertex for vertex, value in self._core.items() if value == k}
+        return self._kernel.shell_vertices(k)
 
     # ------------------------------------------------------------------
     # Single-edge updates
@@ -209,20 +200,14 @@ class CoreMaintainer:
         for vertex in (u, v):
             if not self._graph.has_vertex(vertex):
                 self._graph.add_vertex(vertex)
-                if self._mirror is not None:
-                    vid = self._mirror.ensure_vertex(vertex)
-                    while len(self._icore) <= vid:
-                        self._icore.append(0)
-                else:
-                    self._core[vertex] = 0
+                self._kernel.add_vertex(vertex)
         if not self._graph.add_edge(u, v):
             return set()
-        if self._mirror is not None:
-            interner = self._mirror.interner
-            u_id, v_id = interner.id_of(u), interner.id_of(v)
-            self._mirror.add_edge_ids(u_id, v_id)
-            return self._process_insertion_compact(u_id, v_id)
-        return self._process_insertion(u, v)
+        self._kernel.add_edge(u, v)
+        increased, visited = self._kernel.process_insertion(u, v)
+        self._visited_last = len(visited)
+        self._visited_vertices_last = visited
+        return increased
 
     def remove_edge(self, u: Vertex, v: Vertex) -> Set[Vertex]:
         """Remove edge ``(u, v)`` and return the vertices whose core decreased.
@@ -232,12 +217,11 @@ class CoreMaintainer:
         if not self._graph.has_edge(u, v):
             return set()
         self._graph.remove_edge(u, v)
-        if self._mirror is not None:
-            interner = self._mirror.interner
-            u_id, v_id = interner.id_of(u), interner.id_of(v)
-            self._mirror.remove_edge_ids(u_id, v_id)
-            return self._process_deletion_compact(u_id, v_id)
-        return self._process_deletion(u, v)
+        self._kernel.remove_edge(u, v)
+        decreased, visited = self._kernel.process_deletion(u, v)
+        self._visited_last = len(visited)
+        self._visited_vertices_last = visited
+        return decreased
 
     # ------------------------------------------------------------------
     # Batch updates
@@ -334,17 +318,11 @@ class CoreMaintainer:
         Used when a caller mutates the maintained graph wholesale (e.g. a
         snapshot delta so large that per-edge maintenance would cost more than
         one fresh decomposition — the situation the paper describes for
-        high-churn snapshots).  In compact mode the integer mirror is rebuilt
-        alongside (the caller may have added or removed arbitrary edges).
+        high-churn snapshots).  The backend kernel is rebuilt alongside (the
+        caller may have added or removed arbitrary edges and vertices).
         """
-        fresh = recompute_core_numbers(self._graph)
-        if self._mirror is not None:
-            self._mirror = DynamicCompactAdjacency.from_graph(self._graph)
-            self._icore = [
-                fresh.get(vertex, 0) for vertex in self._mirror.interner.vertices
-            ]
-        else:
-            self._core = fresh
+        fresh = recompute_core_numbers(self._graph, backend=self._backend)
+        self._kernel = self._backend.build_maintenance(self._graph, fresh)
         self._visited_last = 0
         self._visited_vertices_last = set()
 
@@ -365,193 +343,8 @@ class CoreMaintainer:
                 f"maintained core numbers diverged from recomputation: {differing}"
             )
 
-    # ------------------------------------------------------------------
-    # Insertion traversal (Lemmas 1-2)
-    # ------------------------------------------------------------------
-    def _process_insertion(self, u: Vertex, v: Vertex) -> Set[Vertex]:
-        core = self._core
-        root_core = min(core[u], core[v])
-        roots = [w for w in (u, v) if core[w] == root_core]
-
-        # Subcore: shell-root_core vertices reachable from the roots through
-        # shell-root_core vertices.  Only these can rise, and by at most 1.
-        candidates: Set[Vertex] = set()
-        stack: List[Vertex] = []
-        for root in roots:
-            if root not in candidates:
-                candidates.add(root)
-                stack.append(root)
-        while stack:
-            current = stack.pop()
-            for neighbour in self._graph.neighbors(current):
-                if core[neighbour] == root_core and neighbour not in candidates:
-                    candidates.add(neighbour)
-                    stack.append(neighbour)
-
-        # Eviction: a candidate can rise only if it keeps more than root_core
-        # neighbours among (higher-core vertices ∪ surviving candidates).
-        support: Dict[Vertex, int] = {}
-        for candidate in candidates:
-            support[candidate] = sum(
-                1
-                for neighbour in self._graph.neighbors(candidate)
-                if core[neighbour] > root_core or neighbour in candidates
-            )
-        evict_queue = [w for w, s in support.items() if s <= root_core]
-        evicted: Set[Vertex] = set()
-        while evict_queue:
-            w = evict_queue.pop()
-            if w in evicted:
-                continue
-            evicted.add(w)
-            for neighbour in self._graph.neighbors(w):
-                if neighbour in candidates and neighbour not in evicted:
-                    support[neighbour] -= 1
-                    if support[neighbour] <= root_core:
-                        evict_queue.append(neighbour)
-
-        increased = candidates - evicted
-        for w in increased:
-            core[w] = root_core + 1
-        self._visited_last = len(candidates)
-        self._visited_vertices_last = set(candidates)
-        return increased
-
-    def _process_insertion_compact(self, u_id: int, v_id: int) -> Set[Vertex]:
-        icore = self._icore
-        adj = self._mirror.adj
-        root_core = min(icore[u_id], icore[v_id])
-        roots = [w for w in (u_id, v_id) if icore[w] == root_core]
-
-        candidates: Set[int] = set()
-        stack: List[int] = []
-        for root in roots:
-            if root not in candidates:
-                candidates.add(root)
-                stack.append(root)
-        while stack:
-            current = stack.pop()
-            for neighbour in adj[current]:
-                if icore[neighbour] == root_core and neighbour not in candidates:
-                    candidates.add(neighbour)
-                    stack.append(neighbour)
-
-        support: Dict[int, int] = {}
-        for candidate in candidates:
-            support[candidate] = sum(
-                1
-                for neighbour in adj[candidate]
-                if icore[neighbour] > root_core or neighbour in candidates
-            )
-        evict_queue = [w for w, s in support.items() if s <= root_core]
-        evicted: Set[int] = set()
-        while evict_queue:
-            w = evict_queue.pop()
-            if w in evicted:
-                continue
-            evicted.add(w)
-            for neighbour in adj[w]:
-                if neighbour in candidates and neighbour not in evicted:
-                    support[neighbour] -= 1
-                    if support[neighbour] <= root_core:
-                        evict_queue.append(neighbour)
-
-        increased_ids = candidates - evicted
-        risen = root_core + 1
-        for w in increased_ids:
-            icore[w] = risen
-        vertices = self._mirror.interner.vertices
-        self._visited_last = len(candidates)
-        self._visited_vertices_last = {vertices[w] for w in candidates}
-        return {vertices[w] for w in increased_ids}
-
-    # ------------------------------------------------------------------
-    # Deletion cascade (Lemmas 3-4)
-    # ------------------------------------------------------------------
-    def _process_deletion(self, u: Vertex, v: Vertex) -> Set[Vertex]:
-        core = self._core
-        root_core = min(core[u], core[v])
-        visited: Set[Vertex] = set()
-
-        # Support of a shell-root_core vertex: neighbours with core >= root_core
-        # (its max core degree).  A vertex drops when support falls below core.
-        support: Dict[Vertex, int] = {}
-
-        def compute_support(w: Vertex) -> int:
-            return sum(1 for x in self._graph.neighbors(w) if core[x] >= root_core)
-
-        dropped: Set[Vertex] = set()
-        queue: List[Vertex] = []
-        for w in (u, v):
-            if core[w] == root_core and w not in dropped:
-                visited.add(w)
-                support[w] = compute_support(w)
-                if support[w] < root_core:
-                    dropped.add(w)
-                    queue.append(w)
-
-        while queue:
-            w = queue.pop()
-            # Visit neighbours before lowering core(w): their lazily computed
-            # support still counts w, and the explicit decrement below then
-            # accounts for w exactly once.
-            for x in self._graph.neighbors(w):
-                if core[x] != root_core or x in dropped:
-                    continue
-                visited.add(x)
-                if x not in support:
-                    support[x] = compute_support(x)
-                # ``w`` no longer counts towards x's support.
-                support[x] -= 1
-                if support[x] < root_core:
-                    dropped.add(x)
-                    queue.append(x)
-            core[w] = root_core - 1
-
-        self._visited_last = len(visited)
-        self._visited_vertices_last = visited
-        return dropped
-
-    def _process_deletion_compact(self, u_id: int, v_id: int) -> Set[Vertex]:
-        icore = self._icore
-        adj = self._mirror.adj
-        root_core = min(icore[u_id], icore[v_id])
-        visited: Set[int] = set()
-
-        support: Dict[int, int] = {}
-
-        def compute_support(w: int) -> int:
-            return sum(1 for x in adj[w] if icore[x] >= root_core)
-
-        dropped: Set[int] = set()
-        queue: List[int] = []
-        for w in (u_id, v_id):
-            if icore[w] == root_core and w not in dropped:
-                visited.add(w)
-                support[w] = compute_support(w)
-                if support[w] < root_core:
-                    dropped.add(w)
-                    queue.append(w)
-
-        while queue:
-            w = queue.pop()
-            for x in adj[w]:
-                if icore[x] != root_core or x in dropped:
-                    continue
-                visited.add(x)
-                if x not in support:
-                    support[x] = compute_support(x)
-                support[x] -= 1
-                if support[x] < root_core:
-                    dropped.add(x)
-                    queue.append(x)
-            icore[w] = root_core - 1
-
-        vertices = self._mirror.interner.vertices
-        self._visited_last = len(visited)
-        self._visited_vertices_last = {vertices[w] for w in visited}
-        return {vertices[w] for w in dropped}
-
     # Default values so apply_delta can read them even before any update ran.
+    # The traversal implementations themselves (Lemmas 1-4) live in the
+    # backend maintenance kernels (repro/backends/).
     _visited_vertices_last: Set[Vertex] = frozenset()  # type: ignore[assignment]
     _visited_last: int = 0

@@ -32,7 +32,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.anchored.followers import compute_followers
 from repro.anchored.greedy import GreedyAnchoredKCore
@@ -44,8 +44,14 @@ from repro.cores.maintenance import CoreMaintainer, DeltaEffect
 from repro.engine.cache import CacheKey, ResultCache
 from repro.engine.ingest import IngestBuffer
 from repro.engine.stats import EngineStats
+from repro.backends import (
+    BACKEND_AUTO,
+    BACKEND_DICT,
+    ExecutionBackend,
+    get_backend,
+    registered_backends,
+)
 from repro.errors import CheckpointError, ParameterError
-from repro.graph.compact import BACKEND_AUTO
 from repro.graph.dynamic import EdgeDelta
 from repro.graph.static import Graph, Vertex
 
@@ -93,11 +99,16 @@ class StreamingAVTEngine:
         Trusted precomputed core numbers for ``graph`` (checkpoint restore);
         omit to compute them fresh.
     backend:
-        Execution backend (``"auto"`` / ``"dict"`` / ``"compact"``, see
-        :mod:`repro.graph.compact`) for core maintenance and the cold
-        solvers.  ``"auto"`` resolves against the graph handed to the
-        constructor; pass ``"compact"`` explicitly when starting from a small
-        or empty graph that is expected to grow large.
+        Execution backend (a registered name — ``"auto"`` / ``"dict"`` /
+        ``"compact"`` / ``"numpy"`` — or an
+        :class:`~repro.backends.ExecutionBackend` instance, see
+        :mod:`repro.backends`) for core maintenance and the cold solvers.
+        ``"auto"`` resolves against the graph handed to the constructor and
+        is **re-resolved at flush time**: an engine that starts empty (or
+        small) on the dict backend migrates its maintainer state to the
+        snapshot backend once the ingested stream grows the graph past the
+        auto threshold, so long-lived engines never stay stuck on the
+        small-graph path.
     """
 
     def __init__(
@@ -110,7 +121,7 @@ class StreamingAVTEngine:
         default_solver: str = "greedy",
         copy_graph: bool = True,
         core: Optional[Dict[Vertex, int]] = None,
-        backend: str = BACKEND_AUTO,
+        backend: Union[str, ExecutionBackend] = BACKEND_AUTO,
     ) -> None:
         if batch_size is not None and batch_size < 1:
             raise ParameterError("batch_size must be >= 1 (or None to disable)")
@@ -118,13 +129,16 @@ class StreamingAVTEngine:
             raise ParameterError(
                 f"unknown solver {default_solver!r}; expected one of {sorted(SOLVERS)}"
             )
-        # CoreMaintainer validates ``backend`` via resolve_backend below.
-        self._backend = backend
+        initial_graph = graph if graph is not None else Graph()
+        # The requested policy is kept for checkpoints and flush-time
+        # re-resolution; ``_backend`` is the currently resolved object.
+        self._backend_policy = backend
+        self._backend = get_backend(backend, initial_graph.num_vertices)
         self._maintainer = CoreMaintainer(
-            graph if graph is not None else Graph(),
+            initial_graph,
             copy_graph=copy_graph,
             core=core,
-            backend=backend,
+            backend=self._backend,
         )
         self._buffer = IngestBuffer(self._maintainer.graph)
         self._cache = ResultCache(cache_capacity)
@@ -161,6 +175,15 @@ class StreamingAVTEngine:
     def cache(self) -> ResultCache:
         """The versioned result cache (exposed for inspection and tests)."""
         return self._cache
+
+    @property
+    def backend(self) -> str:
+        """Name of the currently resolved execution backend.
+
+        Under the ``"auto"`` policy this can change over the engine's
+        lifetime: flushes re-resolve it as the graph grows.
+        """
+        return self._backend.name
 
     @property
     def pending_updates(self) -> int:
@@ -208,6 +231,18 @@ class StreamingAVTEngine:
         started = time.perf_counter()
         delta = self._buffer.flush()
         effect = self._maintainer.apply_delta(delta)
+        # Re-resolve the backend policy against the post-delta graph size: an
+        # engine that started below the auto threshold must not stay on the
+        # dict backend forever once the stream grows the graph past it.  Only
+        # upgrades away from dict happen (an explicit "dict" policy resolves
+        # to dict and is left alone), so a graph hovering around the
+        # threshold cannot thrash migrations.
+        if self._backend.name == BACKEND_DICT:
+            resolved = get_backend(
+                self._backend_policy, self._maintainer.graph.num_vertices
+            )
+            if resolved.name != BACKEND_DICT and self._maintainer.switch_backend(resolved):
+                self._backend = resolved
         self._stats.deltas_applied += 1
         self._stats.edges_inserted += len(delta.inserted)
         self._stats.edges_removed += len(delta.removed)
@@ -360,6 +395,19 @@ class StreamingAVTEngine:
         fully applied graph; restoring therefore never replays maintenance.
         """
         self.flush()
+        backend_name = (
+            self._backend_policy
+            if isinstance(self._backend_policy, str)
+            else self._backend_policy.name
+        )
+        if backend_name != BACKEND_AUTO and backend_name not in registered_backends():
+            # Fail at checkpoint time, not restore time: a state naming a
+            # backend the registry does not know can never be restored.
+            raise CheckpointError(
+                f"engine uses unregistered backend {backend_name!r}; "
+                "register_backend() it before checkpointing so a restored "
+                "engine can resolve it"
+            )
         graph = self._maintainer.graph
         return {
             "vertices": list(graph.vertices()),
@@ -369,7 +417,10 @@ class StreamingAVTEngine:
             "batch_size": self._batch_size,
             "warm_queries": self._warm_queries,
             "default_solver": self._default_solver,
-            "backend": self._backend,
+            # The *policy*, not the resolved object: a restored engine
+            # re-resolves against its (restored) graph size, and the state
+            # stays JSON-serialisable.
+            "backend": backend_name,
             "warm": {
                 warm_key: {
                     "version": state.version,

@@ -1,9 +1,11 @@
 """Graph substrate: static graphs, snapshot sequences, generators, datasets, IO.
 
-Two execution backends live here: the hashable-vertex adjacency-set
-:class:`Graph` (the mutable public representation) and the compact
-integer-ID layer of :mod:`repro.graph.compact` (interning plus flat CSR
-arrays) that the hot kernels run on for large graphs.
+The hashable-vertex adjacency-set :class:`Graph` is the mutable public
+representation; :mod:`repro.graph.compact` provides the interning plus flat
+CSR structures that the compact and numpy execution backends
+(:mod:`repro.backends`) are built on.  The backend constants and the
+resolution policy moved to :mod:`repro.backends`; they are re-exported here
+for backwards compatibility.
 """
 
 from repro.graph.static import Graph
@@ -12,6 +14,7 @@ from repro.graph.compact import (
     BACKEND_AUTO,
     BACKEND_COMPACT,
     BACKEND_DICT,
+    BACKEND_NUMPY,
     BACKENDS,
     COMPACT_THRESHOLD,
     CompactGraph,
@@ -28,6 +31,7 @@ __all__ = [
     "BACKEND_AUTO",
     "BACKEND_COMPACT",
     "BACKEND_DICT",
+    "BACKEND_NUMPY",
     "BACKENDS",
     "COMPACT_THRESHOLD",
     "CompactGraph",

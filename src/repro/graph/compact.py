@@ -23,55 +23,34 @@ those kernels run on instead:
 
 Backend selection
 -----------------
-Call sites accept a ``backend=`` argument with one of :data:`BACKEND_AUTO`
-(``"auto"``), :data:`BACKEND_DICT` (``"dict"``) or :data:`BACKEND_COMPACT`
-(``"compact"``).  ``auto`` — the default everywhere — resolves to the compact
-backend once the graph has at least :data:`COMPACT_THRESHOLD` vertices and to
-the dict backend below it, so small graphs (and the existing test-suite) keep
-the zero-translation dict path while large graphs transparently get the flat
-kernels.  Both backends produce identical results; the cross-backend property
-tests enforce this.
+Selection no longer lives here: :mod:`repro.backends` owns the
+:class:`~repro.backends.ExecutionBackend` protocol, the registry and the
+``"auto"`` resolution policy (see :mod:`repro.backends.registry` for the
+policy).  This module provides the *data structures* the compact and numpy
+backends are built on.  The historical names (:data:`BACKEND_AUTO`,
+:data:`BACKEND_DICT`, :data:`BACKEND_COMPACT`, :data:`BACKENDS`,
+:data:`COMPACT_THRESHOLD`, :func:`resolve_backend`) are re-exported for
+backwards compatibility.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.errors import ParameterError, VertexNotFoundError
+# Backwards-compatible re-exports: the constants and the resolution policy
+# moved to repro.backends (PR 3); existing imports keep working.
+from repro.backends import (  # noqa: F401
+    BACKEND_AUTO,
+    BACKEND_COMPACT,
+    BACKEND_DICT,
+    BACKEND_NUMPY,
+    BACKENDS,
+    COMPACT_THRESHOLD,
+    resolve_backend,
+)
+from repro.errors import VertexNotFoundError
 from repro.graph.static import Graph, Vertex
 from repro.ordering import tie_break_key
-
-#: Resolve to compact for graphs with at least this many vertices.
-BACKEND_AUTO = "auto"
-#: Always use the adjacency-set ``dict`` implementation.
-BACKEND_DICT = "dict"
-#: Always use the flat integer-array implementation.
-BACKEND_COMPACT = "compact"
-
-#: Every accepted ``backend=`` value.
-BACKENDS = (BACKEND_AUTO, BACKEND_DICT, BACKEND_COMPACT)
-
-#: ``auto`` switches to the compact backend at this vertex count.  The
-#: crossover is where interning cost is clearly amortised by the kernels;
-#: below it the dict path's lack of translation wins.
-COMPACT_THRESHOLD = 4096
-
-
-def resolve_backend(
-    backend: str, num_vertices: int, threshold: int = COMPACT_THRESHOLD
-) -> str:
-    """Resolve a requested backend to ``"dict"`` or ``"compact"``.
-
-    ``"auto"`` picks compact when ``num_vertices >= threshold``.  Raises
-    :class:`~repro.errors.ParameterError` on unknown names.
-    """
-    if backend not in BACKENDS:
-        raise ParameterError(
-            f"unknown backend {backend!r}; expected one of {sorted(BACKENDS)}"
-        )
-    if backend == BACKEND_AUTO:
-        return BACKEND_COMPACT if num_vertices >= threshold else BACKEND_DICT
-    return backend
 
 
 class VertexInterner:

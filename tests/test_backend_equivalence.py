@@ -1,16 +1,20 @@
-"""Property tests: the dict and compact backends are observationally identical.
+"""Property tests: all registered execution backends are observationally identical.
 
-The compact integer-ID backend (:mod:`repro.graph.compact`) re-implements
-every hot kernel — peeling decomposition, k-core cascades, the K-order
-remaining degrees, follower computation, greedy selection, incremental
-maintenance — over flat int arrays.  These tests pin the contract that makes
+The compact and numpy backends (:mod:`repro.backends`) re-implement every hot
+kernel — peeling decomposition, k-core cascades, the K-order remaining
+degrees, follower computation, greedy selection, incremental maintenance —
+over flat int arrays / numpy arrays.  These tests pin the contract that makes
 ``backend="auto"`` safe: for *any* graph (isolated vertices, non-integer and
-mixed-type vertex ids included) both backends return identical results, down
-to the removal order and the instrumentation counters.
+mixed-type vertex ids included) every backend returns results identical to
+the dict reference, down to the removal order and the instrumentation
+counters.  Each test runs dict vs compact and, when numpy is installed, dict
+vs numpy (skipped cleanly otherwise — the import gate is part of the
+contract).
 """
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -19,6 +23,7 @@ from repro.anchored.followers import anchored_k_core
 from repro.anchored.greedy import GreedyAnchoredKCore
 from repro.anchored.olak import OLAKAnchoredKCore
 from repro.anchored.rcm import RCMAnchoredKCore
+from repro.backends import numpy_available
 from repro.cores.decomposition import (
     anchored_core_decomposition,
     core_decomposition,
@@ -26,10 +31,21 @@ from repro.cores.decomposition import (
 )
 from repro.cores.korder import KOrder
 from repro.cores.maintenance import CoreMaintainer
+from repro.engine import StreamingAVTEngine
 from repro.graph.dynamic import EdgeDelta
 from repro.graph.static import Graph
 
 SETTINGS = settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+#: The non-reference backends, each compared against the dict reference.
+#: numpy is skipped (not failed) on interpreters without numpy.
+OTHER_BACKENDS = [
+    "compact",
+    pytest.param(
+        "numpy",
+        marks=pytest.mark.skipif(not numpy_available(), reason="numpy is not installed"),
+    ),
+]
 
 #: Vertex pools exercising the interner: contiguous ints, sparse ints,
 #: strings, and a mixed-type universe (ints and strings together).
@@ -82,93 +98,102 @@ def _assert_results_equal(first, second):
     assert first.stats.visited_vertices == second.stats.visited_vertices
 
 
+@pytest.mark.parametrize("other", OTHER_BACKENDS)
 @SETTINGS
-@given(graphs_with_anchors())
-def test_decomposition_identical_across_backends(graph_and_anchors):
+@given(graph_and_anchors=graphs_with_anchors())
+def test_decomposition_identical_across_backends(other, graph_and_anchors):
     graph, anchors = graph_and_anchors
     dict_result = anchored_core_decomposition(graph, anchors, backend="dict")
-    compact_result = anchored_core_decomposition(graph, anchors, backend="compact")
-    assert dict(dict_result.core) == dict(compact_result.core)
-    assert dict_result.order == compact_result.order
-    assert dict_result.anchors == compact_result.anchors
+    other_result = anchored_core_decomposition(graph, anchors, backend=other)
+    assert dict(dict_result.core) == dict(other_result.core)
+    assert dict_result.order == other_result.order
+    assert dict_result.anchors == other_result.anchors
 
 
+@pytest.mark.parametrize("other", OTHER_BACKENDS)
 @SETTINGS
-@given(graphs_with_k())
-def test_k_core_and_anchored_cascade_identical(graph_and_k):
+@given(graph_and_k=graphs_with_k())
+def test_k_core_and_anchored_cascade_identical(other, graph_and_k):
     graph, k = graph_and_k
-    assert k_core(graph, k, backend="dict") == k_core(graph, k, backend="compact")
+    assert k_core(graph, k, backend="dict") == k_core(graph, k, backend=other)
     anchors = sorted(graph.vertices(), key=repr)[:2]
     assert anchored_k_core(graph, k, anchors, backend="dict") == anchored_k_core(
-        graph, k, anchors, backend="compact"
+        graph, k, anchors, backend=other
     )
 
 
+@pytest.mark.parametrize("other", OTHER_BACKENDS)
 @SETTINGS
-@given(graphs())
-def test_korder_identical_across_backends(graph):
+@given(graph=graphs())
+def test_korder_identical_across_backends(other, graph):
     dict_order = KOrder(graph, backend="dict")
-    compact_order = KOrder(graph, backend="compact")
-    assert dict_order.core_numbers() == compact_order.core_numbers()
-    assert dict_order.shells() == compact_order.shells()
+    other_order = KOrder(graph, backend=other)
+    assert dict_order.core_numbers() == other_order.core_numbers()
+    assert dict_order.shells() == other_order.shells()
     for vertex in graph.vertices():
-        assert dict_order.rank(vertex) == compact_order.rank(vertex)
-        assert dict_order.remaining_degree(vertex) == compact_order.remaining_degree(vertex)
-    compact_order.validate()
+        assert dict_order.rank(vertex) == other_order.rank(vertex)
+        assert dict_order.remaining_degree(vertex) == other_order.remaining_degree(vertex)
+    other_order.validate()
 
 
+@pytest.mark.parametrize("other", OTHER_BACKENDS)
 @SETTINGS
-@given(graphs_with_k())
-def test_index_candidates_and_followers_identical(graph_and_k):
+@given(graph_and_k=graphs_with_k())
+def test_index_candidates_and_followers_identical(other, graph_and_k):
     graph, k = graph_and_k
     dict_index = AnchoredCoreIndex(graph, k, backend="dict")
-    compact_index = AnchoredCoreIndex(graph, k, backend="compact")
-    assert dict_index.core_numbers() == dict(compact_index.core_numbers())
-    assert dict_index.candidate_anchors() == compact_index.candidate_anchors()
-    assert dict_index.candidate_anchors(order_pruning=False) == compact_index.candidate_anchors(
+    other_index = AnchoredCoreIndex(graph, k, backend=other)
+    assert dict_index.backend == "dict"
+    assert other_index.backend == other
+    assert dict(dict_index.core_numbers()) == dict(other_index.core_numbers())
+    assert dict_index.candidate_anchors() == other_index.candidate_anchors()
+    assert dict_index.candidate_anchors(order_pruning=False) == other_index.candidate_anchors(
         order_pruning=False
     )
-    assert dict_index.all_non_core_vertices() == compact_index.all_non_core_vertices()
-    assert dict_index.plain_k_core() == compact_index.plain_k_core()
-    assert dict_index.shell() == compact_index.shell()
+    assert dict_index.all_non_core_vertices() == other_index.all_non_core_vertices()
+    assert dict_index.plain_k_core() == other_index.plain_k_core()
+    assert dict_index.shell() == other_index.shell()
     for candidate in sorted(dict_index.all_non_core_vertices(), key=repr):
-        assert dict_index.marginal_followers(candidate) == compact_index.marginal_followers(
+        assert dict_index.marginal_followers(candidate) == other_index.marginal_followers(
             candidate
         )
         assert dict_index.marginal_followers(
             candidate, full_shell=True
-        ) == compact_index.marginal_followers(candidate, full_shell=True)
-    assert dict_index.visited_vertices == compact_index.visited_vertices
-    assert dict_index.candidates_evaluated == compact_index.candidates_evaluated
+        ) == other_index.marginal_followers(candidate, full_shell=True)
+    assert dict_index.visited_vertices == other_index.visited_vertices
+    assert dict_index.candidates_evaluated == other_index.candidates_evaluated
 
 
+@pytest.mark.parametrize("other", OTHER_BACKENDS)
 @SETTINGS
-@given(graphs_with_k(), st.integers(min_value=0, max_value=3))
-def test_greedy_identical_across_backends(graph_and_k, budget):
+@given(graph_and_k=graphs_with_k(), budget=st.integers(min_value=0, max_value=3))
+def test_greedy_identical_across_backends(other, graph_and_k, budget):
     graph, k = graph_and_k
     _assert_results_equal(
         GreedyAnchoredKCore(graph, k, budget, backend="dict").select(),
-        GreedyAnchoredKCore(graph, k, budget, backend="compact").select(),
+        GreedyAnchoredKCore(graph, k, budget, backend=other).select(),
     )
 
 
+@pytest.mark.parametrize("other", OTHER_BACKENDS)
 @SETTINGS
-@given(graphs_with_k(), st.integers(min_value=0, max_value=3))
-def test_olak_identical_across_backends(graph_and_k, budget):
+@given(graph_and_k=graphs_with_k(), budget=st.integers(min_value=0, max_value=3))
+def test_olak_identical_across_backends(other, graph_and_k, budget):
     graph, k = graph_and_k
     _assert_results_equal(
         OLAKAnchoredKCore(graph, k, budget, backend="dict").select(),
-        OLAKAnchoredKCore(graph, k, budget, backend="compact").select(),
+        OLAKAnchoredKCore(graph, k, budget, backend=other).select(),
     )
 
 
+@pytest.mark.parametrize("other", OTHER_BACKENDS)
 @SETTINGS
-@given(graphs_with_k(), st.integers(min_value=0, max_value=3))
-def test_rcm_identical_across_backends(graph_and_k, budget):
+@given(graph_and_k=graphs_with_k(), budget=st.integers(min_value=0, max_value=3))
+def test_rcm_identical_across_backends(other, graph_and_k, budget):
     graph, k = graph_and_k
     _assert_results_equal(
         RCMAnchoredKCore(graph, k, budget, backend="dict").select(),
-        RCMAnchoredKCore(graph, k, budget, backend="compact").select(),
+        RCMAnchoredKCore(graph, k, budget, backend=other).select(),
     )
 
 
@@ -189,33 +214,35 @@ def edit_scripts(draw):
     return graph, operations
 
 
+@pytest.mark.parametrize("other", OTHER_BACKENDS)
 @SETTINGS
-@given(edit_scripts())
-def test_maintenance_identical_across_backends(script):
+@given(script=edit_scripts())
+def test_maintenance_identical_across_backends(other, script):
     graph, operations = script
     dict_maintainer = CoreMaintainer(graph, backend="dict")
-    compact_maintainer = CoreMaintainer(graph, backend="compact")
+    other_maintainer = CoreMaintainer(graph, backend=other)
     for insert, (u, v) in operations:
         if insert:
-            assert dict_maintainer.insert_edge(u, v) == compact_maintainer.insert_edge(u, v)
+            assert dict_maintainer.insert_edge(u, v) == other_maintainer.insert_edge(u, v)
         else:
-            assert dict_maintainer.remove_edge(u, v) == compact_maintainer.remove_edge(u, v)
-        assert dict_maintainer._visited_last == compact_maintainer._visited_last
-    assert dict_maintainer.core_numbers() == compact_maintainer.core_numbers()
-    compact_maintainer.validate()
+            assert dict_maintainer.remove_edge(u, v) == other_maintainer.remove_edge(u, v)
+        assert dict_maintainer._visited_last == other_maintainer._visited_last
+    assert dict_maintainer.core_numbers() == other_maintainer.core_numbers()
+    other_maintainer.validate()
 
 
+@pytest.mark.parametrize("other", OTHER_BACKENDS)
 @SETTINGS
-@given(edit_scripts(), st.integers(min_value=1, max_value=4))
-def test_apply_delta_identical_across_backends(script, k):
+@given(script=edit_scripts(), k=st.integers(min_value=1, max_value=4))
+def test_apply_delta_identical_across_backends(other, script, k):
     graph, operations = script
     inserted = [edge for insert, edge in operations if insert]
     removed = [edge for insert, edge in operations if not insert]
     delta = EdgeDelta.from_iterables(inserted=inserted, removed=removed)
     dict_maintainer = CoreMaintainer(graph, backend="dict")
-    compact_maintainer = CoreMaintainer(graph, backend="compact")
+    other_maintainer = CoreMaintainer(graph, backend=other)
     dict_effect = dict_maintainer.apply_delta(delta, k=k)
-    compact_effect = compact_maintainer.apply_delta(delta, k=k)
+    other_effect = other_maintainer.apply_delta(delta, k=k)
     for attribute in (
         "increased",
         "decreased",
@@ -226,6 +253,49 @@ def test_apply_delta_identical_across_backends(script, k):
         "pre_update_core",
         "visited",
     ):
-        assert getattr(dict_effect, attribute) == getattr(compact_effect, attribute), attribute
-    assert dict_maintainer.core_numbers() == compact_maintainer.core_numbers()
-    compact_maintainer.validate()
+        assert getattr(dict_effect, attribute) == getattr(other_effect, attribute), attribute
+    assert dict_maintainer.core_numbers() == other_maintainer.core_numbers()
+    other_maintainer.validate()
+
+
+@pytest.mark.parametrize("other", OTHER_BACKENDS)
+@SETTINGS
+@given(graph=graphs())
+def test_backend_switch_preserves_maintained_state(other, graph):
+    """switch_backend migrates core numbers exactly (both directions)."""
+    maintainer = CoreMaintainer(graph, backend="dict")
+    before = maintainer.core_numbers()
+    assert maintainer.switch_backend(other)
+    assert maintainer.backend == other
+    assert maintainer.core_numbers() == before
+    maintainer.validate()
+    assert maintainer.switch_backend("dict")
+    assert maintainer.core_numbers() == before
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint round-trips (deterministic, parametrised over backends)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("backend", OTHER_BACKENDS + ["dict"])
+def test_engine_checkpoint_round_trip_per_backend(backend, tmp_path):
+    """The full engine state survives checkpoint/restore on every backend."""
+    graph = Graph(
+        edges=[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), ("a", 0)],
+        vertices=[0, 1, 2, 3, 4, 5, "a", "isolated"],
+    )
+    engine = StreamingAVTEngine(graph, backend=backend, batch_size=None)
+    first = engine.query(k=2, budget=1)
+    engine.ingest_insert("a", 1)
+    engine.ingest_remove(4, 5)
+    engine.flush()
+    second = engine.query(k=2, budget=1)
+
+    path = tmp_path / f"engine-{backend}.ckpt"
+    engine.checkpoint(path)
+    restored = StreamingAVTEngine.restore(path)
+    assert restored.core_numbers() == engine.core_numbers()
+    assert restored.graph_version == engine.graph_version
+    replayed = restored.query(k=2, budget=1)
+    assert replayed.anchors == second.anchors
+    assert replayed.followers == second.followers
+    assert first.k == 2  # first answer retained just to pin the cold path ran

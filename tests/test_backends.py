@@ -1,0 +1,294 @@
+"""Unit tests for the execution-backend protocol, registry and auto policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anchored.greedy import GreedyAnchoredKCore
+from repro.backends import (
+    BACKEND_COMPACT,
+    BACKEND_DICT,
+    BACKEND_NUMPY,
+    COMPACT_THRESHOLD,
+    WORKLOAD_AMORTIZED,
+    WORKLOAD_ONE_SHOT,
+    available_backends,
+    get_backend,
+    numpy_available,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
+from repro.backends import registry as backend_registry
+from repro.backends.dict_backend import DictBackend
+from repro.cores.maintenance import CoreMaintainer
+from repro.engine import StreamingAVTEngine
+from repro.errors import ParameterError
+from repro.graph.dynamic import EdgeDelta
+from repro.graph.static import Graph
+
+needs_numpy = pytest.mark.skipif(not numpy_available(), reason="numpy is not installed")
+
+
+@pytest.fixture
+def scratch_registry():
+    """Let a test register throwaway backends without leaking them."""
+    before = dict(backend_registry._REGISTRY)
+    instances = dict(backend_registry._INSTANCES)
+    yield
+    backend_registry._REGISTRY.clear()
+    backend_registry._REGISTRY.update(before)
+    backend_registry._INSTANCES.clear()
+    backend_registry._INSTANCES.update(instances)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        names = registered_backends()
+        assert BACKEND_DICT in names and BACKEND_COMPACT in names and BACKEND_NUMPY in names
+
+    def test_available_backends_reflects_numpy_gate(self):
+        names = available_backends()
+        assert BACKEND_DICT in names and BACKEND_COMPACT in names
+        assert (BACKEND_NUMPY in names) == numpy_available()
+
+    def test_get_backend_passes_instances_through(self):
+        instance = get_backend("dict")
+        assert get_backend(instance, 10**9) is instance
+
+    def test_get_backend_caches_instances(self):
+        assert get_backend("compact") is get_backend("compact", 5)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ParameterError):
+            get_backend("sharded")
+        with pytest.raises(ParameterError):
+            resolve_backend("sharded", 0)
+
+    def test_duplicate_registration_raises_unless_replaced(self, scratch_registry):
+        register_backend("scratch", DictBackend)
+        with pytest.raises(ParameterError):
+            register_backend("scratch", DictBackend)
+        register_backend("scratch", DictBackend, replace=True)
+
+    def test_auto_name_is_reserved(self):
+        with pytest.raises(ParameterError):
+            register_backend("auto", DictBackend)
+
+    def test_unavailable_backend_rejected_by_name_and_skipped_by_auto(
+        self, scratch_registry
+    ):
+        register_backend(
+            "vapour", DictBackend, auto_priority=999, is_available=lambda: False
+        )
+        assert "vapour" not in available_backends()
+        with pytest.raises(ParameterError):
+            get_backend("vapour")
+        # auto must skip the unavailable candidate despite its priority.
+        assert resolve_backend("auto", COMPACT_THRESHOLD) != "vapour"
+
+    def test_availability_is_probed_even_for_cached_instances(self, scratch_registry):
+        available = True
+        register_backend("flaky", DictBackend, is_available=lambda: available)
+        assert get_backend("flaky") is get_backend("flaky")  # instance cached
+        available = False
+        with pytest.raises(ParameterError):
+            get_backend("flaky")
+
+    def test_custom_backend_usable_end_to_end(self, scratch_registry):
+        class TracingBackend(DictBackend):
+            name = "tracing"
+            index_builds = 0
+
+            def build_core_index(self, graph):
+                TracingBackend.index_builds += 1
+                return super().build_core_index(graph)
+
+        register_backend("tracing", TracingBackend)
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+        result = GreedyAnchoredKCore(graph, 2, 1, backend="tracing").select()
+        assert TracingBackend.index_builds == 1
+        reference = GreedyAnchoredKCore(graph, 2, 1, backend="dict").select()
+        assert result.anchors == reference.anchors
+
+
+class TestAutoPolicy:
+    def test_small_graphs_resolve_to_dict(self):
+        assert resolve_backend("auto", COMPACT_THRESHOLD - 1) == BACKEND_DICT
+
+    def test_large_amortised_workloads_pick_highest_priority(self):
+        expected = BACKEND_NUMPY if numpy_available() else BACKEND_COMPACT
+        assert resolve_backend("auto", COMPACT_THRESHOLD) == expected
+        assert (
+            resolve_backend("auto", COMPACT_THRESHOLD, workload=WORKLOAD_AMORTIZED)
+            == expected
+        )
+
+    def test_one_shot_cascades_stay_on_dict_at_any_size(self):
+        assert resolve_backend("auto", 10**9, workload=WORKLOAD_ONE_SHOT) == BACKEND_DICT
+
+    def test_explicit_names_bypass_the_policy(self):
+        assert resolve_backend("dict", 10**9) == BACKEND_DICT
+        assert resolve_backend("compact", 1, workload=WORKLOAD_ONE_SHOT) == BACKEND_COMPACT
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ParameterError):
+            resolve_backend("auto", 10, workload="batch")
+
+    def test_korder_with_supplied_decomposition_stays_on_dict_under_auto(
+        self, monkeypatch
+    ):
+        """A lone deg+ pass is one-shot work: auto must not build a snapshot."""
+        from repro.cores.decomposition import core_decomposition
+        from repro.cores.korder import KOrder
+        from repro.graph.compact import CompactGraph
+
+        graph = Graph(edges=[(i, i + 1) for i in range(COMPACT_THRESHOLD + 10)])
+        decomposition = core_decomposition(graph, backend="dict")
+
+        def boom(*args, **kwargs):
+            raise AssertionError("snapshot built for a one-shot deg+ pass")
+
+        monkeypatch.setattr(CompactGraph, "from_graph", classmethod(boom))
+        korder = KOrder(graph, decomposition=decomposition, backend="auto")
+        assert korder.remaining_degree(0) == 1
+
+
+class TestEngineReResolution:
+    """The ROADMAP footgun: an engine started empty must not stay on dict."""
+
+    @staticmethod
+    def _growth_delta(num_vertices: int) -> EdgeDelta:
+        return EdgeDelta.from_iterables(
+            inserted=[(i, i + 1) for i in range(num_vertices - 1)], removed=[]
+        )
+
+    def test_empty_auto_engine_upgrades_after_crossing_threshold(self):
+        engine = StreamingAVTEngine(backend="auto", batch_size=None)
+        assert engine.backend == BACKEND_DICT
+        engine.ingest(self._growth_delta(COMPACT_THRESHOLD + 64))
+        engine.flush()
+        expected = BACKEND_NUMPY if numpy_available() else BACKEND_COMPACT
+        assert engine.backend == expected
+        # The maintainer migrated (state intact, traversals keep working).
+        engine._maintainer.validate()
+        engine.ingest_insert(0, 2)
+        engine.flush()
+        answer = engine.query(k=1, budget=0, warm=False)
+        assert answer.anchored_core_size == COMPACT_THRESHOLD + 64
+
+    def test_explicit_dict_engine_never_upgrades(self):
+        engine = StreamingAVTEngine(backend="dict", batch_size=None)
+        engine.ingest(self._growth_delta(COMPACT_THRESHOLD + 64))
+        engine.flush()
+        assert engine.backend == BACKEND_DICT
+
+    def test_small_auto_engine_stays_on_dict(self):
+        engine = StreamingAVTEngine(backend="auto", batch_size=None)
+        engine.ingest(self._growth_delta(16))
+        engine.flush()
+        assert engine.backend == BACKEND_DICT
+
+    def test_checkpoint_with_unregistered_backend_instance_fails_fast(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        class OrphanBackend(DictBackend):
+            name = "orphan"
+
+        engine = StreamingAVTEngine(backend=OrphanBackend(), batch_size=None)
+        engine.ingest_insert(0, 1)
+        with pytest.raises(CheckpointError):
+            engine.checkpoint(tmp_path / "orphan.ckpt")
+
+    def test_checkpoint_with_registered_backend_instance_round_trips(
+        self, tmp_path, scratch_registry
+    ):
+        class AdoptedBackend(DictBackend):
+            name = "adopted"
+
+        register_backend("adopted", AdoptedBackend)
+        engine = StreamingAVTEngine(backend=AdoptedBackend(), batch_size=None)
+        engine.ingest_insert(0, 1)
+        engine.flush()
+        path = tmp_path / "adopted.ckpt"
+        engine.checkpoint(path)
+        restored = StreamingAVTEngine.restore(path)
+        assert restored.backend == "adopted"
+        assert restored.core_numbers() == engine.core_numbers()
+
+    def test_restored_engine_re_resolves_from_checkpoint(self, tmp_path):
+        engine = StreamingAVTEngine(backend="auto", batch_size=None)
+        engine.ingest(self._growth_delta(COMPACT_THRESHOLD + 64))
+        engine.flush()
+        path = tmp_path / "grown.ckpt"
+        engine.checkpoint(path)
+        restored = StreamingAVTEngine.restore(path)
+        # The checkpoint stores the *policy* ("auto"); the restored engine
+        # resolves it against the restored (large) graph immediately.
+        assert restored.backend == engine.backend
+
+
+class TestMaintainerSwitch:
+    def test_switch_to_same_backend_is_noop(self):
+        maintainer = CoreMaintainer(Graph(edges=[(0, 1)]), backend="dict")
+        assert not maintainer.switch_backend("dict")
+        assert maintainer.backend == BACKEND_DICT
+
+    def test_switch_migrates_without_recomputation(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+        maintainer = CoreMaintainer(graph, backend="dict")
+        # Corrupt one maintained value: a migration must carry it over
+        # verbatim (proving no decomposition re-ran), not silently heal it.
+        maintainer._kernel._core[3] = 7
+        assert maintainer.switch_backend("compact")
+        assert maintainer.core(3) == 7
+
+
+@needs_numpy
+class TestNumpyKernels:
+    def test_numpy_graph_shares_interner_contract(self):
+        from repro.backends.numpy_backend import NumpyGraph
+        from repro.graph.compact import CompactGraph
+
+        graph = Graph(edges=[(1, 2), (2, 3)], vertices=[1, 2, 3, 99])
+        cgraph = CompactGraph.from_graph(graph, ordered=True)
+        ngraph = NumpyGraph(cgraph)
+        assert ngraph.interner is cgraph.interner
+        assert ngraph.indptr.tolist() == cgraph.indptr
+        assert ngraph.indices.tolist() == cgraph.indices
+        assert ngraph.num_vertices == 4 and ngraph.num_edges == 2
+        assert ngraph.row.shape[0] == 2 * graph.num_edges
+
+    def test_numpy_peel_matches_compact_peel(self):
+        from repro.backends.numpy_backend import NumpyGraph, numpy_peel
+        from repro.cores.decomposition import compact_peel
+        from repro.graph.compact import CompactGraph
+
+        graph = Graph(
+            edges=[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)],
+            vertices=list(range(7)) + ["lonely"],
+        )
+        cgraph = CompactGraph.from_graph(graph, ordered=True)
+        core_c, order_c = compact_peel(cgraph, anchor_ids=[0])
+        core_n, order_n = numpy_peel(NumpyGraph(cgraph), anchor_ids=[0])
+        assert core_n.tolist() == core_c
+        assert order_n == order_c
+
+    def test_numpy_peel_empty_graph(self):
+        from repro.backends.numpy_backend import NumpyGraph, numpy_peel
+
+        core, order = numpy_peel(NumpyGraph.from_graph(Graph()))
+        assert core.tolist() == [] and order == []
+
+    def test_numpy_k_core_matches_compact(self):
+        from repro.backends.numpy_backend import NumpyGraph, numpy_k_core_ids
+        from repro.cores.decomposition import compact_k_core_ids
+        from repro.graph.compact import CompactGraph
+
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)], vertices=[0, 1, 2, 3, 9])
+        cgraph = CompactGraph.from_graph(graph, ordered=False)
+        ngraph = NumpyGraph(cgraph)
+        for k in range(4):
+            assert set(numpy_k_core_ids(ngraph, k).tolist()) == compact_k_core_ids(
+                cgraph, k
+            )

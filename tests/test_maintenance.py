@@ -257,7 +257,7 @@ class TestApplyDelta:
 
     def test_validate_raises_on_corruption(self, toy_graph):
         maintainer = CoreMaintainer(toy_graph)
-        maintainer._core[8] = 99
+        maintainer._kernel._core[8] = 99
         with pytest.raises(InvariantViolationError):
             maintainer.validate()
 
