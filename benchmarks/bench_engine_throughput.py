@@ -111,6 +111,7 @@ def run_replay(bench_profile):
             "invalidations": stats.cache_invalidations,
         },
         "solves": {"cold": stats.cold_solves, "warm": stats.warm_solves},
+        "engine_backend": engine.backend,
     }
     return rows, stats, payload, report, "\n".join(csv_lines) + "\n"
 
@@ -120,7 +121,12 @@ def test_engine_throughput(benchmark, bench_profile, results_dir, record_report)
         lambda: run_replay(bench_profile), rounds=1, iterations=1
     )
     record_report("engine_throughput", report, csv_text)
-    write_bench_json(results_dir / "BENCH_engine.json", "engine_throughput", payload)
+    write_bench_json(
+        results_dir / "BENCH_engine.json",
+        "engine_throughput",
+        payload,
+        backend=payload["engine_backend"],
+    )
 
     # Shape checks: the whole point of the engine is the latency ladder.
     by_path = {row["path"]: row for row in rows}

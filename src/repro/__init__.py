@@ -42,8 +42,12 @@ The library is layered; each layer only depends on the ones above it::
     repro.graph     Graph (adjacency-set dict, hashable vertex ids)  ── public substrate
                     compact: VertexInterner · CompactGraph (CSR) ·
                     DynamicCompactAdjacency                          ── snapshot structures
+    repro.shard     partitioners (hash / degree-balanced) ·
+                    ShardCoordinator (per-shard waves + boundary
+                    exchange, serial or spawn process pool)          ── scale-out layer
     repro.backends  ExecutionBackend protocol · registry · auto
-                    policy · dict / compact / numpy kernels          ── execution layer
+                    policy · dict / compact / numpy / sharded
+                    kernels                                          ── execution layer
     repro.cores     core_decomposition · KOrder · CoreMaintainer     ── k-core machinery
     repro.anchored  followers · AnchoredCoreIndex ·
                     Greedy / OLAK / RCM / brute force                ── anchored k-core
@@ -55,7 +59,7 @@ cascades, K-order ``deg+``, the follower cascades and candidate scans behind
 the anchored core index, the incremental maintenance traversals) is defined
 once as the :class:`~repro.backends.ExecutionBackend` protocol and
 implemented by the registered backends; public modules never branch on a
-backend name, they call through the object the registry resolves.  The three
+backend name, they call through the object the registry resolves.  The four
 built-ins:
 
 ================  =============================================  =========================================
@@ -71,18 +75,34 @@ backend           implementation                                 ``auto`` picks 
 ``numpy``         vectorised numpy kernels over the same CSR     large amortised workloads when numpy is
                   contract (wave peeling, bincount support       installed (highest auto priority)
                   counts, edge-level candidate scans)
+``sharded``       the CSR snapshot partitioned across shards     never — multi-process execution is an
+                  (:mod:`repro.shard`: hash or degree-balanced   explicit operator decision: request
+                  partitioners, ghost tables); every cascade     ``backend="sharded"``, pass a configured
+                  runs as per-shard waves plus a cut-edge        ``ShardedBackend(...)``, or set the
+                  boundary-exchange step until fixpoint, on a    ``REPRO_SHARD_*`` environment variables
+                  serial executor or one spawn-safe worker       (count / partitioner / executor /
+                  process per shard                              workers)
 ================  =============================================  =========================================
 
 All registered backends guarantee identical core numbers, identical
 *removal orders* and identical instrumentation counts (enforced by
-``tests/test_backend_equivalence.py``); only speed differs —
+``tests/test_backend_equivalence.py``, four-way); only speed differs —
 ``benchmarks/bench_backend_compare.py`` tracks the gaps and emits
-``BENCH_backend.json`` / ``BENCH_numpy.json``.  The determinism hinges on
-the interning semantics: :class:`~repro.graph.VertexInterner` assigns dense
-ids in first-seen order and never moves them, and ordered
+``BENCH_backend.json`` / ``BENCH_numpy.json`` / ``BENCH_sharded.json``
+(shard-scaling: 1-shard serial vs multi-worker process pool).  The
+determinism hinges on the interning semantics: :class:`~repro.graph.VertexInterner`
+assigns dense ids in first-seen order and never moves them, and ordered
 :class:`~repro.graph.CompactGraph` snapshots intern in
 :func:`repro.ordering.tie_break_key` order so the integer id doubles as the
-deterministic tie-break rank.
+deterministic tie-break rank.  The sharded backend preserves it by owning
+each id in exactly one shard: core numbers come from locally-exact peels
+reconciled through exchanged boundary core bounds, removal orders from the
+same packed-heap within-shell cascade the other snapshot backends use, and
+deletion cascades are confluent, so batched boundary decrements reach the
+sequential fixpoint exactly.  Engine checkpoints persist a configurable
+backend's configuration (shard count, partitioner policy) next to the policy
+name, and restoring a checkpoint whose backend is unavailable in the
+restoring process falls back to ``"auto"`` with a warning.
 
 *Custom backends* — implement the protocol and register it::
 
@@ -98,8 +118,8 @@ deterministic tie-break rank.
 
 ``auto_priority`` ranks the backend for ``auto`` on large amortised
 workloads; an ``is_available`` probe lets optional-dependency backends (like
-numpy) degrade gracefully.  This registry is also the seam the planned
-sharded backend plugs into.
+numpy) degrade gracefully — ``avt-bench backends`` prints the registry with
+availability, priorities and per-backend configuration.
 
 *Dynamic re-resolution* — ``StreamingAVTEngine(backend="auto")`` re-resolves
 at flush time and migrates its :class:`CoreMaintainer` state, so an engine
@@ -153,10 +173,12 @@ from repro.backends import (
     BACKEND_COMPACT,
     BACKEND_DICT,
     BACKEND_NUMPY,
+    BACKEND_SHARDED,
     BACKENDS,
     COMPACT_THRESHOLD,
     ExecutionBackend,
     available_backends,
+    backend_info,
     get_backend,
     register_backend,
     registered_backends,
@@ -194,6 +216,7 @@ __all__ = [
     "BACKEND_COMPACT",
     "BACKEND_DICT",
     "BACKEND_NUMPY",
+    "BACKEND_SHARDED",
     "BACKENDS",
     "COMPACT_THRESHOLD",
     "CompactGraph",
@@ -201,6 +224,7 @@ __all__ = [
     "ExecutionBackend",
     "VertexInterner",
     "available_backends",
+    "backend_info",
     "get_backend",
     "register_backend",
     "registered_backends",

@@ -17,8 +17,17 @@ incremental maintenance traversals — is delegated to an
     Vectorised kernels over the same ``VertexInterner``/CSR contract with
     numpy arrays (:mod:`repro.backends.numpy_backend`).  Import-gated: the
     package works without numpy and this backend simply reports unavailable.
+``sharded``
+    Partitioned per-shard kernels with boundary exchange
+    (:mod:`repro.backends.sharded_backend` over :mod:`repro.shard`): the CSR
+    snapshot is split across shards (hash-by-id or degree-balanced) and every
+    cascade runs as local waves plus a cut-edge exchange step until fixpoint,
+    on a serial executor or a spawn-safe process pool.  Configured via
+    ``REPRO_SHARD_COUNT`` / ``REPRO_SHARD_PARTITIONER`` /
+    ``REPRO_SHARD_EXECUTOR`` / ``REPRO_SHARD_WORKERS``, or explicitly through
+    ``ShardedBackend(...)`` instances.
 
-All three produce identical core numbers, identical removal orders and
+All four produce identical core numbers, identical removal orders and
 identical instrumentation counts (``tests/test_backend_equivalence.py``).
 ``backend="auto"`` — the default everywhere — resolves by graph size and
 workload shape; the policy is documented in :mod:`repro.backends.registry`.
@@ -40,6 +49,7 @@ from repro.backends.base import (
     BACKEND_COMPACT,
     BACKEND_DICT,
     BACKEND_NUMPY,
+    BACKEND_SHARDED,
     BACKENDS,
     COMPACT_THRESHOLD,
     WORKLOAD_AMORTIZED,
@@ -50,6 +60,7 @@ from repro.backends.base import (
 )
 from repro.backends.registry import (
     available_backends,
+    backend_info,
     get_backend,
     register_backend,
     registered_backends,
@@ -61,6 +72,7 @@ __all__ = [
     "BACKEND_COMPACT",
     "BACKEND_DICT",
     "BACKEND_NUMPY",
+    "BACKEND_SHARDED",
     "BACKENDS",
     "COMPACT_THRESHOLD",
     "WORKLOAD_AMORTIZED",
@@ -69,6 +81,7 @@ __all__ = [
     "ExecutionBackend",
     "MaintenanceKernel",
     "available_backends",
+    "backend_info",
     "get_backend",
     "numpy_available",
     "register_backend",
@@ -108,8 +121,18 @@ def _make_numpy_backend() -> ExecutionBackend:
     return NumpyBackend()
 
 
+def _make_sharded_backend() -> ExecutionBackend:
+    from repro.backends.sharded_backend import ShardedBackend
+
+    return ShardedBackend()
+
+
 register_backend(BACKEND_DICT, _make_dict_backend, auto_priority=0)
 register_backend(BACKEND_COMPACT, _make_compact_backend, auto_priority=10)
 register_backend(
     BACKEND_NUMPY, _make_numpy_backend, auto_priority=20, is_available=numpy_available
 )
+# Priority below compact on purpose: multi-process execution is an explicit
+# operator decision (``backend="sharded"`` or a configured instance), never
+# something ``auto`` silently turns on for a big graph.
+register_backend(BACKEND_SHARDED, _make_sharded_backend, auto_priority=5)

@@ -63,9 +63,11 @@ BACKEND_DICT = "dict"
 BACKEND_COMPACT = "compact"
 #: Vectorised numpy kernels over the same CSR contract (optional dependency).
 BACKEND_NUMPY = "numpy"
+#: Partitioned per-shard kernels with boundary exchange (:mod:`repro.shard`).
+BACKEND_SHARDED = "sharded"
 
 #: Every built-in ``backend=`` value (third-party backends register more).
-BACKENDS = (BACKEND_AUTO, BACKEND_DICT, BACKEND_COMPACT, BACKEND_NUMPY)
+BACKENDS = (BACKEND_AUTO, BACKEND_DICT, BACKEND_COMPACT, BACKEND_NUMPY, BACKEND_SHARDED)
 
 #: ``auto`` switches away from the dict backend at this vertex count.  The
 #: crossover is where interning cost is clearly amortised by the kernels;
@@ -266,6 +268,29 @@ class ExecutionBackend(ABC):
         self, graph: "Graph", core: Dict["Vertex", int]
     ) -> MaintenanceKernel:
         """Build the maintenance kernel for ``graph`` with trusted ``core``."""
+
+    # ------------------------------------------------------------------
+    # Configuration (persisted by engine checkpoints)
+    # ------------------------------------------------------------------
+    def config(self) -> Dict[str, object]:
+        """JSON-serialisable configuration of this backend instance.
+
+        Stateless backends have none (the default empty dict).  Configurable
+        backends (e.g. the sharded backend's shard count and partitioner
+        policy) return what :meth:`with_config` needs to rebuild an
+        equivalently configured instance — engine checkpoints persist it next
+        to the backend name.
+        """
+        return {}
+
+    def with_config(self, config: Mapping[str, object]) -> "ExecutionBackend":
+        """Return an instance of this backend configured by ``config``.
+
+        The default ignores the configuration and returns ``self`` (stateless
+        backends are their own configuration).  Configurable backends return a
+        *new* instance, leaving the registry's shared singleton untouched.
+        """
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r}>"

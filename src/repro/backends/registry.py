@@ -8,19 +8,20 @@ instance — to :func:`get_backend` and use whatever comes back.
 Registration
 ------------
 :func:`register_backend` associates a name with a zero-argument factory plus
-selection metadata.  The three built-ins are registered by
-:mod:`repro.backends` itself (with lazy factories, so importing the package
-never imports numpy); third parties can register more::
+selection metadata.  The four built-ins (dict, compact, numpy, sharded) are
+registered by :mod:`repro.backends` itself (with lazy factories, so
+importing the package never imports numpy); third parties can register
+more::
 
     from repro.backends import ExecutionBackend, register_backend
 
-    class ShardedBackend(ExecutionBackend):
-        name = "sharded"
+    class RemoteBackend(ExecutionBackend):
+        name = "remote"
         ...
 
-    register_backend("sharded", ShardedBackend, auto_priority=30)
+    register_backend("remote", RemoteBackend, auto_priority=30)
 
-After that every ``backend=`` kwarg in the library accepts ``"sharded"``.
+After that every ``backend=`` kwarg in the library accepts ``"remote"``.
 
 The ``auto`` policy
 -------------------
@@ -37,7 +38,8 @@ The ``auto`` policy
    :data:`~repro.backends.base.COMPACT_THRESHOLD` vertices — translation
    overhead dominates on small graphs — and above it to the *available*
    registered backend with the highest ``auto_priority`` (numpy 20 >
-   compact 10 > dict 0, so numpy wins whenever it is importable).
+   compact 10 > sharded 5 > dict 0, so numpy wins whenever it is importable
+   and the multi-process sharded backend is never auto-picked).
 
 Explicit names bypass the policy entirely; asking for a registered but
 unavailable backend (e.g. ``"numpy"`` without numpy installed) raises
@@ -124,6 +126,32 @@ def registered_backends() -> Tuple[str, ...]:
 def available_backends() -> Tuple[str, ...]:
     """Registered backends whose availability probe currently passes."""
     return tuple(name for name, spec in _REGISTRY.items() if spec.is_available())
+
+
+def backend_info() -> Tuple[Dict[str, object], ...]:
+    """One metadata row per registered backend, in registration order.
+
+    Each row carries ``name``, ``available`` (the probe's current verdict),
+    ``auto_priority`` and ``config`` (the instance configuration of backends
+    that have one — empty for stateless backends, and for unavailable
+    backends whose factory cannot be called).  This is what the
+    ``avt-bench backends`` CLI subcommand renders.
+    """
+    rows = []
+    for name, spec in _REGISTRY.items():
+        available = spec.is_available()
+        config: Dict[str, object] = {}
+        if available:
+            config = dict(get_backend(name).config())
+        rows.append(
+            {
+                "name": name,
+                "available": available,
+                "auto_priority": spec.auto_priority,
+                "config": config,
+            }
+        )
+    return tuple(rows)
 
 
 def resolve_backend(

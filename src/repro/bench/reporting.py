@@ -150,15 +150,35 @@ def bench_environment() -> Dict[str, object]:
     }
 
 
-def write_bench_json(path, name: str, payload: Mapping[str, object]) -> None:
+def write_bench_json(
+    path,
+    name: str,
+    payload: Mapping[str, object],
+    *,
+    backend: str = "auto",
+    num_shards: int = 1,
+    num_workers: int = 1,
+) -> None:
     """Write one benchmark record as pretty-printed JSON with provenance.
 
     ``payload`` holds the benchmark-specific numbers (timings, hit rates,
-    speedups); the record wraps it with the benchmark ``name`` and
-    :func:`bench_environment`.
+    speedups); the record wraps it with the benchmark ``name``,
+    :func:`bench_environment`, and an ``execution`` block recording the
+    backend name, shard count and worker count the run used (single-process
+    defaults when the caller does not say), so records from differently
+    configured runs can be compared as a time series.
     """
     import json
     from pathlib import Path
 
-    record = {"benchmark": name, "environment": bench_environment(), **dict(payload)}
+    record = {
+        "benchmark": name,
+        "environment": bench_environment(),
+        "execution": {
+            "backend": backend,
+            "num_shards": num_shards,
+            "num_workers": num_workers,
+        },
+        **dict(payload),
+    }
     Path(path).write_text(json.dumps(record, indent=2, sort_keys=False) + "\n", encoding="utf-8")

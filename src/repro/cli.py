@@ -8,6 +8,7 @@ Installed as the ``avt-bench`` console script::
     avt-bench table4 --csv out.csv        # also dump the raw rows as CSV
     avt-bench summary --dataset gnutella  # one-problem comparison of all trackers
     avt-bench serve-sim --dataset gnutella  # online engine simulation
+    avt-bench backends                    # registered execution backends
 """
 
 from __future__ import annotations
@@ -34,7 +35,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        help="experiment id (fig03..fig12, table4, ablation_*), 'summary', 'datasets', or 'serve-sim'",
+        help=(
+            "experiment id (fig03..fig12, table4, ablation_*), 'summary', "
+            "'datasets', 'backends', or 'serve-sim'"
+        ),
     )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
     parser.add_argument(
@@ -67,6 +71,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a checkpoint here mid-replay, restore it, and verify the answer matches",
     )
+    serve.add_argument(
+        "--backend",
+        default="auto",
+        help=(
+            "execution backend for the engine: 'auto' or any registered "
+            "name (see 'avt-bench backends')"
+        ),
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for --backend sharded (default: REPRO_SHARD_COUNT or 4)",
+    )
     return parser
 
 
@@ -98,6 +116,24 @@ def _run_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_cli_backend(args: argparse.Namespace):
+    """Turn the serve-sim ``--backend``/``--shards`` flags into a policy."""
+    from repro.backends import BACKEND_SHARDED, get_backend, registered_backends
+    from repro.errors import ParameterError
+
+    backend = args.backend
+    if backend != "auto" and backend not in registered_backends():
+        raise ParameterError(
+            f"unknown backend {backend!r}; "
+            f"expected 'auto' or one of {sorted(registered_backends())}"
+        )
+    if args.shards is not None:
+        if backend != BACKEND_SHARDED:
+            raise ParameterError("--shards requires --backend sharded")
+        return get_backend(BACKEND_SHARDED).with_config({"num_shards": args.shards})
+    return backend
+
+
 def _run_serve_sim(args: argparse.Namespace) -> int:
     """Replay a dataset's deltas through the streaming engine with interleaved queries."""
     from repro.engine import StreamingAVTEngine
@@ -115,11 +151,13 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
         batch_size=args.batch_size,
         warm_queries=not args.cold,
+        backend=_resolve_cli_backend(args),
     )
     queries_per_step = max(1, args.queries_per_step)
     print(
         f"serve-sim on {problem.name} (k={problem.k}, l={problem.budget}, "
-        f"T={problem.num_snapshots}, scale={args.scale}): replaying "
+        f"T={problem.num_snapshots}, scale={args.scale}, "
+        f"backend={engine.backend}): replaying "
         f"{evolving.total_edge_changes()} edge events with {queries_per_step} "
         f"queries per step"
     )
@@ -174,6 +212,35 @@ def _run_datasets() -> int:
     return 0
 
 
+def _run_backends() -> int:
+    """Print every registered execution backend with availability and config."""
+    from repro.backends import backend_info
+
+    rows = []
+    for info in backend_info():
+        config = info["config"]
+        rows.append(
+            {
+                "backend": info["name"],
+                "available": "yes" if info["available"] else "no",
+                "auto_priority": info["auto_priority"],
+                "configuration": (
+                    " ".join(f"{key}={value}" for key, value in sorted(config.items()))
+                    if config
+                    else "-"
+                ),
+            }
+        )
+    print(format_table(rows))
+    print()
+    print(
+        "'auto' resolves by graph size and workload (see repro.backends.registry); "
+        "the sharded backend reads REPRO_SHARD_COUNT / REPRO_SHARD_PARTITIONER / "
+        "REPRO_SHARD_EXECUTOR / REPRO_SHARD_WORKERS."
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``avt-bench`` console script."""
     parser = _build_parser()
@@ -186,6 +253,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {name:<22} {doc}")
         print("  summary                Compare all trackers on one dataset (see --dataset).")
         print("  datasets               Show the bundled dataset stand-ins.")
+        print("  backends               Show the registered execution backends.")
         print("  serve-sim              Replay a dataset through the online streaming engine.")
         return 0
 
@@ -194,6 +262,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_summary(args)
         if args.experiment == "datasets":
             return _run_datasets()
+        if args.experiment == "backends":
+            return _run_backends()
         if args.experiment == "serve-sim":
             return _run_serve_sim(args)
         experiment = get_experiment(args.experiment)

@@ -30,6 +30,7 @@ so a restarted server resumes without a single decomposition.
 from __future__ import annotations
 
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
@@ -409,6 +410,10 @@ class StreamingAVTEngine:
                 "engine can resolve it"
             )
         graph = self._maintainer.graph
+        # Configurable backends (e.g. sharded: shard count, partitioner
+        # policy, executor) persist their configuration next to the policy
+        # name so the restored engine comes back equivalently configured.
+        backend_config = dict(self._backend.config())
         return {
             "vertices": list(graph.vertices()),
             "edges": [tuple(edge) for edge in graph.edges()],
@@ -421,6 +426,7 @@ class StreamingAVTEngine:
             # re-resolves against its (restored) graph size, and the state
             # stays JSON-serialisable.
             "backend": backend_name,
+            "backend_config": backend_config,
             "warm": {
                 warm_key: {
                     "version": state.version,
@@ -438,15 +444,58 @@ class StreamingAVTEngine:
             "stats": self._stats.snapshot(),
         }
 
+    @staticmethod
+    def _restorable_backend(
+        policy: Any, config: Dict[str, Any], num_vertices: int
+    ) -> Any:
+        """Resolve a checkpoint's backend policy in the restoring process.
+
+        Returns the policy itself when it resolves (configured through
+        ``with_config`` when the checkpoint carried a configuration), or
+        ``"auto"`` with a warning when the persisted backend is unknown or
+        unavailable here — restoring on weaker hardware/installs must not
+        brick a checkpoint whose state is backend-independent anyway.
+        """
+        if not isinstance(policy, str) or policy == BACKEND_AUTO:
+            return policy
+        try:
+            resolved = get_backend(policy, num_vertices)
+        except ParameterError as error:
+            warnings.warn(
+                f"checkpoint backend {policy!r} is not available in this "
+                f"process ({error}); restoring with backend='auto'",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return BACKEND_AUTO
+        if config:
+            return resolved.with_config(config)
+        return policy
+
     @classmethod
     def from_state(cls, state: Dict[str, Any], **overrides: Any) -> "StreamingAVTEngine":
         """Rebuild an engine from :meth:`to_state` output without recomputation.
 
         ``overrides`` replace construction-time settings (``cache_capacity``,
         ``batch_size``, ``warm_queries``, ``default_solver``).
+
+        When the persisted backend policy is unavailable in the restoring
+        process (e.g. a ``"numpy"`` checkpoint restored on an interpreter
+        without numpy) the engine falls back to ``"auto"`` with a
+        :class:`RuntimeWarning` instead of refusing to restore — the state
+        itself is backend-independent.  An explicit ``backend=`` override is
+        never second-guessed: if it cannot be resolved, the restore fails.
         """
         try:
             graph = Graph(edges=state["edges"], vertices=state["vertices"])
+            if "backend" in overrides:
+                backend_policy = overrides.pop("backend")
+            else:
+                backend_policy = cls._restorable_backend(
+                    state.get("backend", BACKEND_AUTO),
+                    state.get("backend_config") or {},
+                    len(state["vertices"]),
+                )
             engine = cls(
                 graph,
                 copy_graph=False,
@@ -455,7 +504,7 @@ class StreamingAVTEngine:
                 batch_size=overrides.pop("batch_size", state["batch_size"]),
                 warm_queries=overrides.pop("warm_queries", state["warm_queries"]),
                 default_solver=overrides.pop("default_solver", state["default_solver"]),
-                backend=overrides.pop("backend", state.get("backend", BACKEND_AUTO)),
+                backend=backend_policy,
             )
             if overrides:
                 raise ParameterError(f"unknown restore overrides: {sorted(overrides)}")

@@ -44,6 +44,7 @@ from repro.backends import (  # noqa: F401
     BACKEND_COMPACT,
     BACKEND_DICT,
     BACKEND_NUMPY,
+    BACKEND_SHARDED,
     BACKENDS,
     COMPACT_THRESHOLD,
     resolve_backend,

@@ -1,0 +1,45 @@
+"""Partitioned sharded execution: per-shard peeling with boundary exchange.
+
+This package is the scale-out layer behind ``backend="sharded"``
+(:mod:`repro.backends.sharded_backend`).  It splits an interned CSR snapshot
+into per-shard subgraphs and re-expresses every cascade kernel of the library
+as rounds of *local work + boundary exchange*:
+
+* :mod:`repro.shard.partition` — pluggable partitioners (hash-by-id default,
+  degree-balanced greedy alternative) producing picklable per-shard CSR
+  states with explicit boundary-vertex and cut-edge tables.
+* :mod:`repro.shard.coordinator` — the :class:`ShardCoordinator`, which runs
+  per-shard peeling/cascade waves and iterates a boundary-exchange step
+  (updated residual degrees and follower support for cut vertices) until
+  fixpoint, over either a serial in-process executor or a spawn-safe
+  process-pool executor with one dedicated worker process per shard.
+
+Every kernel is *bit-identical* to the dict/compact/numpy backends: deletion
+cascades are confluent (the surviving set does not depend on removal
+interleaving), core numbers are level-synchronised exactly like the numpy
+wave peel, and the removal order is reconstructed shell by shell with the
+same packed-heap cascade the other snapshot backends use.
+"""
+
+from repro.shard.coordinator import ShardCoordinator, shutdown_shard_pools
+from repro.shard.partition import (
+    DegreeBalancedPartitioner,
+    HashPartitioner,
+    PARTITIONERS,
+    ShardPlan,
+    ShardState,
+    get_partitioner,
+    partition_compact_graph,
+)
+
+__all__ = [
+    "DegreeBalancedPartitioner",
+    "HashPartitioner",
+    "PARTITIONERS",
+    "ShardCoordinator",
+    "ShardPlan",
+    "ShardState",
+    "get_partitioner",
+    "partition_compact_graph",
+    "shutdown_shard_pools",
+]

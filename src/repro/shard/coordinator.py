@@ -1,0 +1,1091 @@
+"""The shard coordinator: cascade kernels as local work + boundary exchange.
+
+:class:`ShardCoordinator` drives every sharded kernel as a sequence of
+*rounds*.  In one round each shard performs purely local work on its
+:class:`~repro.shard.partition.ShardState` — refining core bounds, cascading
+removals or follower support, scanning candidates — and returns the updates
+that cross a cut edge, already bucketed by owner shard (the ghost tables
+record who owns every remote neighbour).  The coordinator forwards the
+buckets and starts the next round; a kernel finishes when a round performs no
+work and produces no boundary traffic (the fixpoint).  The number of rounds
+is therefore the *cross-shard propagation depth* of the computation, not its
+sequential length — the property that lets a process-pool executor win.
+
+Exactness
+---------
+All results are bit-identical to the dict/compact/numpy backends:
+
+* **Core numbers by bound refinement.**  Every shard starts each owned
+  vertex at its degree (ghosts at their global degree, anchors at infinity)
+  and repeatedly lowers ``est(v)`` to the h-index of its neighbours'
+  estimates — the largest ``k`` such that at least ``k`` neighbours have
+  ``est >= k`` — running the monotone relaxation to a *local* fixpoint
+  before exchanging the changed bounds of boundary vertices.  Estimates
+  never drop below the true (anchored) core numbers, and any global fixpoint
+  is self-consistent — ``{v : est(v) >= k}`` is an anchored k-core for every
+  ``k`` — so the unique fixpoint *is* the anchored core numbers, regardless
+  of shard count or exchange interleaving (cf. Montresor et al.,
+  "Distributed k-core decomposition").
+* **Deletion cascades are confluent** — the set of vertices surviving a
+  ``remove everything below the threshold`` cascade does not depend on the
+  interleaving of removals, so per-shard transitive cascades with batched
+  boundary decrements reach exactly the sequential fixpoint.  This covers
+  the k-core kernel and the follower support cascades (whose visited
+  counts, region size plus removals, are order-independent too).
+* **Removal order, shell by shell.**  With core numbers fixed, the
+  reference heap peel's order is reproduced by the same packed-heap
+  within-shell cascade the compact and numpy backends use; shells are
+  mutually independent, so they are farmed out in parallel.
+
+Executors
+---------
+``executor="serial"`` runs every op as a direct function call against the
+coordinator's own shard states — no processes, no pickling; this is the
+default and what small graphs and the test-suite use.  ``executor="process"``
+runs each shard in a **dedicated single-worker process** created from the
+``spawn`` start method (one :class:`~concurrent.futures.ProcessPoolExecutor`
+of size 1 per worker slot).  Pinning a shard to one process keeps its mutable
+state consistent across rounds; the pools themselves are process-wide and
+reused across coordinators (states are loaded under a unique key at
+coordinator construction and dropped again when the coordinator is closed or
+garbage-collected), so the spawn cost is paid once per interpreter.
+"""
+
+from __future__ import annotations
+
+import atexit
+import heapq
+import math
+import threading
+import uuid
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ParameterError
+from repro.shard.partition import ShardPlan, ShardState
+
+#: Valid ``executor=`` values for :class:`ShardCoordinator`.
+EXECUTOR_SERIAL = "serial"
+EXECUTOR_PROCESS = "process"
+EXECUTORS = (EXECUTOR_SERIAL, EXECUTOR_PROCESS)
+
+#: Boundary updates bucketed by destination shard.
+Buckets = Dict[int, Dict[int, int]]
+
+
+# ---------------------------------------------------------------------------
+# Per-shard ops (run shard-side: in-process for the serial executor, inside
+# the shard's dedicated worker for the process executor).  Every op takes the
+# shard state first and only plain picklable payloads after it.
+# ---------------------------------------------------------------------------
+def _op_hindex_reset(state: ShardState, anchor_gvids: List[int]) -> None:
+    """Arm the core-bound refinement.
+
+    Ghost estimates start at infinity — remote neighbours are assumed to
+    support forever until their owner ships a tighter bound — and the
+    last-shipped table starts at infinity too, so round 1 ships every
+    boundary estimate that the first local peel lowers.
+    """
+    n = state.num_owned
+    state.anchor = bytearray(n)
+    est: List[float] = list(state.degrees)
+    for gvid in anchor_gvids:
+        li = state.local_of.get(gvid)
+        if li is not None:
+            state.anchor[li] = 1
+            est[li] = math.inf
+    state.est = est
+    state.ghost_est = [math.inf] * state.num_ghosts
+    state.sent_est = [math.inf] * n
+    #: Count of neighbours with est >= est[li]; -1 = not yet established
+    #: (round 1 fills it in after the local peel).
+    state.support_ct = [-1] * n
+    if not hasattr(state, "boundary_locals"):
+        # Static per partition, so computed once and reused across resets:
+        # the owned local indices with >= 1 ghost neighbour, and the distinct
+        # shards subscribed to each owned vertex's estimate.
+        with_ghosts: Set[int] = set()
+        for local_neighbours in state.ghost_rev:
+            with_ghosts.update(local_neighbours)
+        state.boundary_locals = sorted(with_ghosts)
+        subscribers: Dict[int, Set[int]] = {li: set() for li in state.boundary_locals}
+        for ghost, local_neighbours in enumerate(state.ghost_rev):
+            owner = state.ghost_owner[ghost]
+            for li in local_neighbours:
+                subscribers[li].add(owner)
+        state.subs_of = {
+            li: tuple(sorted(targets)) for li, targets in subscribers.items()
+        }
+    return None
+
+
+def _op_hindex_round(state: ShardState, updates: Dict[int, int], first: bool) -> Buckets:
+    """One refinement round: apply ghost updates, relax locally, ship changes.
+
+    Round 1 runs a packed-heap anchored peel of the local subgraph with
+    ghost (and anchor) support pinned on — the exact core numbers of the
+    ghost-augmented subgraph, a tight upper bound on the true core numbers
+    and exact outright when the shard is alone.  Later rounds lower affected
+    estimates to the capped h-index of their neighbours' estimates (largest
+    ``k <= est(v)`` with at least ``k`` neighbours at ``est >= k``).
+
+    A drop from ``old`` to ``new`` dirties a neighbour ``w`` only when it
+    *crosses* ``est(w)`` (``old >= est(w) > new``): ``est(w)`` was consistent
+    — at least ``est(w)`` neighbours at or above it — and a non-crossing
+    drop leaves that count untouched.  Dirty vertices relax in ascending
+    estimate order (packed heap), so a high vertex sees all lower drops in
+    one recomputation.  Both operators keep every estimate at or above the
+    true core number and the fixpoint is self-consistent, hence exactly the
+    anchored core numbers (cf. Montresor et al., distributed k-core).
+
+    Returns the boundary estimates that changed since last shipped, bucketed
+    by the shard holding the ghost copy.
+    """
+    est = state.est
+    ghost_est = state.ghost_est
+    anchor = state.anchor
+    indptr = state.indptr
+    encoded = state.encoded
+    support_ct = state.support_ct
+    n = state.num_owned
+
+    changed: Set[int] = set()
+    in_queue = bytearray(n)
+    queue: List[int] = []
+    if first:
+        degrees = state.degrees
+        eff = list(degrees)
+        removed = bytearray(n)
+        heap = [degrees[li] * n + li for li in range(n) if not anchor[li]]
+        heapq.heapify(heap)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        current = 0
+        while heap:
+            packed = heappop(heap)
+            degree, li = divmod(packed, n)
+            if removed[li] or degree != eff[li]:
+                continue
+            if degree > current:
+                current = degree
+            est[li] = current
+            removed[li] = 1
+            for position in range(indptr[li], indptr[li + 1]):
+                entry = encoded[position]
+                if entry >= 0 and not removed[entry] and not anchor[entry]:
+                    slack = eff[entry] - 1
+                    eff[entry] = slack
+                    heappush(heap, slack * n + entry)
+        # Establish the support counters: how many neighbours currently sit
+        # at or above each vertex's estimate.  Kept incrementally up to date
+        # from here on, so later rounds recompute a vertex only when its
+        # count truly dips below its estimate.
+        for li in range(n):
+            if anchor[li]:
+                continue
+            level = est[li]
+            count = 0
+            for position in range(indptr[li], indptr[li + 1]):
+                entry = encoded[position]
+                value = est[entry] if entry >= 0 else ghost_est[-entry - 1]
+                if value >= level:
+                    count += 1
+            support_ct[li] = count
+        # Ghost holders assume remote support never goes away (est infinity)
+        # until told otherwise, so every boundary estimate ships in round 1;
+        # the peel itself is consistent with that same assumption, so
+        # nothing local needs re-examination yet.
+        changed.update(li for li in state.boundary_locals if not anchor[li])
+    else:
+        ghost_of = state.ghost_of
+        ghost_rev = state.ghost_rev
+        for gvid, value in updates.items():
+            ghost = ghost_of[gvid]
+            old = ghost_est[ghost]
+            ghost_est[ghost] = value
+            for li in ghost_rev[ghost]:
+                # Only a drop *crossing* est[li] changes its support count.
+                if not anchor[li] and old >= est[li] > value:
+                    support_ct[li] -= 1
+                    if support_ct[li] < est[li] and not in_queue[li]:
+                        queue.append(li)
+                        in_queue[li] = 1
+
+    # Relax starved vertices in ascending-estimate order (a packed heap):
+    # low vertices settle first, so a high-degree vertex sees all of its
+    # neighbours' drops in one recomputation instead of one per trigger.
+    heap = [est[li] * n + li for li in queue]
+    heapq.heapify(heap)
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    while heap:
+        li = heappop(heap) % n
+        if not in_queue[li]:
+            continue
+        in_queue[li] = 0
+        cap = est[li]
+        if cap <= 0 or support_ct[li] >= cap:
+            continue
+        counts = [0] * (cap + 1)
+        for position in range(indptr[li], indptr[li + 1]):
+            entry = encoded[position]
+            value = est[entry] if entry >= 0 else ghost_est[-entry - 1]
+            if value >= cap:
+                counts[cap] += 1
+            elif value > 0:
+                counts[value] += 1
+        total = 0
+        new = 0
+        for level in range(cap, 0, -1):
+            total += counts[level]
+            if total >= level:
+                new = level
+                break
+        # support_ct < cap guarantees the capped h-index fell below the cap.
+        est[li] = new
+        support_ct[li] = total
+        changed.add(li)
+        for position in range(indptr[li], indptr[li + 1]):
+            entry = encoded[position]
+            if entry >= 0 and not anchor[entry] and cap >= est[entry] > new:
+                support_ct[entry] -= 1
+                if support_ct[entry] < est[entry] and not in_queue[entry]:
+                    heappush(heap, est[entry] * n + entry)
+                    in_queue[entry] = 1
+
+    out: Buckets = {}
+    owned = state.owned
+    sent_est = state.sent_est
+    subs_of = state.subs_of
+    for li in changed:
+        targets = subs_of.get(li)
+        if targets is None:
+            continue  # interior vertex: no shard subscribes to it
+        value = est[li]
+        if value == sent_est[li]:
+            continue
+        sent_est[li] = value
+        gvid = owned[li]
+        for target in targets:
+            bucket = out.get(target)
+            if bucket is None:
+                bucket = out[target] = {}
+            bucket[gvid] = value
+    return out
+
+
+def _op_hindex_collect(state: ShardState) -> List[float]:
+    """Converged estimates (== core numbers) aligned with ``state.owned``."""
+    return state.est
+
+
+def _op_peel_reset(state: ShardState, anchor_gvids: List[int]) -> None:
+    """Arm the deletion-cascade scratch state (k-core kernel)."""
+    n = state.num_owned
+    state.eff = list(state.degrees)
+    state.alive = bytearray([1]) * n
+    state.anchor = bytearray(n)
+    local_of = state.local_of
+    for gvid in anchor_gvids:
+        li = local_of.get(gvid)
+        if li is not None:
+            state.anchor[li] = 1
+    state.ghost_dec = [0] * state.num_ghosts
+    return None
+
+
+def _op_peel_cascade(
+    state: ShardState, level: int, decrements: Dict[int, int], rescan: bool
+) -> Tuple[int, Buckets]:
+    """One local cascade round: apply boundary decrements, then transitively
+    remove every owned alive non-anchor vertex with effective degree at or
+    below ``level``.  Returns ``(removed_count, boundary_decrements)``."""
+    eff = state.eff
+    alive = state.alive
+    anchor = state.anchor
+    indptr = state.indptr
+    encoded = state.encoded
+    local_of = state.local_of
+    ghost_dec = state.ghost_dec
+
+    queue: List[int] = []
+    if rescan:
+        queue.extend(
+            li
+            for li in range(state.num_owned)
+            if alive[li] and not anchor[li] and eff[li] <= level
+        )
+    for gvid, count in decrements.items():
+        li = local_of[gvid]
+        if not alive[li] or anchor[li]:
+            continue
+        slack = eff[li] - count
+        eff[li] = slack
+        if slack <= level:
+            queue.append(li)
+
+    removed = 0
+    touched_ghosts: List[int] = []
+    while queue:
+        li = queue.pop()
+        if not alive[li] or eff[li] > level:
+            continue
+        alive[li] = 0
+        removed += 1
+        for position in range(indptr[li], indptr[li + 1]):
+            entry = encoded[position]
+            if entry >= 0:
+                if alive[entry] and not anchor[entry]:
+                    slack = eff[entry] - 1
+                    eff[entry] = slack
+                    if slack <= level:
+                        queue.append(entry)
+            else:
+                ghost = -entry - 1
+                if ghost_dec[ghost] == 0:
+                    touched_ghosts.append(ghost)
+                ghost_dec[ghost] += 1
+
+    out: Buckets = {}
+    ghost_owner = state.ghost_owner
+    ghost_gvid = state.ghost_gvid
+    for ghost in touched_ghosts:
+        count = ghost_dec[ghost]
+        ghost_dec[ghost] = 0
+        target = ghost_owner[ghost]
+        bucket = out.get(target)
+        if bucket is None:
+            bucket = out[target] = {}
+        bucket[ghost_gvid[ghost]] = count
+    return removed, out
+
+
+def _op_alive_collect(state: ShardState) -> List[int]:
+    """Global ids of owned vertices that survived the cascade (anchors too)."""
+    alive = state.alive
+    return [gvid for li, gvid in enumerate(state.owned) if alive[li]]
+
+
+def _op_set_core(
+    state: ShardState, core_g: List[float], rank_g: Optional[List[int]]
+) -> None:
+    """Install the global core (and optionally rank) arrays on the shard."""
+    state.core_g = core_g
+    state.rank_g = rank_g
+    return None
+
+
+def _decode(state: ShardState, entry: int) -> int:
+    """Global id of an encoded neighbour entry."""
+    return state.owned[entry] if entry >= 0 else state.ghost_gvid[-entry - 1]
+
+
+def _op_shell_fragments(
+    state: ShardState,
+) -> Dict[int, Tuple[List[int], List[int], List[int], List[int]]]:
+    """This shard's per-shell fragment of the order-reconstruction input.
+
+    For every finite shell ``c``: the owned members (ascending global id),
+    each member's starting effective degree (its count of neighbours with
+    core >= c — anchors are infinity and therefore count), and the member's
+    same-shell neighbour ids flattened CSR-style.  Reads the converged
+    estimates, so no broadcast is needed between the phases.
+    """
+    est = state.est
+    ghost_est = state.ghost_est
+    ghost_gvid = state.ghost_gvid
+    owned = state.owned
+    indptr = state.indptr
+    encoded = state.encoded
+    frags: Dict[int, Tuple[List[int], List[int], List[int], List[int]]] = {}
+    for li in range(state.num_owned):
+        value = est[li]
+        if value == math.inf:
+            continue  # anchors are appended after every shell, by id
+        frag = frags.get(value)
+        if frag is None:
+            frag = frags[value] = ([], [], [0], [])
+        members, start_eff, sub_indptr, sub_nbrs = frag
+        count = 0
+        for position in range(indptr[li], indptr[li + 1]):
+            entry = encoded[position]
+            if entry >= 0:
+                neighbour_core = est[entry]
+                gvid = owned[entry]
+            else:
+                ghost = -entry - 1
+                neighbour_core = ghost_est[ghost]
+                gvid = ghost_gvid[ghost]
+            if neighbour_core >= value:
+                count += 1
+            if neighbour_core == value:
+                sub_nbrs.append(gvid)
+        members.append(owned[li])
+        start_eff.append(count)
+        sub_indptr.append(len(sub_nbrs))
+    return frags
+
+
+def _op_deg_plus(state: ShardState, rank_g: List[int]) -> Dict[int, int]:
+    """``deg+`` of every ranked owned vertex (one local pass)."""
+    indptr = state.indptr
+    encoded = state.encoded
+    result: Dict[int, int] = {}
+    for li, gvid in enumerate(state.owned):
+        own_rank = rank_g[gvid]
+        if own_rank < 0:
+            continue
+        count = 0
+        for position in range(indptr[li], indptr[li + 1]):
+            if rank_g[_decode(state, encoded[position])] > own_rank:
+                count += 1
+        result[gvid] = count
+    return result
+
+
+def _op_candidate_scan(state: ShardState, k: int, order_pruning: bool) -> List[int]:
+    """Theorem-3 candidate anchors among owned vertices (one local pass)."""
+    core_g = state.core_g
+    rank_g = state.rank_g
+    indptr = state.indptr
+    encoded = state.encoded
+    target = k - 1
+    out: List[int] = []
+    for li, gvid in enumerate(state.owned):
+        # Anchored ids carry core infinity, so this also excludes them.
+        if core_g[gvid] >= k:
+            continue
+        own_rank = rank_g[gvid]
+        for position in range(indptr[li], indptr[li + 1]):
+            neighbour = _decode(state, encoded[position])
+            if core_g[neighbour] != target:
+                continue
+            if not order_pruning or rank_g[neighbour] > own_rank:
+                out.append(gvid)
+                break
+    return out
+
+
+def _op_region_init(state: ShardState, k: int, candidate: int) -> List[int]:
+    """Arm a region exploration; the candidate's owner returns the seeds."""
+    state.k_f = k
+    state.cand_f = candidate
+    li = state.local_of.get(candidate)
+    if li is None:
+        return []
+    core_g = state.core_g
+    target = k - 1
+    seeds: List[int] = []
+    for position in range(state.indptr[li], state.indptr[li + 1]):
+        gvid = _decode(state, state.encoded[position])
+        if core_g[gvid] == target:
+            seeds.append(gvid)
+    return seeds
+
+
+def _op_region_expand(state: ShardState, frontier: List[int]) -> List[int]:
+    """Same-shell neighbours of newly regioned owned vertices (one hop)."""
+    core_g = state.core_g
+    candidate = state.cand_f
+    target = state.k_f - 1
+    local_of = state.local_of
+    indptr = state.indptr
+    encoded = state.encoded
+    out: List[int] = []
+    for gvid in frontier:
+        li = local_of[gvid]
+        for position in range(indptr[li], indptr[li + 1]):
+            neighbour = _decode(state, encoded[position])
+            if neighbour != candidate and core_g[neighbour] == target:
+                out.append(neighbour)
+    return out
+
+
+def _op_support_init(
+    state: ShardState, k: int, candidate: int, region: Optional[List[int]]
+) -> int:
+    """Compute follower support for owned members; return the member count.
+
+    ``region`` selects marginal mode (membership = the region set); ``None``
+    selects full-shell mode (membership = core == k - 1, candidate excluded).
+    """
+    state.k_f = k
+    state.cand_f = candidate
+    state.removed_f = set()
+    core_g = state.core_g
+    target = k - 1
+    if region is None:
+        state.region_f = None
+        members = [
+            li
+            for li, gvid in enumerate(state.owned)
+            if core_g[gvid] == target and gvid != candidate
+        ]
+    else:
+        region_set = set(region)
+        state.region_f = region_set
+        local_of = state.local_of
+        members = sorted(local_of[gvid] for gvid in region if gvid in local_of)
+    support: Dict[int, int] = dict.fromkeys(members, 0)
+    indptr = state.indptr
+    encoded = state.encoded
+    owned = state.owned
+    ghost_gvid = state.ghost_gvid
+    for li in members:
+        count = 0
+        for position in range(indptr[li], indptr[li + 1]):
+            entry = encoded[position]
+            gvid = owned[entry] if entry >= 0 else ghost_gvid[-entry - 1]
+            if gvid == candidate:
+                count += 1
+            elif core_g[gvid] >= k:
+                count += 1
+            elif entry >= 0:
+                if entry in support:
+                    count += 1
+            elif (
+                gvid in state.region_f
+                if state.region_f is not None
+                else core_g[gvid] == target
+            ):
+                count += 1
+        support[li] = count
+    state.members_f = members
+    state.support_f = support
+    return len(members)
+
+
+def _op_support_cascade(
+    state: ShardState, decrements: Dict[int, int], rescan: bool
+) -> Tuple[int, Buckets]:
+    """One local support-cascade round; mirrors :func:`_op_peel_cascade`."""
+    k = state.k_f
+    candidate = state.cand_f
+    core_g = state.core_g
+    support = state.support_f
+    removed = state.removed_f
+    local_of = state.local_of
+    indptr = state.indptr
+    encoded = state.encoded
+    ghost_gvid = state.ghost_gvid
+    ghost_owner = state.ghost_owner
+    region = state.region_f
+    target = k - 1
+
+    queue: List[int] = []
+    if rescan:
+        queue.extend(li for li, value in support.items() if value < k)
+    for gvid, count in decrements.items():
+        li = local_of[gvid]
+        if li in removed or li not in support:
+            continue
+        support[li] -= count
+        if support[li] < k:
+            queue.append(li)
+
+    removed_count = 0
+    out: Buckets = {}
+    while queue:
+        li = queue.pop()
+        if li in removed or support[li] >= k:
+            continue
+        removed.add(li)
+        removed_count += 1
+        for position in range(indptr[li], indptr[li + 1]):
+            entry = encoded[position]
+            if entry >= 0:
+                if entry in support and entry not in removed:
+                    support[entry] -= 1
+                    if support[entry] < k:
+                        queue.append(entry)
+            else:
+                ghost = -entry - 1
+                gvid = ghost_gvid[ghost]
+                is_member = (
+                    gvid in region
+                    if region is not None
+                    else core_g[gvid] == target and gvid != candidate
+                )
+                if is_member:
+                    bucket = out.get(ghost_owner[ghost])
+                    if bucket is None:
+                        bucket = out[ghost_owner[ghost]] = {}
+                    bucket[gvid] = bucket.get(gvid, 0) + 1
+    return removed_count, out
+
+
+def _op_support_collect(state: ShardState) -> List[int]:
+    """Surviving members (the followers) as global ids."""
+    removed = state.removed_f
+    owned = state.owned
+    return [owned[li] for li in state.members_f if li not in removed]
+
+
+_OPS = {
+    "hindex_reset": _op_hindex_reset,
+    "hindex_round": _op_hindex_round,
+    "hindex_collect": _op_hindex_collect,
+    "peel_reset": _op_peel_reset,
+    "peel_cascade": _op_peel_cascade,
+    "alive_collect": _op_alive_collect,
+    "set_core": _op_set_core,
+    "shell_fragments": _op_shell_fragments,
+    "deg_plus": _op_deg_plus,
+    "candidate_scan": _op_candidate_scan,
+    "region_init": _op_region_init,
+    "region_expand": _op_region_expand,
+    "support_init": _op_support_init,
+    "support_cascade": _op_support_cascade,
+    "support_collect": _op_support_collect,
+}
+
+
+# ---------------------------------------------------------------------------
+# Stateless tasks (no shard state; payload in, result out) — used to farm the
+# per-shell order reconstruction to any worker.
+# ---------------------------------------------------------------------------
+def _shell_order(
+    fragments: Sequence[Tuple[List[int], List[int], List[int], List[int]]],
+) -> List[int]:
+    """Merge one shell's per-shard fragments and run the packed-heap cascade.
+
+    Exactly the numpy backend's Phase B: members ascend by global id (id ==
+    tie-break rank on ordered snapshots), heap entries pack
+    ``eff * size + local`` so pops follow ``(effective degree, rank)``, and
+    only same-shell removals decrement — reproducing the reference heap
+    peel's within-shell order bit for bit.
+    """
+    entries: List[Tuple[int, int, List[int]]] = []
+    for members, start_eff, sub_indptr, sub_nbrs in fragments:
+        for i, gvid in enumerate(members):
+            entries.append(
+                (gvid, start_eff[i], sub_nbrs[sub_indptr[i] : sub_indptr[i + 1]])
+            )
+    entries.sort(key=lambda item: item[0])
+    size = len(entries)
+    position = {entry[0]: local for local, entry in enumerate(entries)}
+    eff_local = [entry[1] for entry in entries]
+    adjacency = [[position[gvid] for gvid in entry[2]] for entry in entries]
+
+    heap = [eff_local[local] * size + local for local in range(size)]
+    heapq.heapify(heap)
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    popped = bytearray(size)
+    order: List[int] = []
+    while heap:
+        packed = heappop(heap)
+        degree, local = divmod(packed, size)
+        if popped[local] or degree != eff_local[local]:
+            continue
+        popped[local] = 1
+        order.append(entries[local][0])
+        for neighbour in adjacency[local]:
+            if not popped[neighbour]:
+                slack = eff_local[neighbour] - 1
+                eff_local[neighbour] = slack
+                heappush(heap, slack * size + neighbour)
+    return order
+
+
+def _task_shell_orders(
+    batch: Sequence[
+        Tuple[int, List[Tuple[List[int], List[int], List[int], List[int]]]]
+    ],
+) -> List[Tuple[int, List[int]]]:
+    """Run :func:`_shell_order` for a batch of ``(level, fragments)`` shells."""
+    return [(level, _shell_order(fragments)) for level, fragments in batch]
+
+
+_TASKS = {
+    "shell_orders": _task_shell_orders,
+}
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+class _SerialExecutor:
+    """Run every op as a direct call against in-process shard states."""
+
+    is_process = False
+
+    def __init__(self, shards: List[ShardState]) -> None:
+        self._shards = shards
+
+    def run(self, op: str, args_per_shard: List[tuple]) -> List[object]:
+        func = _OPS[op]
+        return [
+            func(state, *args) for state, args in zip(self._shards, args_per_shard)
+        ]
+
+    def run_tasks(self, tasks: List[Tuple[str, tuple]]) -> List[object]:
+        return [_TASKS[name](*args) for name, args in tasks]
+
+
+# Process-wide worker pools, one single-worker spawn pool per slot, reused
+# across coordinators so the interpreter-spawn cost is paid once.
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+# Worker-side shard states, keyed by (coordinator key, shard id).  Lives in
+# the worker process; the names below are only ever *called* there.
+_WORKER_STATES: Dict[Tuple[str, int], ShardState] = {}
+
+
+def _worker_load(key: str, shard_id: int, state: ShardState) -> bool:
+    _WORKER_STATES[(key, shard_id)] = state
+    return True
+
+
+def _worker_drop(key: str) -> int:
+    doomed = [item for item in _WORKER_STATES if item[0] == key]
+    for item in doomed:
+        del _WORKER_STATES[item]
+    return len(doomed)
+
+
+def _worker_exec(key: str, shard_id: int, op: str, args: tuple) -> object:
+    return _OPS[op](_WORKER_STATES[(key, shard_id)], *args)
+
+
+def _worker_task(name: str, args: tuple) -> object:
+    return _TASKS[name](*args)
+
+
+def _get_pool(slot: int) -> ProcessPoolExecutor:
+    with _POOLS_LOCK:
+        pool = _POOLS.get(slot)
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=1, mp_context=get_context("spawn"))
+            _POOLS[slot] = pool
+        return pool
+
+
+def shutdown_shard_pools() -> None:
+    """Shut down every persistent shard worker pool (they respawn on demand)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+atexit.register(shutdown_shard_pools)
+
+
+def _release_states(key: str, slots: Tuple[int, ...]) -> None:
+    """Drop a coordinator's worker-side states (GC/close callback)."""
+    with _POOLS_LOCK:
+        pools = [_POOLS[slot] for slot in slots if slot in _POOLS]
+    for pool in pools:
+        try:
+            pool.submit(_worker_drop, key)
+        except RuntimeError:  # pool already shut down — nothing to release
+            pass
+
+
+class _ProcessExecutor:
+    """One dedicated single-worker spawn process per shard slot.
+
+    Shard ``i`` always executes in slot ``i % max_workers``, so its mutable
+    state (loaded once under this coordinator's key) stays consistent across
+    rounds.  With ``max_workers < num_shards`` several shards share a worker
+    — less parallelism, same semantics.
+    """
+
+    is_process = True
+
+    def __init__(self, plan: ShardPlan, max_workers: Optional[int]) -> None:
+        workers = plan.num_shards if max_workers is None else max_workers
+        if workers < 1:
+            raise ParameterError("max_workers must be >= 1")
+        self.num_workers = min(workers, plan.num_shards)
+        self.key = uuid.uuid4().hex
+        self.slots = [i % self.num_workers for i in range(plan.num_shards)]
+        loads = [
+            _get_pool(self.slots[shard_id]).submit(
+                _worker_load, self.key, shard_id, state
+            )
+            for shard_id, state in enumerate(plan.shards)
+        ]
+        for future in loads:
+            future.result()
+
+    def run(self, op: str, args_per_shard: List[tuple]) -> List[object]:
+        futures = [
+            _get_pool(self.slots[shard_id]).submit(
+                _worker_exec, self.key, shard_id, op, args
+            )
+            for shard_id, args in enumerate(args_per_shard)
+        ]
+        return [future.result() for future in futures]
+
+    def run_tasks(self, tasks: List[Tuple[str, tuple]]) -> List[object]:
+        futures = [
+            _get_pool(index % self.num_workers).submit(_worker_task, name, args)
+            for index, (name, args) in enumerate(tasks)
+        ]
+        return [future.result() for future in futures]
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+class ShardCoordinator:
+    """Drives sharded kernels over a :class:`~repro.shard.partition.ShardPlan`.
+
+    All ids at this boundary are the snapshot's dense global vertex ids; the
+    sharded backend translates hashable vertices at its own boundary, exactly
+    like the compact backend.  ``rounds`` and ``messages`` count the exchange
+    rounds issued and the boundary updates routed — observability for tests
+    and the benchmark reports.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        executor: str = EXECUTOR_SERIAL,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise ParameterError(
+                f"unknown shard executor {executor!r}; expected one of {sorted(EXECUTORS)}"
+            )
+        self.plan = plan
+        self.executor = executor
+        self.rounds = 0
+        self.messages = 0
+        self._finalizer = None
+        if executor == EXECUTOR_PROCESS:
+            self._exec = _ProcessExecutor(plan, max_workers)
+            self.num_workers = self._exec.num_workers
+            self._finalizer = weakref.finalize(
+                self, _release_states, self._exec.key, tuple(set(self._exec.slots))
+            )
+        else:
+            self._exec = _SerialExecutor(plan.shards)
+            self.num_workers = 1
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release worker-side state (no-op for the serial executor)."""
+        if self._finalizer is not None:
+            self._finalizer()
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _run(
+        self,
+        op: str,
+        args_per_shard: Optional[List[tuple]] = None,
+        shared: tuple = (),
+    ) -> List[object]:
+        if args_per_shard is None:
+            args_per_shard = [shared] * self.plan.num_shards
+        self.rounds += 1
+        return self._exec.run(op, args_per_shard)
+
+    def _merge_buckets(self, outputs: List[Buckets]) -> Tuple[List[Dict[int, int]], bool]:
+        """Combine per-shard destination buckets, summing duplicate targets."""
+        pending: List[Dict[int, int]] = [dict() for _ in range(self.plan.num_shards)]
+        produced = False
+        for out in outputs:
+            for target, payload in out.items():
+                if not payload:
+                    continue
+                produced = True
+                self.messages += len(payload)
+                bucket = pending[target]
+                for gvid, count in payload.items():
+                    bucket[gvid] = bucket.get(gvid, 0) + count
+        return pending, produced
+
+    def _cascade(self, op: str, level_args: tuple) -> int:
+        """Iterate a local-cascade op until the global fixpoint; return removals."""
+        num_shards = self.plan.num_shards
+        pending: List[Dict[int, int]] = [dict() for _ in range(num_shards)]
+        rescan = True
+        removed_total = 0
+        while True:
+            results = self._run(
+                op, [level_args + (pending[i], rescan) for i in range(num_shards)]
+            )
+            rescan = False
+            removed_any = False
+            outputs: List[Buckets] = []
+            for removed, out in results:
+                removed_total += removed
+                if removed:
+                    removed_any = True
+                outputs.append(out)
+            pending, _ = self._merge_buckets(outputs)
+            if not removed_any:
+                # No removals anywhere implies no boundary decrements either,
+                # so everything produced earlier has already been applied.
+                return removed_total
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def decompose(
+        self, anchor_ids: Sequence[int] = ()
+    ) -> Tuple[List[float], List[int]]:
+        """Full anchored peel: ``(core values by id, removal order)``.
+
+        Bit-identical to :func:`repro.cores.decomposition.compact_peel` on
+        the same ordered snapshot.
+        """
+        anchor_list = sorted({int(a) for a in anchor_ids})
+        n = self.plan.num_vertices
+        if n == 0:
+            return [], []
+
+        # Phase A: distributed core-bound refinement -> core numbers.
+        self._run("hindex_reset", shared=(anchor_list,))
+        updates: List[Dict[int, int]] = [dict() for _ in range(self.plan.num_shards)]
+        first = True
+        while True:
+            results = self._run(
+                "hindex_round",
+                [(updates[i], first) for i in range(self.plan.num_shards)],
+            )
+            first = False
+            updates, produced = self._merge_buckets(results)
+            if not produced:
+                break
+
+        core: List[float] = [0] * n
+        for shard, part in zip(self.plan.shards, self._run("hindex_collect")):
+            for li, gvid in enumerate(shard.owned):
+                core[gvid] = part[li]
+        for anchor in anchor_list:
+            core[anchor] = math.inf
+
+        # Phase B: shell-by-shell order reconstruction.  Shells are mutually
+        # independent, so they are packed into one balanced batch per worker
+        # (greedy LPT on member + same-shell-edge counts) and farmed out.
+        frags_per_shard = self._run("shell_fragments")
+        levels = sorted({c for frags in frags_per_shard for c in frags})
+        shell_inputs = []
+        for c in levels:
+            fragments = [frags[c] for frags in frags_per_shard if c in frags]
+            cost = sum(len(f[0]) + len(f[3]) for f in fragments)
+            shell_inputs.append((cost, c, fragments))
+        num_bins = max(1, self.num_workers)
+        bins: List[List[tuple]] = [[] for _ in range(num_bins)]
+        loads = [0] * num_bins
+        for cost, c, fragments in sorted(shell_inputs, key=lambda item: -item[0]):
+            lightest = min(range(num_bins), key=lambda b: loads[b])
+            bins[lightest].append((c, fragments))
+            loads[lightest] += cost
+        self.rounds += 1
+        results = self._exec.run_tasks(
+            [("shell_orders", (batch,)) for batch in bins if batch]
+        )
+        by_level: Dict[int, List[int]] = {}
+        for part in results:
+            for c, shell_order in part:
+                by_level[c] = shell_order
+        order: List[int] = []
+        for c in levels:
+            order.extend(by_level[c])
+        order.extend(anchor_list)
+        return core, order
+
+    def k_core_ids(self, k: int, anchor_ids: Sequence[int] = ()) -> Set[int]:
+        """The (anchored) k-core as a set of global ids (confluent cascade)."""
+        if self.plan.num_vertices == 0:
+            return set()
+        anchor_list = sorted({int(a) for a in anchor_ids})
+        self._run("peel_reset", shared=(anchor_list,))
+        self._cascade("peel_cascade", (k - 1,))
+        survivors: Set[int] = set()
+        for part in self._run("alive_collect"):
+            survivors.update(part)
+        return survivors
+
+    def remaining_degree_ids(self, rank_ids: List[int]) -> Dict[int, int]:
+        """``deg+`` for every id with ``rank_ids[id] >= 0`` (one round)."""
+        merged: Dict[int, int] = {}
+        for part in self._run("deg_plus", shared=(rank_ids,)):
+            merged.update(part)
+        return merged
+
+    def set_core_state(self, core: List[float], rank: Optional[List[int]]) -> None:
+        """Broadcast the global core/rank arrays (anchored-index state)."""
+        self._run("set_core", shared=(core, rank))
+
+    def candidate_anchor_ids(self, k: int, order_pruning: bool) -> List[int]:
+        """Theorem-3 candidates under the broadcast core/rank state."""
+        out: List[int] = []
+        for part in self._run("candidate_scan", shared=(k, order_pruning)):
+            out.extend(part)
+        return out
+
+    def marginal_follower_ids(self, k: int, candidate_id: int) -> Tuple[Set[int], int]:
+        """Region-restricted follower cascade; ``(follower ids, visited)``.
+
+        The visited count — region size plus cascade removals — matches the
+        dict/compact/numpy kernels exactly (both are order-independent).
+        """
+        seeds: List[int] = []
+        for part in self._run("region_init", shared=(k, candidate_id)):
+            seeds.extend(part)
+        region: Set[int] = set()
+        frontier: List[int] = []
+        for gvid in seeds:
+            if gvid not in region:
+                region.add(gvid)
+                frontier.append(gvid)
+        shard_of = self.plan.shard_of
+        while frontier:
+            buckets: List[List[int]] = [[] for _ in range(self.plan.num_shards)]
+            for gvid in frontier:
+                buckets[shard_of[gvid]].append(gvid)
+                self.messages += 1
+            parts = self._run("region_expand", [(bucket,) for bucket in buckets])
+            frontier = []
+            for part in parts:
+                for gvid in part:
+                    if gvid not in region:
+                        region.add(gvid)
+                        frontier.append(gvid)
+        if not region:
+            return set(), 0
+        region_list = sorted(region)
+        self._run("support_init", shared=(k, candidate_id, region_list))
+        removed_total = self._cascade("support_cascade", ())
+        survivors: Set[int] = set()
+        for part in self._run("support_collect"):
+            survivors.update(part)
+        return survivors, len(region) + removed_total
+
+    def full_shell_follower_ids(
+        self, k: int, candidate_id: int
+    ) -> Tuple[Set[int], int]:
+        """Whole-shell follower cascade (OLAK baseline); same contract."""
+        counts = self._run("support_init", shared=(k, candidate_id, None))
+        shell_size = sum(counts)
+        if shell_size == 0:
+            return set(), 0
+        removed_total = self._cascade("support_cascade", ())
+        survivors: Set[int] = set()
+        for part in self._run("support_collect"):
+            survivors.update(part)
+        return survivors, shell_size + removed_total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardCoordinator(shards={self.plan.num_shards}, "
+            f"executor={self.executor!r}, rounds={self.rounds}, "
+            f"messages={self.messages})"
+        )

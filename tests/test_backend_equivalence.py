@@ -1,18 +1,26 @@
 """Property tests: all registered execution backends are observationally identical.
 
-The compact and numpy backends (:mod:`repro.backends`) re-implement every hot
-kernel — peeling decomposition, k-core cascades, the K-order remaining
-degrees, follower computation, greedy selection, incremental maintenance —
-over flat int arrays / numpy arrays.  These tests pin the contract that makes
+The compact, numpy and sharded backends (:mod:`repro.backends`) re-implement
+every hot kernel — peeling decomposition, k-core cascades, the K-order
+remaining degrees, follower computation, greedy selection, incremental
+maintenance — over flat int arrays / numpy arrays / partitioned shard states
+with boundary exchange.  These tests pin the contract that makes
 ``backend="auto"`` safe: for *any* graph (isolated vertices, non-integer and
 mixed-type vertex ids included) every backend returns results identical to
 the dict reference, down to the removal order and the instrumentation
-counters.  Each test runs dict vs compact and, when numpy is installed, dict
-vs numpy (skipped cleanly otherwise — the import gate is part of the
-contract).
+counters.  Each test runs dict vs compact, dict vs sharded (3 shards, so
+boundary exchange is always exercised; the executor follows
+``REPRO_SHARD_EXECUTOR``, which the CI spawn job sets to ``process``) and,
+when numpy is installed, dict vs numpy (skipped cleanly otherwise — the
+import gate is part of the contract).
+
+``REPRO_HYPOTHESIS_EXAMPLES`` overrides the example count per property (the
+CI spawn job lowers it: every sharded op there is a multi-process round).
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -24,6 +32,7 @@ from repro.anchored.greedy import GreedyAnchoredKCore
 from repro.anchored.olak import OLAKAnchoredKCore
 from repro.anchored.rcm import RCMAnchoredKCore
 from repro.backends import numpy_available
+from repro.backends.sharded_backend import ShardedBackend
 from repro.cores.decomposition import (
     anchored_core_decomposition,
     core_decomposition,
@@ -35,7 +44,16 @@ from repro.engine import StreamingAVTEngine
 from repro.graph.dynamic import EdgeDelta
 from repro.graph.static import Graph
 
-SETTINGS = settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+SETTINGS = settings(
+    max_examples=int(os.environ.get("REPRO_HYPOTHESIS_EXAMPLES", "50")),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Three shards so every sharded test crosses shard boundaries; the executor
+#: (serial locally, process under the CI spawn job) comes from the
+#: environment, like a real deployment would configure it.
+SHARDED = ShardedBackend(num_shards=3)
 
 #: The non-reference backends, each compared against the dict reference.
 #: numpy is skipped (not failed) on interpreters without numpy.
@@ -45,6 +63,7 @@ OTHER_BACKENDS = [
         "numpy",
         marks=pytest.mark.skipif(not numpy_available(), reason="numpy is not installed"),
     ),
+    pytest.param(SHARDED, id="sharded"),
 ]
 
 #: Vertex pools exercising the interner: contiguous ints, sparse ints,
@@ -88,6 +107,11 @@ def graphs_with_k(draw):
     graph = draw(graphs())
     k = draw(st.integers(min_value=1, max_value=4))
     return graph, k
+
+
+def _backend_name(backend) -> str:
+    """The registry name of a ``backend=`` parameter (string or instance)."""
+    return backend if isinstance(backend, str) else backend.name
 
 
 def _assert_results_equal(first, second):
@@ -144,7 +168,7 @@ def test_index_candidates_and_followers_identical(other, graph_and_k):
     dict_index = AnchoredCoreIndex(graph, k, backend="dict")
     other_index = AnchoredCoreIndex(graph, k, backend=other)
     assert dict_index.backend == "dict"
-    assert other_index.backend == other
+    assert other_index.backend == _backend_name(other)
     assert dict(dict_index.core_numbers()) == dict(other_index.core_numbers())
     assert dict_index.candidate_anchors() == other_index.candidate_anchors()
     assert dict_index.candidate_anchors(order_pruning=False) == other_index.candidate_anchors(
@@ -266,7 +290,7 @@ def test_backend_switch_preserves_maintained_state(other, graph):
     maintainer = CoreMaintainer(graph, backend="dict")
     before = maintainer.core_numbers()
     assert maintainer.switch_backend(other)
-    assert maintainer.backend == other
+    assert maintainer.backend == _backend_name(other)
     assert maintainer.core_numbers() == before
     maintainer.validate()
     assert maintainer.switch_backend("dict")

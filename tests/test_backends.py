@@ -9,10 +9,12 @@ from repro.backends import (
     BACKEND_COMPACT,
     BACKEND_DICT,
     BACKEND_NUMPY,
+    BACKEND_SHARDED,
     COMPACT_THRESHOLD,
     WORKLOAD_AMORTIZED,
     WORKLOAD_ONE_SHOT,
     available_backends,
+    backend_info,
     get_backend,
     numpy_available,
     register_backend,
@@ -46,11 +48,25 @@ class TestRegistry:
     def test_builtins_are_registered(self):
         names = registered_backends()
         assert BACKEND_DICT in names and BACKEND_COMPACT in names and BACKEND_NUMPY in names
+        assert BACKEND_SHARDED in names
 
     def test_available_backends_reflects_numpy_gate(self):
         names = available_backends()
         assert BACKEND_DICT in names and BACKEND_COMPACT in names
+        assert BACKEND_SHARDED in names  # pure stdlib, always available
         assert (BACKEND_NUMPY in names) == numpy_available()
+
+    def test_backend_info_rows(self):
+        rows = {row["name"]: row for row in backend_info()}
+        assert rows[BACKEND_DICT]["available"] and rows[BACKEND_DICT]["config"] == {}
+        assert rows[BACKEND_COMPACT]["auto_priority"] > rows[BACKEND_DICT]["auto_priority"]
+        sharded = rows[BACKEND_SHARDED]
+        assert sharded["available"]
+        assert {"num_shards", "partitioner", "executor", "max_workers"} <= set(
+            sharded["config"]
+        )
+        # The multi-process backend must never win the auto policy.
+        assert sharded["auto_priority"] < rows[BACKEND_COMPACT]["auto_priority"]
 
     def test_get_backend_passes_instances_through(self):
         instance = get_backend("dict")
@@ -61,9 +77,9 @@ class TestRegistry:
 
     def test_unknown_backend_raises(self):
         with pytest.raises(ParameterError):
-            get_backend("sharded")
+            get_backend("warp")
         with pytest.raises(ParameterError):
-            resolve_backend("sharded", 0)
+            resolve_backend("warp", 0)
 
     def test_duplicate_registration_raises_unless_replaced(self, scratch_registry):
         register_backend("scratch", DictBackend)

@@ -47,7 +47,51 @@ class TestSummary:
         assert "speed-up" in output
 
 
+class TestBackends:
+    def test_backends_table(self, capsys):
+        assert main(["backends"]) == 0
+        output = capsys.readouterr().out
+        for name in ("dict", "compact", "numpy", "sharded"):
+            assert name in output
+        assert "auto_priority" in output
+        assert "num_shards=" in output  # the sharded worker/shard configuration
+
+    def test_backends_listed(self, capsys):
+        assert main(["--list"]) == 0
+        assert "backends" in capsys.readouterr().out
+
+
 class TestServeSim:
+    def test_serve_sim_with_sharded_backend(self, capsys):
+        code = main(
+            [
+                "serve-sim",
+                "--dataset",
+                "gnutella",
+                "--scale",
+                "0.12",
+                "--snapshots",
+                "3",
+                "--budget",
+                "2",
+                "--backend",
+                "sharded",
+                "--shards",
+                "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "backend=sharded" in output
+
+    def test_shards_flag_requires_sharded_backend(self, capsys):
+        assert main(["serve-sim", "--dataset", "gnutella", "--shards", "2"]) == 2
+        assert "--shards requires" in capsys.readouterr().err
+
+    def test_unknown_backend_flag_rejected(self, capsys):
+        assert main(["serve-sim", "--dataset", "gnutella", "--backend", "warp"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
     def test_serve_sim_replays_and_hits_cache(self, capsys, tmp_path):
         checkpoint = tmp_path / "engine.ckpt"
         code = main(

@@ -109,4 +109,4 @@ class TestResolveBackend:
 
     def test_unknown_backend_raises(self):
         with pytest.raises(ParameterError):
-            resolve_backend("sharded", 10)
+            resolve_backend("warp", 10)

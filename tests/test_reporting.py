@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import json
+
 from repro.bench.reporting import (
     format_followers_series,
     format_series,
     format_speedup_summary,
     format_table,
+    write_bench_json,
 )
 from repro.bench.runner import ExperimentTable
 
@@ -68,3 +71,35 @@ class TestFormatSeries:
         table = ExperimentTable([{"dataset": "x", "algorithm": "IncAVT", "time_s": 1.0}])
         text = format_speedup_summary(table, baseline="OLAK")
         assert "[x]" not in text
+
+
+class TestWriteBenchJson:
+    def test_record_carries_execution_block(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        write_bench_json(
+            path,
+            "unit",
+            {"value": 1},
+            backend="sharded",
+            num_shards=4,
+            num_workers=2,
+        )
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert record["benchmark"] == "unit"
+        assert record["value"] == 1
+        assert record["execution"] == {
+            "backend": "sharded",
+            "num_shards": 4,
+            "num_workers": 2,
+        }
+        assert "git_sha" in record["environment"]
+
+    def test_single_process_defaults(self, tmp_path):
+        path = tmp_path / "BENCH_default.json"
+        write_bench_json(path, "unit", {})
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert record["execution"] == {
+            "backend": "auto",
+            "num_shards": 1,
+            "num_workers": 1,
+        }

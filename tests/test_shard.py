@@ -1,0 +1,382 @@
+"""Unit and property tests for the :mod:`repro.shard` subsystem.
+
+Covers the partitioner invariants (total coverage, cut-edge symmetry,
+degree balance), the serial vs process-pool coordinator equivalence (the
+pickling / spawn contract), and the sharded backend's configuration surface
+(environment defaults, ``with_config``, engine checkpoints).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backends import BACKEND_SHARDED, get_backend, resolve_backend
+from repro.backends.sharded_backend import ShardedBackend, ShardedCoreIndexKernel
+from repro.cores.decomposition import compact_peel
+from repro.engine import StreamingAVTEngine
+from repro.errors import ParameterError
+from repro.graph.compact import CompactGraph
+from repro.graph.static import Graph
+from repro.shard.coordinator import ShardCoordinator, shutdown_shard_pools
+from repro.shard.partition import (
+    DegreeBalancedPartitioner,
+    HashPartitioner,
+    PARTITIONERS,
+    get_partitioner,
+    partition_compact_graph,
+)
+
+SETTINGS = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def sample_graph() -> Graph:
+    return Graph(
+        edges=[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6), (0, 6)],
+        vertices=list(range(7)) + ["isolated"],
+    )
+
+
+@st.composite
+def graphs(draw) -> Graph:
+    num_vertices = draw(st.integers(min_value=1, max_value=14))
+    vertices = list(range(num_vertices))
+    possible = [(u, v) for i, u in enumerate(vertices) for v in vertices[i + 1 :]]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=3 * num_vertices, unique=True)
+        if possible
+        else st.just([])
+    )
+    return Graph(edges=edges, vertices=vertices)
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("partitioner", sorted(PARTITIONERS))
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5])
+    def test_every_vertex_in_exactly_one_shard(self, partitioner, num_shards):
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, num_shards, partitioner)
+        seen = []
+        for shard in plan.shards:
+            seen.extend(shard.owned)
+            # Owner map and ownership agree.
+            for gvid in shard.owned:
+                assert plan.shard_of[gvid] == shard.shard_id
+        assert sorted(seen) == list(range(cgraph.num_vertices))
+
+    @pytest.mark.parametrize("partitioner", sorted(PARTITIONERS))
+    @pytest.mark.parametrize("num_shards", [2, 3, 5])
+    def test_cut_edge_tables_symmetric(self, partitioner, num_shards):
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, num_shards, partitioner)
+        for shard in plan.shards:
+            for other_id, pairs in shard.cut_edges.items():
+                mirrored = sorted(
+                    (remote, owned) for owned, remote in pairs
+                )
+                assert plan.shards[other_id].cut_edges.get(shard.shard_id, []) == mirrored
+
+    def test_edges_conserved_across_shards(self):
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, 3)
+        local_entries = sum(
+            sum(1 for entry in shard.encoded if entry >= 0) for shard in plan.shards
+        )
+        cut_entries = sum(shard.num_cut_edges for shard in plan.shards)
+        # Every edge contributes two CSR entries overall, split between
+        # local entries (both endpoints in one shard) and cut entries.
+        assert local_entries + cut_entries == 2 * cgraph.num_edges
+
+    def test_hash_partitioner_uses_id_modulo(self):
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        assignment = HashPartitioner().assign(cgraph, 3)
+        assert assignment == [vid % 3 for vid in range(cgraph.num_vertices)]
+
+    def test_degree_balanced_within_tolerance(self):
+        # A skewed star-heavy graph: greedy LPT must still balance loads to
+        # within the heaviest single vertex.
+        edges = [(0, i) for i in range(1, 30)] + [(1, i) for i in range(40, 50)]
+        graph = Graph(edges=edges, vertices=list(range(60)))
+        cgraph = CompactGraph.from_graph(graph, ordered=True)
+        num_shards = 4
+        assignment = DegreeBalancedPartitioner().assign(cgraph, num_shards)
+        loads = [0] * num_shards
+        for vid, shard in enumerate(assignment):
+            loads[shard] += cgraph.degrees[vid] + 1
+        assert max(loads) - min(loads) <= max(cgraph.degrees) + 1
+
+    def test_boundary_lists_owned_vertices_with_remote_neighbours(self):
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, 2)
+        for shard in plan.shards:
+            expected = sorted(
+                {owned for pairs in shard.cut_edges.values() for owned, _ in pairs}
+            )
+            assert shard.boundary == expected
+
+    def test_unknown_partitioner_rejected(self):
+        with pytest.raises(ParameterError):
+            get_partitioner("metis")
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        with pytest.raises(ParameterError):
+            partition_compact_graph(cgraph, 2, "metis")
+        with pytest.raises(ParameterError):
+            partition_compact_graph(cgraph, 0)
+
+
+class TestCoordinatorSerial:
+    def test_decompose_matches_compact_peel(self):
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, 3)
+        coordinator = ShardCoordinator(plan)
+        core, order = coordinator.decompose(anchor_ids=[2])
+        expected_core, expected_order = compact_peel(cgraph, [2])
+        assert core == expected_core
+        assert order == expected_order
+        assert coordinator.rounds > 0
+        assert coordinator.messages > 0  # 3 shards must exchange something
+
+    def test_unknown_executor_rejected(self):
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, 2)
+        with pytest.raises(ParameterError):
+            ShardCoordinator(plan, executor="threads")
+
+    def test_empty_graph(self):
+        cgraph = CompactGraph.from_graph(Graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, 2)
+        coordinator = ShardCoordinator(plan)
+        assert coordinator.decompose() == ([], [])
+        assert coordinator.k_core_ids(1) == set()
+
+
+@pytest.fixture(scope="module")
+def process_pools():
+    """Spawned worker pools shared by the process-executor tests."""
+    yield
+    shutdown_shard_pools()
+
+
+class TestCoordinatorProcess:
+    """Serial vs process-pool coordinators are observationally identical.
+
+    These tests exercise the ``spawn`` start method end to end: shard states
+    and every op payload must pickle, and per-shard mutable state must stay
+    pinned to its dedicated worker across rounds.
+    """
+
+    @SETTINGS
+    @given(graph=graphs(), num_shards=st.integers(min_value=1, max_value=4))
+    def test_decompose_serial_vs_process(self, process_pools, graph, num_shards):
+        cgraph = CompactGraph.from_graph(graph, ordered=True)
+        serial = ShardCoordinator(partition_compact_graph(cgraph, num_shards))
+        pooled = ShardCoordinator(
+            partition_compact_graph(cgraph, num_shards), executor="process"
+        )
+        try:
+            anchors = [0] if cgraph.num_vertices > 2 else []
+            assert serial.decompose(anchors) == pooled.decompose(anchors)
+            for k in (1, 2, 3):
+                assert serial.k_core_ids(k) == pooled.k_core_ids(k)
+        finally:
+            pooled.close()
+
+    @SETTINGS
+    @given(graph=graphs(), k=st.integers(min_value=1, max_value=4))
+    def test_index_kernel_serial_vs_process(self, process_pools, graph, k):
+        serial = ShardedCoreIndexKernel(
+            graph, num_shards=3, partitioner="hash", executor="serial", max_workers=None
+        )
+        pooled = ShardedCoreIndexKernel(
+            graph, num_shards=3, partitioner="hash", executor="process", max_workers=None
+        )
+        try:
+            serial.refresh(set())
+            pooled.refresh(set())
+            assert dict(serial.core_numbers()) == dict(pooled.core_numbers())
+            assert serial.plain_k_core(k) == pooled.plain_k_core(k)
+            assert serial.candidate_anchors(k, True) == pooled.candidate_anchors(k, True)
+            for candidate in sorted(serial.non_core_vertices(k), key=repr):
+                assert serial.marginal_followers(
+                    k, candidate, False
+                ) == pooled.marginal_followers(k, candidate, False)
+                assert serial.marginal_followers(
+                    k, candidate, True
+                ) == pooled.marginal_followers(k, candidate, True)
+        finally:
+            pooled.close()
+
+    def test_worker_state_released_on_close(self, process_pools):
+        from repro.shard import coordinator as co
+
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, 2)
+        pooled = ShardCoordinator(plan, executor="process")
+        key = pooled._exec.key
+        pooled.decompose()
+        pooled.close()
+        # The drop ran in the workers: loading a fresh coordinator still
+        # works and a probe for the old key finds nothing.
+        probe = co._get_pool(0).submit(co._worker_drop, key).result()
+        assert probe == 0
+
+    def test_max_workers_fewer_than_shards(self, process_pools):
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, 4)
+        pooled = ShardCoordinator(plan, executor="process", max_workers=2)
+        try:
+            assert pooled.num_workers == 2
+            expected_core, expected_order = compact_peel(cgraph)
+            assert pooled.decompose() == (expected_core, list(expected_order))
+        finally:
+            pooled.close()
+
+
+class TestShardedBackendConfig:
+    def test_registered_and_not_picked_by_auto(self):
+        assert get_backend("sharded").name == BACKEND_SHARDED
+        assert resolve_backend("auto", 10**6) != BACKEND_SHARDED
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_COUNT", "6")
+        monkeypatch.setenv("REPRO_SHARD_PARTITIONER", "degree_balanced")
+        monkeypatch.setenv("REPRO_SHARD_EXECUTOR", "serial")
+        monkeypatch.setenv("REPRO_SHARD_WORKERS", "2")
+        backend = ShardedBackend()
+        assert backend.config() == {
+            "num_shards": 6,
+            "partitioner": "degree_balanced",
+            "executor": "serial",
+            "max_workers": 2,
+        }
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_COUNT", "many")
+        with pytest.raises(ParameterError):
+            ShardedBackend()
+
+    def test_with_config_returns_new_instance(self):
+        base = get_backend("sharded")
+        derived = base.with_config({"num_shards": 9, "executor": "serial"})
+        assert derived is not base
+        assert derived.num_shards == 9
+        assert base.config() == get_backend("sharded").config()
+
+    def test_with_config_rejects_unknown_keys(self):
+        with pytest.raises(ParameterError):
+            get_backend("sharded").with_config({"replication": 2})
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ParameterError):
+            ShardedBackend(num_shards=0)
+        with pytest.raises(ParameterError):
+            ShardedBackend(executor="threads")
+        with pytest.raises(ParameterError):
+            ShardedBackend(partitioner="metis")
+        with pytest.raises(ParameterError):
+            ShardedBackend(max_workers=0)
+
+    def test_korder_shares_one_partition(self):
+        backend = ShardedBackend(num_shards=3, executor="serial")
+        graph = sample_graph()
+        decomposition, deg_plus = backend.korder(graph)
+        reference, reference_deg = get_backend("dict").korder(graph)
+        assert dict(decomposition.core) == dict(reference.core)
+        assert decomposition.order == reference.order
+        assert deg_plus == reference_deg
+
+
+class TestEngineCheckpointConfig:
+    def test_checkpoint_persists_shard_configuration(self, tmp_path):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+        backend = get_backend("sharded").with_config({"num_shards": 5})
+        engine = StreamingAVTEngine(graph, backend=backend, batch_size=None)
+        engine.query(k=2, budget=1)
+        path = tmp_path / "sharded.ckpt"
+        engine.checkpoint(path)
+        restored = StreamingAVTEngine.restore(path)
+        assert restored.backend == BACKEND_SHARDED
+        assert restored._backend.num_shards == 5
+        assert restored._backend.partitioner == backend.partitioner
+        assert restored.core_numbers() == engine.core_numbers()
+
+    def test_restore_backend_override_wins(self, tmp_path):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        engine = StreamingAVTEngine(
+            graph, backend=get_backend("sharded").with_config({"num_shards": 2}),
+            batch_size=None,
+        )
+        path = tmp_path / "sharded2.ckpt"
+        engine.checkpoint(path)
+        restored = StreamingAVTEngine.restore(path, backend="dict")
+        assert restored.backend == "dict"
+
+
+class TestCheckpointUnavailableBackendFallback:
+    """Satellite regression: restoring a checkpoint whose persisted backend
+    is unavailable in this process falls back to "auto" with a warning."""
+
+    def test_numpy_checkpoint_restored_without_numpy(self, tmp_path, monkeypatch):
+        from repro.engine.checkpoint import write_state
+
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+        engine = StreamingAVTEngine(graph, backend="dict", batch_size=None)
+        engine.query(k=2, budget=1)
+        state = engine.to_state()
+        state["backend"] = "numpy"  # as if written on a numpy-enabled host
+        state["backend_config"] = {}
+        path = tmp_path / "numpy.ckpt"
+        write_state(state, path)
+
+        monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+        with pytest.warns(RuntimeWarning, match="numpy"):
+            restored = StreamingAVTEngine.restore(path)
+        assert restored.core_numbers() == engine.core_numbers()
+        # The fallback rewired the policy to auto; a fresh checkpoint of the
+        # restored engine must not resurrect the unavailable name.
+        assert restored.to_state()["backend"] == "auto"
+
+    def test_unregistered_backend_name_also_falls_back(self, tmp_path):
+        from repro.engine.checkpoint import write_state
+
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        engine = StreamingAVTEngine(graph, backend="dict", batch_size=None)
+        state = engine.to_state()
+        state["backend"] = "fpga"
+        path = tmp_path / "fpga.ckpt"
+        write_state(state, path)
+        with pytest.warns(RuntimeWarning, match="fpga"):
+            restored = StreamingAVTEngine.restore(path)
+        assert restored.core_numbers() == engine.core_numbers()
+
+    def test_available_backend_restores_without_warning(self, tmp_path):
+        import warnings
+
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        engine = StreamingAVTEngine(graph, backend="compact", batch_size=None)
+        path = tmp_path / "compact.ckpt"
+        engine.checkpoint(path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            restored = StreamingAVTEngine.restore(path)
+        assert restored.backend == "compact"
+
+
+class TestAnchoredSharding:
+    @SETTINGS
+    @given(graph=graphs(), num_shards=st.integers(min_value=2, max_value=5))
+    def test_anchored_decompose_property(self, graph, num_shards):
+        """Anchors (owned and ghost alike) survive every shard layout."""
+        cgraph = CompactGraph.from_graph(graph, ordered=True)
+        anchors = [vid for vid in range(cgraph.num_vertices) if vid % 3 == 0][:3]
+        plan = partition_compact_graph(cgraph, num_shards, "degree_balanced")
+        coordinator = ShardCoordinator(plan)
+        core, order = coordinator.decompose(anchors)
+        expected_core, expected_order = compact_peel(cgraph, anchors)
+        assert core == expected_core
+        assert order == expected_order
+        for anchor in anchors:
+            assert core[anchor] == math.inf
