@@ -89,7 +89,42 @@ All registered backends guarantee identical core numbers, identical
 ``tests/test_backend_equivalence.py``, four-way); only speed differs —
 ``benchmarks/bench_backend_compare.py`` tracks the gaps and emits
 ``BENCH_backend.json`` / ``BENCH_numpy.json`` / ``BENCH_sharded.json``
-(shard-scaling: 1-shard serial vs multi-worker process pool).  The
+(shard-scaling: 1-shard serial vs multi-worker process pool) /
+``BENCH_incremental.json`` (incremental vs full-recompute Greedy), each with
+an enforced ``floors`` block read by ``python -m repro.bench.compare``.
+
+*Delta refresh* — committing one anchor never re-peels the snapshot.
+:meth:`~repro.backends.CoreIndexKernel.commit_anchor` is the incremental
+sibling of :meth:`~repro.backends.CoreIndexKernel.refresh` with a precise
+contract (the delta-refresh contract in :mod:`repro.backends.base`):
+
+=============  ==============================================================
+kernel         ``commit_anchor`` path
+=============  ==============================================================
+``dict``       affected-region splice: per-level riser cascades update the
+               core numbers (+1 each, the single-anchor shell lemma), only
+               shells whose membership or starting degrees changed re-run
+               their within-shell order cascade
+``compact``    the same splice over flat id arrays
+               (:func:`repro.cores.decomposition.incremental_anchor_commit`)
+``numpy``      shares the compact splice (the region is scalar-sized work)
+``sharded``    full refresh through the coordinator's shard-local result
+               caches (round-1 peel keyed by local anchors, fragments keyed
+               by converged bounds, no-traffic shards skipped), then an
+               exact core diff
+custom         inherits the protocol default — full refresh, touched
+               unknown (``None``) — so third-party kernels keep working
+=============  ==============================================================
+
+Every path returns the exact *touched set* (vertices whose anchored core
+number changed), which :class:`~repro.anchored.GreedyAnchoredKCore` uses to
+memoize marginal gains across rounds: each candidate evaluation is cached
+with its read region and invalidated only when a commit touches that region
+or its one-hop neighbourhood, so each round re-runs O(invalidated) cascades
+instead of O(candidates) — anchors, followers and the paper's
+instrumentation counters stay bit-identical to the full-recompute path
+(``incremental=False``), enforced by ``tests/test_incremental_refresh.py``
+and the ``BENCH_incremental.json`` floor.  The
 determinism hinges on the interning semantics: :class:`~repro.graph.VertexInterner`
 assigns dense ids in first-seen order and never moves them, and ordered
 :class:`~repro.graph.CompactGraph` snapshots intern in

@@ -26,7 +26,7 @@ across all registered backends.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Set, Union
+from typing import FrozenSet, Iterable, Mapping, Optional, Set, Tuple, Union
 
 from repro.backends import BACKEND_AUTO, ExecutionBackend, get_backend
 from repro.errors import ParameterError, VertexNotFoundError
@@ -82,6 +82,15 @@ class AnchoredCoreIndex:
     def backend(self) -> str:
         """The name of the resolved execution backend (e.g. ``"dict"``)."""
         return self._backend.name
+
+    @property
+    def kernel(self):
+        """The live :class:`~repro.backends.CoreIndexKernel` (observability).
+
+        Exposed for instrumentation readers — e.g. the sharded kernel's
+        coordinator cache counters; treat as read-only.
+        """
+        return self._kernel
 
     @property
     def anchors(self) -> Set[Vertex]:
@@ -156,17 +165,61 @@ class AnchoredCoreIndex:
         self.visited_vertices += max(visited, 1)
         return gained
 
+    def evaluate_candidate(
+        self, candidate: Vertex
+    ) -> Tuple[Set[Vertex], int, Optional[FrozenSet[Vertex]]]:
+        """Like :meth:`marginal_followers` but also reports the read scope.
+
+        Returns ``(gained, visited, region)``: the followers gained by
+        anchoring ``candidate`` next, the raw visited count of the cascade,
+        and the explored shell-local region (``None`` when the kernel cannot
+        report it, in which case the evaluation is not safely cacheable).
+        Instrumentation is updated exactly as by :meth:`marginal_followers`;
+        ``visited`` is returned raw so a memoizing caller can replay it later
+        through :meth:`record_cached_evaluation`.
+        """
+        gained, visited, region = self._kernel.marginal_followers_with_region(
+            self._k, candidate
+        )
+        self.candidates_evaluated += 1
+        self.visited_vertices += max(visited, 1)
+        return gained, visited, region
+
+    def record_cached_evaluation(self, visited: int) -> None:
+        """Account one memoized candidate evaluation in the instrumentation.
+
+        The paper's counters (``candidates_evaluated``, ``visited_vertices``)
+        report the *algorithmic* work of the greedy selection; a memoized
+        evaluation replays the counts its cascade reported when it actually
+        ran, so the instrumentation stays bit-identical to the
+        full-recompute path while the cascades themselves are skipped.
+        """
+        self.candidates_evaluated += 1
+        self.visited_vertices += max(visited, 1)
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def add_anchor(self, vertex: Vertex) -> None:
         """Commit ``vertex`` as an anchor and refresh the anchored decomposition."""
+        self.commit_anchor(vertex)
+
+    def commit_anchor(self, vertex: Vertex) -> Optional[FrozenSet[Vertex]]:
+        """Commit ``vertex`` as an anchor through the kernel's incremental path.
+
+        Returns the *touched set* — every vertex whose anchored core number
+        changed (the new anchor included) — exactly as specified by the
+        delta-refresh contract of :class:`repro.backends.CoreIndexKernel`, or
+        ``None`` when the kernel fell back to a full refresh without diffing
+        (treat as "anything may have changed").  Committing an existing
+        anchor is a no-op and returns an empty set.
+        """
         if not self._graph.has_vertex(vertex):
             raise VertexNotFoundError(vertex)
         if vertex in self._anchors:
-            return
+            return frozenset()
         self._anchors.add(vertex)
-        self._kernel.refresh(self._anchors)
+        return self._kernel.commit_anchor(vertex, self._anchors)
 
     def set_anchors(self, anchors: Iterable[Vertex]) -> None:
         """Replace the anchor set wholesale and refresh the decomposition."""

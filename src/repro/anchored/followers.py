@@ -112,6 +112,7 @@ def marginal_followers(
     candidate: Vertex,
     core: Mapping[Vertex, float],
     visit_log: Optional[List[Vertex]] = None,
+    region_out: Optional[Set[Vertex]] = None,
 ) -> Set[Vertex]:
     """Fast follower computation for a single candidate anchor.
 
@@ -135,6 +136,10 @@ def marginal_followers(
         When supplied, every vertex touched by the exploration is appended,
         which feeds the "visited candidate vertices" instrumentation of
         Figures 4, 6 and 8.
+    region_out:
+        When supplied, the explored shell-local region (candidate excluded)
+        is added to it — the read scope of this evaluation, which memoizing
+        callers key cache invalidation on.
     """
     if k < 1:
         raise ParameterError("k must be >= 1 for follower computation")
@@ -169,6 +174,8 @@ def marginal_followers(
                 region.add(neighbour)
                 stack.append(neighbour)
 
+    if region_out is not None:
+        region_out.update(region)
     if not region:
         return set()
 
@@ -267,13 +274,15 @@ def compact_marginal_followers(
     k: int,
     candidate_id: int,
     core: Sequence[float],
+    region_out: Optional[Set[int]] = None,
 ) -> Tuple[Set[int], int]:
     """Region-restricted follower cascade over a compact snapshot.
 
     ``core`` is indexed by vertex id and holds the *current* (possibly
     anchored) core numbers.  Returns ``(follower ids, visited count)`` where
     the visited count matches the dict kernel's ``visit_log`` length exactly
-    (region pops plus cascade removals).
+    (region pops plus cascade removals).  ``region_out`` receives the
+    explored region ids when supplied (see :func:`marginal_followers`).
     """
     if k < 1:
         raise ParameterError("k must be >= 1 for follower computation")
@@ -305,6 +314,8 @@ def compact_marginal_followers(
                 region.add(neighbour)
                 stack.append(neighbour)
 
+    if region_out is not None:
+        region_out.update(region)
     if not region:
         return set(), visited
 

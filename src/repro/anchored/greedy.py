@@ -6,12 +6,48 @@ are applied: candidate anchors are pruned with Theorem 3 (only vertices with a
 later-ordered neighbour in the ``(k-1)``-shell can gain followers) and the
 follower computation is the fast shell-local cascade instead of a full core
 decomposition per candidate.
+
+On top of the paper's algorithm, the default ``incremental`` mode avoids
+recomputation *within* a snapshot without changing a single result:
+
+* **Incremental anchor commits.**  Committing the round's winner goes through
+  :meth:`~repro.anchored.anchored_core.AnchoredCoreIndex.commit_anchor`, the
+  kernels' delta-refresh path (order-suffix re-peel splice), which also
+  reports the exact *touched set* of vertices whose anchored core number
+  changed.
+* **Memoized marginal gains.**  A candidate's evaluation reads only the core
+  numbers of its explored shell-local region, the candidate, and their
+  neighbours.  Each evaluation is cached together with that region; after a
+  commit only the candidates whose cached scope intersects the touched set
+  (expanded by one hop — a changed vertex can affect evaluations that read
+  it from a neighbouring region vertex) are invalidated and re-run.  Valid
+  cached gains are *exact*, so each round re-runs O(invalidated) cascades
+  instead of O(candidates) — while anchors, followers and the instrumentation
+  counters stay bit-identical to the full-recompute path (cached evaluations
+  replay their recorded visit counts).
+
+``incremental=False`` restores the full-recompute behaviour (full anchored
+re-peel per commit, every candidate cascaded every round) — the equivalence
+referee and the benchmark baseline.
+
+A CELF-style lazy variant — evaluating stale candidates in descending
+cached-gain order and stopping once a fresh gain dominates every remaining
+cached value — is deliberately *not* used: it is only exact when cached
+gains upper-bound fresh gains, and anchored k-core marginal gains are not
+submodular (a commit can connect a candidate's region to previously
+unreachable shell components, so a stale candidate's gain may *grow*).
+Skipping stale evaluations would therefore risk wrong anchors and would
+change ``candidates_evaluated``/``visited_vertices``, breaking the
+bit-identical contract.  The memoization above already removes the same
+cascades soundly: valid cached gains are exact, so only invalidated
+candidates ever re-run.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Set, Union
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Union
 
 from repro.anchored.anchored_core import AnchoredCoreIndex
 from repro.anchored.result import AnchoredKCoreResult, SolverStats
@@ -19,6 +55,22 @@ from repro.errors import ParameterError
 from repro.backends import BACKEND_AUTO, ExecutionBackend
 from repro.graph.static import Graph, Vertex
 from repro.ordering import tie_break_key
+
+
+@dataclass(frozen=True)
+class _CachedGain:
+    """One memoized candidate evaluation.
+
+    ``scope`` is the evaluation's read region plus the candidate itself; the
+    cached result is exact as long as no committed anchor touches the scope
+    or its one-hop neighbourhood.  ``visited`` is the raw cascade count the
+    evaluation reported, replayed into the instrumentation on every reuse so
+    the paper's counters match the full-recompute path bit for bit.
+    """
+
+    followers: FrozenSet[Vertex]
+    visited: int
+    scope: FrozenSet[Vertex]
 
 
 class GreedyAnchoredKCore:
@@ -39,6 +91,11 @@ class GreedyAnchoredKCore:
         Stop early once no candidate gains any followers (default); the paper's
         formulation allows fewer than ``l`` anchors in that situation because
         additional anchors cannot enlarge the anchored k-core.
+    incremental:
+        Use the delta-refresh commit path and memoize marginal gains across
+        rounds (default).  Results — anchors, followers, visited counts — are
+        identical either way; ``False`` forces the full-recompute behaviour
+        (the benchmark baseline).
     backend:
         Execution backend for the core index (``"auto"`` / ``"dict"`` /
         ``"compact"``, see :mod:`repro.backends`); results are identical,
@@ -55,6 +112,7 @@ class GreedyAnchoredKCore:
         order_pruning: bool = True,
         stop_on_zero_gain: bool = True,
         initial_anchors: Iterable[Vertex] = (),
+        incremental: bool = True,
         backend: Union[str, ExecutionBackend] = BACKEND_AUTO,
     ) -> None:
         if budget < 0:
@@ -65,6 +123,7 @@ class GreedyAnchoredKCore:
         self._order_pruning = order_pruning
         self._stop_on_zero_gain = stop_on_zero_gain
         self._initial_anchors = tuple(initial_anchors)
+        self._incremental = incremental
         self._backend = backend
 
     def select(self) -> AnchoredKCoreResult:
@@ -75,18 +134,47 @@ class GreedyAnchoredKCore:
         )
         chosen: List[Vertex] = list(self._initial_anchors)
         stats = SolverStats()
+        cache: Dict[Vertex, _CachedGain] = {}
 
         while len(chosen) < self._budget:
             candidates = index.candidate_anchors(order_pruning=self._order_pruning)
             best_vertex: Optional[Vertex] = None
-            best_gain: Set[Vertex] = set()
+            best_gain: FrozenSet[Vertex] = frozenset()
             for candidate in sorted(candidates, key=tie_break_key):
-                gained = index.marginal_followers(candidate)
+                entry = cache.get(candidate)
+                if entry is not None:
+                    # Valid cached gain: exact by the invalidation argument
+                    # below, so the cascade is skipped and its recorded
+                    # visit count replayed into the instrumentation.
+                    index.record_cached_evaluation(entry.visited)
+                    stats.cache_hits += 1
+                    gained = entry.followers
+                elif self._incremental:
+                    raw, visited, region = index.evaluate_candidate(candidate)
+                    stats.candidates_recomputed += 1
+                    gained = frozenset(raw)
+                    if region is not None:
+                        cache[candidate] = _CachedGain(
+                            followers=gained,
+                            visited=visited,
+                            scope=region | {candidate},
+                        )
+                else:
+                    # Full-recompute baseline: no region capture, no cache.
+                    gained = frozenset(index.marginal_followers(candidate))
+                    stats.candidates_recomputed += 1
                 if len(gained) > len(best_gain):
                     best_vertex, best_gain = candidate, gained
             if best_vertex is None or (self._stop_on_zero_gain and not best_gain):
                 break
-            index.add_anchor(best_vertex)
+            commit_started = time.perf_counter()
+            if self._incremental:
+                touched = index.commit_anchor(best_vertex)
+                self._invalidate(cache, touched)
+            else:
+                # Full-recompute baseline: whole-snapshot anchored re-peel.
+                index.set_anchors(chosen + [best_vertex])
+            stats.commit_seconds.append(time.perf_counter() - commit_started)
             chosen.append(best_vertex)
             stats.iterations += 1
 
@@ -103,3 +191,36 @@ class GreedyAnchoredKCore:
             anchored_core_size=index.anchored_core_size(),
             stats=stats,
         )
+
+    def _invalidate(
+        self,
+        cache: Dict[Vertex, _CachedGain],
+        touched: Optional[FrozenSet[Vertex]],
+    ) -> None:
+        """Drop every cached gain the last commit may have changed.
+
+        An evaluation is a deterministic function of the core numbers of its
+        scope (region + candidate) and of the scope's neighbours.  A commit
+        that changed core numbers only inside ``touched`` can therefore
+        affect a cached entry only if ``touched`` (expanded by one hop)
+        intersects the entry's scope — including the case where the region
+        itself would now grow or shrink, since any vertex joining or leaving
+        the region is itself touched or adjacent to it.  ``None`` means the
+        kernel could not bound the change: drop everything.
+        """
+        if touched is None:
+            cache.clear()
+            return
+        if not cache or not touched:
+            return
+        invalid_zone: Set[Vertex] = set(touched)
+        neighbors = self._graph.neighbors
+        for vertex in touched:
+            invalid_zone.update(neighbors(vertex))
+        stale = [
+            candidate
+            for candidate, entry in cache.items()
+            if not entry.scope.isdisjoint(invalid_zone)
+        ]
+        for candidate in stale:
+            del cache[candidate]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Tuple
+from typing import FrozenSet, List, Tuple
 
 from repro.graph.static import Vertex
 
@@ -18,7 +18,11 @@ class SolverStats:
         Number of candidate anchors whose follower sets were computed.
     visited_vertices:
         Total vertices touched by follower computations and candidate scans —
-        the quantity plotted in the paper's Figures 4, 6 and 8.
+        the quantity plotted in the paper's Figures 4, 6 and 8.  This is the
+        *algorithmic* cost model: a memoized evaluation replays the counts
+        its cascade reported when it actually ran, so the figure stays
+        comparable (and bit-identical) across the memoized and
+        full-recompute paths.
     runtime_seconds:
         Wall-clock time spent inside the solver.
     iterations:
@@ -27,6 +31,15 @@ class SolverStats:
         Vertices touched by incremental core maintenance (IncAVT only); kept
         separate from ``visited_vertices`` because the paper's candidate-visit
         figures do not include index-maintenance work.
+    candidates_recomputed:
+        Candidate evaluations that actually ran a cascade (memoized Greedy
+        only re-runs candidates its invalidation marked stale; without
+        memoization this equals ``candidates_evaluated``).
+    cache_hits:
+        Candidate evaluations answered from the memoized gain cache.
+    commit_seconds:
+        Wall-clock latency of each anchor commit (the index refresh /
+        incremental splice), in selection order.
     """
 
     candidates_evaluated: int = 0
@@ -34,6 +47,9 @@ class SolverStats:
     runtime_seconds: float = 0.0
     iterations: int = 0
     maintenance_visited: int = 0
+    candidates_recomputed: int = 0
+    cache_hits: int = 0
+    commit_seconds: List[float] = field(default_factory=list)
 
     def merge(self, other: "SolverStats") -> None:
         """Accumulate another stats object into this one (used across snapshots)."""
@@ -42,6 +58,9 @@ class SolverStats:
         self.runtime_seconds += other.runtime_seconds
         self.iterations += other.iterations
         self.maintenance_visited += other.maintenance_visited
+        self.candidates_recomputed += other.candidates_recomputed
+        self.cache_hits += other.cache_hits
+        self.commit_seconds.extend(other.commit_seconds)
 
 
 @dataclass(frozen=True)

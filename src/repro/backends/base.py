@@ -27,6 +27,28 @@ Contract shared by all implementations (enforced by
 *removal orders* (vertices interned in :func:`repro.ordering.tie_break_key`
 order so integer id doubles as tie-break rank), identical follower sets and
 identical visited-vertex instrumentation counts.
+
+The delta-refresh contract
+--------------------------
+:meth:`CoreIndexKernel.commit_anchor` is the incremental sibling of
+:meth:`CoreIndexKernel.refresh` for the one mutation the greedy solvers ever
+perform: adding a single anchor.  After it returns, every query **must**
+answer exactly as if :meth:`~CoreIndexKernel.refresh` had been called with
+the enlarged anchor set — same core numbers, same removal ranks, same
+candidate sets.  The return value is the *touched set*: every vertex whose
+anchored core number changed (the new anchor included, finite → infinity),
+or ``None`` when the kernel cannot bound the change, in which case callers
+must assume anything may have changed.  Kernels that do not override it fall
+back to a full refresh (and return ``None``), so custom backends keep
+working unchanged; the dict and compact kernels apply an affected-region
+splice instead (per-level riser cascades for the core numbers, re-ordering
+only the shells whose membership or starting degrees changed — see
+:func:`repro.cores.decomposition.incremental_anchor_commit` for the
+algorithm and its correctness argument), the numpy kernel shares that
+splice, and the sharded kernel refreshes through its shard-local caches and
+diffs.  Positional rank shifts are deliberately *not* reported as touched:
+no query result depends on absolute positions except through the candidate
+scans, which read the (bit-identically spliced) rank state directly.
 """
 
 from __future__ import annotations
@@ -99,6 +121,32 @@ class CoreIndexKernel(ABC):
     def refresh(self, anchors: Set["Vertex"]) -> None:
         """Recompute the anchored core numbers and removal ranks."""
 
+    def commit_anchor(
+        self, vertex: "Vertex", anchors: Set["Vertex"]
+    ) -> Optional[FrozenSet["Vertex"]]:
+        """Add one anchor incrementally; return the touched set (or ``None``).
+
+        ``anchors`` is the *full* new anchor set, ``vertex`` the one member
+        that was just added.  State afterwards must be indistinguishable from
+        ``refresh(anchors)`` (the delta-refresh contract in the module
+        docstring).  Returns the exact set of vertices whose anchored core
+        number changed, or ``None`` when the kernel cannot bound the change —
+        this default falls back to a full refresh and returns ``None`` so
+        custom kernels keep working without implementing the incremental
+        path.
+        """
+        self.refresh(set(anchors))
+        return None
+
+    def removal_ranks(self) -> Optional[Mapping["Vertex", int]]:
+        """The current removal ranks, or ``None`` if the kernel hides them.
+
+        Optional introspection (tests and diagnostics): position of every
+        vertex in the removal order of the last refresh/commit.  Kernels that
+        do not track ranks per vertex may return ``None``.
+        """
+        return None
+
     @abstractmethod
     def core_of(self, vertex: "Vertex") -> float:
         """Anchored core number of ``vertex`` (anchors map to infinity)."""
@@ -149,6 +197,24 @@ class CoreIndexKernel(ABC):
         (region pops plus cascade removals) — it feeds the paper's
         instrumentation figures.
         """
+
+    def marginal_followers_with_region(
+        self, k: int, candidate: "Vertex"
+    ) -> Tuple[Set["Vertex"], int, Optional[FrozenSet["Vertex"]]]:
+        """Region-restricted follower cascade that also reports its region.
+
+        Returns ``(gained, visited, region)`` where ``gained`` and
+        ``visited`` are exactly what :meth:`marginal_followers` (with
+        ``full_shell=False``) returns, and ``region`` is the explored
+        shell-local region (the candidate excluded) — the read scope of the
+        evaluation, which memoizing callers use to decide when a cached
+        result is still valid: the result can only change when a commit's
+        touched set intersects ``region ∪ {candidate}`` or their neighbours.
+        This default reports an unknown region (``None``, never cacheable) so
+        custom kernels keep working.
+        """
+        gained, visited = self.marginal_followers(k, candidate, False)
+        return gained, visited, None
 
 
 class MaintenanceKernel(ABC):

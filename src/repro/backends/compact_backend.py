@@ -16,11 +16,23 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
+from repro.anchored.followers import (
+    compact_full_shell_followers,
+    compact_marginal_followers,
+)
 from repro.backends.base import (
     BACKEND_COMPACT,
     CoreIndexKernel,
     ExecutionBackend,
     MaintenanceKernel,
+)
+from repro.cores.decomposition import (
+    CoreDecomposition,
+    apply_shell_moves,
+    build_shell_index,
+    compact_k_core_ids,
+    compact_peel,
+    incremental_anchor_commit,
 )
 from repro.graph.compact import CompactGraph, DynamicCompactAdjacency
 from repro.graph.static import Graph, Vertex
@@ -31,28 +43,59 @@ class CompactCoreIndexKernel(CoreIndexKernel):
 
     The snapshot is built once for the kernel's lifetime (the index contract
     forbids graph mutation) and every refresh, scan and cascade runs over
-    flat int arrays indexed by vertex id.
+    flat int arrays indexed by vertex id.  A shell index (``{core value:
+    member id set}``) backs the per-round size queries in O(#levels) /
+    O(|shell|) instead of O(n) scans, and :meth:`commit_anchor` applies the
+    affected-region splice (:func:`repro.cores.decomposition.incremental_anchor_commit`)
+    — per-level riser cascades plus re-ordering only the affected shells —
+    instead of re-peeling the whole snapshot.
     """
 
     def __init__(self, graph: Graph) -> None:
         self._cgraph = CompactGraph.from_graph(graph, ordered=True)
         self._core_ids: List[float] = []
         self._rank_ids: List[int] = []
+        self._order_ids: List[int] = []
         self._anchor_ids: Set[int] = set()
+        self._shell_ids: Dict[float, Set[int]] = {}
         self._core_map_cache: Optional[Dict[Vertex, float]] = None
 
     def refresh(self, anchors: Set[Vertex]) -> None:
-        from repro.cores.decomposition import compact_peel
-
         interner = self._cgraph.interner
         self._anchor_ids = {interner.id_of(anchor) for anchor in anchors}
         core_ids, order_ids = compact_peel(self._cgraph, self._anchor_ids)
         self._core_ids = core_ids
+        self._order_ids = order_ids
         rank_ids = [0] * len(core_ids)
         for position, vid in enumerate(order_ids):
             rank_ids[vid] = position
         self._rank_ids = rank_ids
+        self._shell_ids = build_shell_index(enumerate(core_ids))
         self._core_map_cache = None
+
+    def commit_anchor(
+        self, vertex: Vertex, anchors: Set[Vertex]
+    ) -> Optional[FrozenSet[Vertex]]:
+        cgraph = self._cgraph
+        new_id = cgraph.interner.id_of(vertex)
+        self._anchor_ids.add(new_id)
+        touched = incremental_anchor_commit(
+            cgraph.indptr,
+            cgraph.indices,
+            self._core_ids,
+            self._rank_ids,
+            self._order_ids,
+            new_id,
+        )
+        apply_shell_moves(self._shell_ids, touched, self._core_ids)
+        self._core_map_cache = None
+        vertices = cgraph.interner.vertices
+        return frozenset(vertices[vid] for vid, _ in touched)
+
+    def removal_ranks(self) -> Mapping[Vertex, int]:
+        vertices = self._cgraph.interner.vertices
+        rank_ids = self._rank_ids
+        return {vertices[vid]: rank_ids[vid] for vid in range(len(vertices))}
 
     def core_of(self, vertex: Vertex) -> float:
         return self._core_ids[self._cgraph.interner.id_of(vertex)]
@@ -67,23 +110,21 @@ class CompactCoreIndexKernel(CoreIndexKernel):
         return self._core_map_cache
 
     def vertices_with_core_at_least(self, k: int) -> Set[Vertex]:
-        core_ids = self._core_ids
-        return self._cgraph.interner.translate(
-            vid for vid in range(len(core_ids)) if core_ids[vid] >= k
-        )
+        result: Set[int] = set()
+        for value, members in self._shell_ids.items():
+            if value >= k:
+                result.update(members)
+        return self._cgraph.interner.translate(result)
 
     def count_core_at_least(self, k: int) -> int:
-        return sum(1 for value in self._core_ids if value >= k)
-
-    def shell_vertices(self, value: int) -> Set[Vertex]:
-        core_ids = self._core_ids
-        return self._cgraph.interner.translate(
-            vid for vid in range(len(core_ids)) if core_ids[vid] == value
+        return sum(
+            len(members) for value, members in self._shell_ids.items() if value >= k
         )
 
-    def plain_k_core(self, k: int) -> Set[Vertex]:
-        from repro.cores.decomposition import compact_k_core_ids
+    def shell_vertices(self, value: int) -> Set[Vertex]:
+        return self._cgraph.interner.translate(self._shell_ids.get(value, ()))
 
+    def plain_k_core(self, k: int) -> Set[Vertex]:
         return self._cgraph.interner.translate(compact_k_core_ids(self._cgraph, k))
 
     def candidate_anchors(self, k: int, order_pruning: bool) -> Set[Vertex]:
@@ -117,11 +158,6 @@ class CompactCoreIndexKernel(CoreIndexKernel):
     def marginal_followers(
         self, k: int, candidate: Vertex, full_shell: bool
     ) -> Tuple[Set[Vertex], int]:
-        from repro.anchored.followers import (
-            compact_full_shell_followers,
-            compact_marginal_followers,
-        )
-
         candidate_id = self._cgraph.interner.id_of(candidate)
         if full_shell:
             gained_ids, visited = compact_full_shell_followers(
@@ -132,6 +168,17 @@ class CompactCoreIndexKernel(CoreIndexKernel):
                 self._cgraph, k, candidate_id, self._core_ids
             )
         return self._cgraph.interner.translate(gained_ids), visited
+
+    def marginal_followers_with_region(
+        self, k: int, candidate: Vertex
+    ) -> Tuple[Set[Vertex], int, Optional[FrozenSet[Vertex]]]:
+        candidate_id = self._cgraph.interner.id_of(candidate)
+        region_ids: Set[int] = set()
+        gained_ids, visited = compact_marginal_followers(
+            self._cgraph, k, candidate_id, self._core_ids, region_out=region_ids
+        )
+        translate = self._cgraph.interner.translate
+        return translate(gained_ids), visited, frozenset(translate(region_ids))
 
 
 class CompactMaintenanceKernel(MaintenanceKernel):
@@ -300,8 +347,6 @@ class CompactBackend(ExecutionBackend):
     name = BACKEND_COMPACT
 
     def decompose(self, graph: Graph, anchors: FrozenSet[Vertex] = frozenset()):
-        from repro.cores.decomposition import CoreDecomposition, compact_peel
-
         anchor_set = frozenset(anchors)
         cgraph = CompactGraph.from_graph(graph, ordered=True)
         interner = cgraph.interner
@@ -313,8 +358,6 @@ class CompactBackend(ExecutionBackend):
         return CoreDecomposition(core=core, order=order, anchors=anchor_set)
 
     def k_core(self, graph: Graph, k: int, anchors: Iterable[Vertex] = ()) -> Set[Vertex]:
-        from repro.cores.decomposition import compact_k_core_ids
-
         cgraph = CompactGraph.from_graph(graph, ordered=False)
         anchor_ids = [cgraph.interner.id_of(anchor) for anchor in anchors]
         return cgraph.interner.translate(compact_k_core_ids(cgraph, k, anchor_ids))
@@ -347,8 +390,6 @@ class CompactBackend(ExecutionBackend):
 
     def korder(self, graph: Graph):
         """One CSR snapshot amortised over both the peel and the deg+ pass."""
-        from repro.cores.decomposition import CoreDecomposition, compact_peel
-
         cgraph = CompactGraph.from_graph(graph, ordered=True)
         vertices = cgraph.interner.vertices
         core_ids, order_ids = compact_peel(cgraph)

@@ -20,12 +20,19 @@ from repro.backends.base import (
     ExecutionBackend,
     MaintenanceKernel,
 )
+from repro.anchored.followers import full_shell_followers, marginal_followers
+from repro.cores.decomposition import (
+    ANCHOR_CORE,
+    CoreDecomposition,
+    apply_shell_moves,
+    build_shell_index,
+)
 from repro.errors import VertexNotFoundError
 from repro.graph.static import Graph, Vertex
 from repro.ordering import tie_break_key
 
 
-def dict_anchored_peel(graph: Graph, anchor_set: FrozenSet[Vertex]):
+def dict_anchored_peel(graph: Graph, anchor_set: FrozenSet[Vertex]) -> CoreDecomposition:
     """Anchored peeling over the adjacency-set graph (the reference order).
 
     Vertices of equal current degree are peeled in deterministic
@@ -33,8 +40,6 @@ def dict_anchored_peel(graph: Graph, anchor_set: FrozenSet[Vertex]):
     removed, still support their neighbours throughout, and are appended to
     the order last.  Returns a :class:`~repro.cores.decomposition.CoreDecomposition`.
     """
-    from repro.cores.decomposition import ANCHOR_CORE, CoreDecomposition
-
     effective: Dict[Vertex, int] = {}
     heap: List[Tuple[int, Tuple[str, str], Vertex]] = []
     for vertex in graph.vertices():
@@ -99,19 +104,136 @@ def dict_k_core(graph: Graph, k: int, anchors: Iterable[Vertex] = ()) -> Set[Ver
 
 
 class DictCoreIndexKernel(CoreIndexKernel):
-    """Anchored-core-index state over the adjacency-set graph itself."""
+    """Anchored-core-index state over the adjacency-set graph itself.
+
+    Alongside the core/rank maps the kernel maintains a *shell index*
+    (``{core value: member set}``): the size queries the greedy loops issue
+    every round (``count_core_at_least``, ``shell_vertices``) then cost
+    O(#levels) / O(|shell|) instead of a full O(n) scan.  The index is
+    rebuilt on :meth:`refresh` and updated for just the touched vertices on
+    :meth:`commit_anchor`.
+    """
 
     def __init__(self, graph: Graph) -> None:
         self._graph = graph
         self._core: Dict[Vertex, float] = {}
         self._rank: Dict[Vertex, int] = {}
+        self._order: List[Vertex] = []
+        self._shells: Dict[float, Set[Vertex]] = {}
 
     def refresh(self, anchors: Set[Vertex]) -> None:
         decomposition = dict_anchored_peel(self._graph, frozenset(anchors))
         self._core = dict(decomposition.core)
+        self._order = list(decomposition.order)
         self._rank = {
-            vertex: position for position, vertex in enumerate(decomposition.order)
+            vertex: position for position, vertex in enumerate(self._order)
         }
+        self._shells = build_shell_index(self._core.items())
+
+    def _shell_order(self, members: List[Vertex], level: float) -> List[Vertex]:
+        """Removal order within one shell (the Phase-B reconstruction).
+
+        The hashable-vertex twin of
+        :func:`repro.cores.decomposition._shell_order_ids`: members in
+        tie-break order, each starting at its count of ``core >= level``
+        neighbours, only same-shell removals decrement.
+        """
+        graph = self._graph
+        core = self._core
+        member_set = set(members)
+        effective: Dict[Vertex, int] = {}
+        heap: List[Tuple[int, Tuple[str, str], Vertex]] = []
+        for v in members:
+            degree = sum(1 for w in graph.neighbors(v) if core[w] >= level)
+            effective[v] = degree
+            heap.append((degree, tie_break_key(v), v))
+        heapq.heapify(heap)
+        popped: Set[Vertex] = set()
+        shell_order: List[Vertex] = []
+        while heap:
+            degree, _, v = heapq.heappop(heap)
+            if v in popped or degree != effective[v]:
+                continue
+            popped.add(v)
+            shell_order.append(v)
+            for w in graph.neighbors(v):
+                if w in member_set and w not in popped:
+                    effective[w] -= 1
+                    heapq.heappush(heap, (effective[w], tie_break_key(w), w))
+        return shell_order
+
+    def commit_anchor(
+        self, vertex: Vertex, anchors: Set[Vertex]
+    ) -> Optional[FrozenSet[Vertex]]:
+        """Affected-region commit (the delta-refresh contract of
+        :mod:`repro.backends.base`): per-level riser cascades update the core
+        numbers, and only shells whose membership or starting degrees changed
+        re-run their within-shell order cascade — the hashable-vertex twin of
+        :func:`repro.cores.decomposition.incremental_anchor_commit`, where
+        the algorithm and its correctness argument are documented.
+        """
+        graph = self._graph
+        core = self._core
+        rank = self._rank
+        order = self._order
+        anchor_core = core[vertex]
+
+        levels: Set[int] = set()
+        affected: Set[float] = {anchor_core}
+        for neighbour in graph.neighbors(vertex):
+            value = core[neighbour]
+            if value == ANCHOR_CORE:
+                continue
+            if value >= anchor_core:
+                levels.add(int(value) + 1)
+            if value > anchor_core:
+                affected.add(value)
+
+        touched: List[Tuple[Vertex, float]] = [(vertex, anchor_core)]
+        risers_by_level: Dict[int, Set[Vertex]] = {}
+        for j in levels:
+            risers = marginal_followers(graph, j, vertex, core)
+            if risers:
+                risers_by_level[j] = risers
+                affected.add(j - 1)
+                affected.add(j)
+                touched.extend((v, float(j - 1)) for v in risers)
+        for j, risers in risers_by_level.items():
+            for v in risers:
+                core[v] = j
+        core[vertex] = ANCHOR_CORE
+
+        buckets: Dict[float, List[Vertex]] = {}
+        anchor_tail: List[Vertex] = []
+        for v in order:
+            value = core[v]
+            if value == ANCHOR_CORE:
+                anchor_tail.append(v)
+            else:
+                bucket = buckets.get(value)
+                if bucket is None:
+                    bucket = buckets[value] = []
+                bucket.append(v)
+        anchor_tail.sort(key=tie_break_key)
+        for level in affected:
+            bucket = buckets.get(level)
+            if not bucket:
+                continue
+            bucket.sort(key=tie_break_key)
+            buckets[level] = self._shell_order(bucket, level)
+        new_order: List[Vertex] = []
+        for level in sorted(buckets):
+            new_order.extend(buckets[level])
+        new_order.extend(anchor_tail)
+        order[:] = new_order
+        for position, v in enumerate(order):
+            rank[v] = position
+
+        apply_shell_moves(self._shells, touched, core)
+        return frozenset(v for v, _ in touched)
+
+    def removal_ranks(self) -> Mapping[Vertex, int]:
+        return dict(self._rank)
 
     def core_of(self, vertex: Vertex) -> float:
         try:
@@ -123,13 +245,19 @@ class DictCoreIndexKernel(CoreIndexKernel):
         return self._core
 
     def vertices_with_core_at_least(self, k: int) -> Set[Vertex]:
-        return {vertex for vertex, value in self._core.items() if value >= k}
+        result: Set[Vertex] = set()
+        for value, members in self._shells.items():
+            if value >= k:
+                result.update(members)
+        return result
 
     def count_core_at_least(self, k: int) -> int:
-        return sum(1 for value in self._core.values() if value >= k)
+        return sum(
+            len(members) for value, members in self._shells.items() if value >= k
+        )
 
     def shell_vertices(self, value: int) -> Set[Vertex]:
-        return {vertex for vertex, core in self._core.items() if core == value}
+        return set(self._shells.get(value, ()))
 
     def plain_k_core(self, k: int) -> Set[Vertex]:
         return dict_k_core(self._graph, k)
@@ -158,14 +286,22 @@ class DictCoreIndexKernel(CoreIndexKernel):
     def marginal_followers(
         self, k: int, candidate: Vertex, full_shell: bool
     ) -> Tuple[Set[Vertex], int]:
-        from repro.anchored.followers import full_shell_followers, marginal_followers
-
         visit_log: List[Vertex] = []
         if full_shell:
             gained = full_shell_followers(self._graph, k, candidate, self._core, visit_log)
         else:
             gained = marginal_followers(self._graph, k, candidate, self._core, visit_log)
         return gained, len(visit_log)
+
+    def marginal_followers_with_region(
+        self, k: int, candidate: Vertex
+    ) -> Tuple[Set[Vertex], int, Optional[FrozenSet[Vertex]]]:
+        visit_log: List[Vertex] = []
+        region: Set[Vertex] = set()
+        gained = marginal_followers(
+            self._graph, k, candidate, self._core, visit_log, region_out=region
+        )
+        return gained, len(visit_log), frozenset(region)
 
 
 class DictMaintenanceKernel(MaintenanceKernel):

@@ -43,6 +43,11 @@ except ImportError:  # pragma: no cover
 
 from repro.backends.base import BACKEND_NUMPY, CoreIndexKernel, ExecutionBackend
 from repro.backends.compact_backend import CompactMaintenanceKernel
+from repro.cores.decomposition import (
+    ANCHOR_CORE,
+    CoreDecomposition,
+    incremental_anchor_commit,
+)
 from repro.graph.compact import CompactGraph
 from repro.graph.static import Graph, Vertex
 
@@ -334,12 +339,13 @@ def _support_cascade(ngraph: NumpyGraph, k: int, candidate_id: int, core, member
 
 
 def numpy_marginal_followers(
-    ngraph: NumpyGraph, k: int, candidate_id: int, core
+    ngraph: NumpyGraph, k: int, candidate_id: int, core, region_out=None
 ) -> Tuple[Set[int], int]:
     """Region-restricted follower cascade; ``(follower ids, visited count)``.
 
     The visited count matches the dict/compact kernels exactly: one per
-    region vertex plus one per cascade removal.
+    region vertex plus one per cascade removal.  ``region_out`` (a set)
+    receives the explored region ids when supplied.
     """
     if core[candidate_id] >= k:
         return set(), 0
@@ -360,6 +366,8 @@ def numpy_marginal_followers(
         in_region[fresh] = True
         region_size += int(fresh.size)
         frontier = fresh
+    if region_out is not None:
+        region_out.update(np.nonzero(in_region)[0].tolist())
     if region_size == 0:
         return set(), 0
     survivors, removed_total = _support_cascade(ngraph, k, candidate_id, core, in_region)
@@ -390,6 +398,7 @@ class NumpyCoreIndexKernel(CoreIndexKernel):
         n = self._ngraph.num_vertices
         self._core = np.zeros(n, dtype=np.float64)
         self._rank = np.zeros(n, dtype=np.int64)
+        self._order: List[int] = []
         self._core_map_cache: Optional[Dict[Vertex, float]] = None
 
     def refresh(self, anchors: Set[Vertex]) -> None:
@@ -397,11 +406,35 @@ class NumpyCoreIndexKernel(CoreIndexKernel):
         anchor_ids = [interner.id_of(anchor) for anchor in anchors]
         core, order = numpy_peel(self._ngraph, anchor_ids)
         self._core = core
+        self._order = order
         rank = np.zeros(self._ngraph.num_vertices, dtype=np.int64)
         if order:
             rank[np.asarray(order, dtype=np.int64)] = np.arange(len(order))
         self._rank = rank
         self._core_map_cache = None
+
+    def commit_anchor(self, vertex: Vertex, anchors: Set[Vertex]):
+        # The suffix re-peel is scalar work on a small region — the shared
+        # splice kernel runs over the plain-list CSR with the numpy
+        # core/rank arrays as storage (see the delta-refresh contract).
+        ngraph = self._ngraph
+        new_id = ngraph.interner.id_of(vertex)
+        touched = incremental_anchor_commit(
+            ngraph.indptr_list,
+            ngraph.indices_list,
+            self._core,
+            self._rank,
+            self._order,
+            new_id,
+        )
+        self._core_map_cache = None
+        vertices = ngraph.interner.vertices
+        return frozenset(vertices[vid] for vid, _ in touched)
+
+    def removal_ranks(self) -> Mapping[Vertex, int]:
+        vertices = self._ngraph.interner.vertices
+        rank = self._rank
+        return {vertices[vid]: int(rank[vid]) for vid in range(len(vertices))}
 
     @staticmethod
     def _as_python(value) -> float:
@@ -465,6 +498,15 @@ class NumpyCoreIndexKernel(CoreIndexKernel):
             )
         return self._ngraph.interner.translate(gained_ids), visited
 
+    def marginal_followers_with_region(self, k: int, candidate: Vertex):
+        candidate_id = self._ngraph.interner.id_of(candidate)
+        region_ids: Set[int] = set()
+        gained_ids, visited = numpy_marginal_followers(
+            self._ngraph, k, candidate_id, self._core, region_out=region_ids
+        )
+        translate = self._ngraph.interner.translate
+        return translate(gained_ids), visited, frozenset(translate(region_ids))
+
 
 class NumpyBackend(ExecutionBackend):
     """Vectorised numpy kernels behind the shared CSR/interner contract."""
@@ -479,8 +521,6 @@ class NumpyBackend(ExecutionBackend):
             )
 
     def decompose(self, graph: Graph, anchors: FrozenSet[Vertex] = frozenset()):
-        from repro.cores.decomposition import ANCHOR_CORE, CoreDecomposition
-
         anchor_set = frozenset(anchors)
         ngraph = NumpyGraph.from_graph(graph, ordered=True)
         interner = ngraph.interner
@@ -523,8 +563,6 @@ class NumpyBackend(ExecutionBackend):
 
     def korder(self, graph: Graph):
         """One numpy snapshot amortised over the peel and the deg+ pass."""
-        from repro.cores.decomposition import CoreDecomposition
-
         ngraph = NumpyGraph.from_graph(graph, ordered=True)
         n = ngraph.num_vertices
         core_arr, order_ids = numpy_peel(ngraph)

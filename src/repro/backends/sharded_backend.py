@@ -119,6 +119,27 @@ class ShardedCoreIndexKernel(CoreIndexKernel):
         self._coord.set_core_state(core_ids, rank_ids)
         self._core_map_cache = None
 
+    def commit_anchor(self, vertex: Vertex, anchors: Set[Vertex]):
+        # The sharded kernel takes the full-refresh fallback allowed by the
+        # delta-refresh contract — the shard-local result caches make the
+        # refresh itself cheap (untouched shards reuse their round-1 peel and
+        # fragment outputs) — but still reports an *exact* touched set by
+        # diffing the old and new core arrays, so memoizing callers keep
+        # their cache hits.
+        old_core = self._core_ids
+        self.refresh(anchors)
+        new_core = self._core_ids
+        return frozenset(
+            self._cgraph.interner.translate(
+                vid for vid in range(len(new_core)) if new_core[vid] != old_core[vid]
+            )
+        )
+
+    def removal_ranks(self) -> Mapping[Vertex, int]:
+        vertices = self._cgraph.interner.vertices
+        rank_ids = self._rank_ids
+        return {vertices[vid]: rank_ids[vid] for vid in range(len(vertices))}
+
     def core_of(self, vertex: Vertex) -> float:
         return self._core_ids[self._cgraph.interner.id_of(vertex)]
 
@@ -172,6 +193,17 @@ class ShardedCoreIndexKernel(CoreIndexKernel):
         else:
             gained_ids, visited = self._coord.marginal_follower_ids(k, candidate_id)
         return self._cgraph.interner.translate(gained_ids), visited
+
+    def marginal_followers_with_region(self, k: int, candidate: Vertex):
+        candidate_id = self._cgraph.interner.id_of(candidate)
+        if self._core_ids[candidate_id] >= k:
+            return set(), 0, frozenset()
+        region_ids: Set[int] = set()
+        gained_ids, visited = self._coord.marginal_follower_ids(
+            k, candidate_id, region_out=region_ids
+        )
+        translate = self._cgraph.interner.translate
+        return translate(gained_ids), visited, frozenset(translate(region_ids))
 
 
 class ShardedBackend(ExecutionBackend):

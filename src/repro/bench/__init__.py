@@ -1,4 +1,9 @@
-"""Experiment harness: workloads, sweep runner, per-figure experiments, reporting."""
+"""Experiment harness: workloads, sweep runner, per-figure experiments, reporting.
+
+Floor enforcement for the ``BENCH_*.json`` perf records lives in
+:mod:`repro.bench.compare` (kept out of this namespace so
+``python -m repro.bench.compare`` runs without a double-import warning).
+"""
 
 from repro.bench.experiments import EXPERIMENTS, BenchProfile, get_experiment, resolve_profile
 from repro.bench.runner import ExperimentTable, TrackerSpec, default_trackers, run_sweep

@@ -1,0 +1,113 @@
+"""Enforce recorded benchmark floors (`python -m repro.bench.compare`).
+
+Every ``BENCH_*.json`` record may carry a ``floors`` block mapping a ratio
+name to ``{"value": measured, "floor": minimum, "enforced": bool}`` — the
+benchmark writes the measured number and whether the run was large enough
+for the floor to be meaningful (smoke-sized runs record ``enforced: false``).
+This module is the single reader of that block: the benchmark pytest wrappers
+assert through :func:`floor_failures`, and the CI bench-smoke step runs the
+CLI over the emitted artifacts, so a recorded speedup ratio regressing below
+its enforced floor fails both locally and in CI with the same message.
+
+CLI::
+
+    python -m repro.bench.compare benchmarks/results/BENCH_*.json
+
+Exit status 1 when any enforced floor is violated; files without a
+``floors`` block are reported as skipped (older records stay readable).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence
+
+
+def floor_failures(record: Mapping[str, object]) -> List[str]:
+    """Return one message per enforced floor the record violates.
+
+    ``record`` is a benchmark payload (or a full ``BENCH_*.json`` document)
+    with a ``floors`` block; records without one trivially pass.
+    """
+    failures: List[str] = []
+    floors = record.get("floors", {})
+    if not isinstance(floors, Mapping):
+        return [f"malformed floors block: {floors!r}"]
+    for name, spec in floors.items():
+        if not isinstance(spec, Mapping) or "value" not in spec or "floor" not in spec:
+            failures.append(f"{name}: malformed floor spec {spec!r}")
+            continue
+        if not spec.get("enforced", False):
+            continue
+        value = float(spec["value"])  # type: ignore[arg-type]
+        floor = float(spec["floor"])  # type: ignore[arg-type]
+        if value < floor:
+            failures.append(
+                f"{name}: measured {value:.3f} regressed below enforced floor {floor:.3f}"
+            )
+    return failures
+
+
+def describe_floors(record: Mapping[str, object]) -> List[str]:
+    """One human-readable line per floor in the record (enforced or not)."""
+    lines: List[str] = []
+    floors = record.get("floors", {})
+    if not isinstance(floors, Mapping):
+        return lines
+    for name, spec in floors.items():
+        if not isinstance(spec, Mapping):
+            continue
+        status = "enforced" if spec.get("enforced") else "recorded only"
+        lines.append(
+            f"{name}: value={spec.get('value')} floor={spec.get('floor')} ({status})"
+        )
+    return lines
+
+
+def check_files(paths: Sequence[str]) -> Dict[str, List[str]]:
+    """Check every path; return ``{path: failure messages}`` (empty = pass)."""
+    results: Dict[str, List[str]] = {}
+    for raw in paths:
+        path = Path(raw)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            results[str(path)] = [f"unreadable record: {error}"]
+            continue
+        results[str(path)] = floor_failures(record)
+    return results
+
+
+def main(argv: Sequence[str]) -> int:
+    if not argv:
+        print("usage: python -m repro.bench.compare BENCH_*.json", file=sys.stderr)
+        return 2
+    exit_code = 0
+    for raw in argv:
+        path = Path(raw)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            print(f"FAIL {path}\n  unreadable record: {error}")
+            exit_code = 1
+            continue
+        failures = floor_failures(record)
+        described = describe_floors(record)
+        if failures:
+            exit_code = 1
+            print(f"FAIL {path}")
+            for failure in failures:
+                print(f"  {failure}")
+        elif described:
+            print(f"ok   {path}")
+            for line in described:
+                print(f"  {line}")
+        else:
+            print(f"skip {path} (no floors block)")
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main(sys.argv[1:]))

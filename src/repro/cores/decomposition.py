@@ -29,7 +29,18 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    MutableSequence,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.backends import (
     BACKEND_AUTO,
@@ -189,6 +200,267 @@ def compact_peel(
             core[vid] = ANCHOR_CORE
             order.append(vid)
     return core, order
+
+
+def build_shell_index(items: Iterable[Tuple[object, float]]) -> Dict[float, Set[object]]:
+    """``{core value: member set}`` from ``(member, core value)`` pairs.
+
+    The shell index behind the kernels' O(#levels)/O(|shell|) size queries;
+    rebuilt on every full refresh and patched by :func:`apply_shell_moves`
+    on incremental commits.
+    """
+    shells: Dict[float, Set[object]] = {}
+    for member, value in items:
+        members = shells.get(value)
+        if members is None:
+            members = shells[value] = set()
+        members.add(member)
+    return shells
+
+
+def apply_shell_moves(shells, touched, core) -> None:
+    """Move every touched member from its old shell to its current one.
+
+    ``touched`` is the ``[(member, old core value)]`` list an incremental
+    commit returns, ``core`` the already-updated core lookup (mapping or
+    id-indexed array).  Emptied shells are dropped so iteration over the
+    index never visits dead levels.
+    """
+    for member, old in touched:
+        members = shells.get(old)
+        if members is not None:
+            members.discard(member)
+            if not members:
+                del shells[old]
+        value = core[member]
+        members = shells.get(value)
+        if members is None:
+            members = shells[value] = set()
+        members.add(member)
+
+
+def _region_risers(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    core: Sequence[float],
+    anchor_id: int,
+    j: int,
+) -> Set[int]:
+    """Vertices of (old) shell ``j - 1`` that the new anchor lifts into the
+    anchored j-core: the region-restricted survival cascade of
+    :func:`repro.anchored.followers.compact_marginal_followers`, without the
+    instrumentation (this is index maintenance, not candidate evaluation)."""
+    target = j - 1
+    region: Set[int] = set()
+    stack: List[int] = []
+    for position in range(indptr[anchor_id], indptr[anchor_id + 1]):
+        neighbour = indices[position]
+        if core[neighbour] == target and neighbour not in region:
+            region.add(neighbour)
+            stack.append(neighbour)
+    while stack:
+        current = stack.pop()
+        for position in range(indptr[current], indptr[current + 1]):
+            neighbour = indices[position]
+            if (
+                core[neighbour] == target
+                and neighbour not in region
+                and neighbour != anchor_id
+            ):
+                region.add(neighbour)
+                stack.append(neighbour)
+    if not region:
+        return region
+
+    support: Dict[int, int] = {}
+    for vid in region:
+        count = 0
+        for position in range(indptr[vid], indptr[vid + 1]):
+            neighbour = indices[position]
+            if neighbour == anchor_id:
+                count += 1
+            elif core[neighbour] >= j:
+                count += 1
+            elif neighbour in region:
+                count += 1
+        support[vid] = count
+    removal_queue = [vid for vid, count in support.items() if count < j]
+    removed: Set[int] = set()
+    while removal_queue:
+        vid = removal_queue.pop()
+        if vid in removed:
+            continue
+        removed.add(vid)
+        for position in range(indptr[vid], indptr[vid + 1]):
+            neighbour = indices[position]
+            if neighbour in region and neighbour not in removed:
+                support[neighbour] -= 1
+                if support[neighbour] < j:
+                    removal_queue.append(neighbour)
+    return region - removed
+
+
+def _shell_order_ids(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    core: Sequence[float],
+    members: List[int],
+    level: int,
+) -> List[int]:
+    """Removal order within one shell (the Phase-B reconstruction).
+
+    With core numbers fixed, the reference heap peel's order restricted to
+    shell ``level`` is reproduced by a packed-heap cascade over the
+    same-shell subgraph: members ascend by id (id == tie-break rank on
+    ordered snapshots), each starts at its count of ``core >= level``
+    neighbours (anchors are infinity and count), and only same-shell
+    removals decrement — the invariant the numpy and sharded backends
+    already build their whole order reconstruction on.
+    """
+    size = len(members)
+    position = {vid: local for local, vid in enumerate(members)}
+    eff_local = [0] * size
+    adjacency: List[List[int]] = [[] for _ in range(size)]
+    for local, vid in enumerate(members):
+        count = 0
+        for slot in range(indptr[vid], indptr[vid + 1]):
+            neighbour = indices[slot]
+            if core[neighbour] >= level:
+                count += 1
+            if core[neighbour] == level:
+                neighbour_local = position.get(neighbour)
+                if neighbour_local is not None:
+                    adjacency[local].append(neighbour_local)
+        eff_local[local] = count
+
+    heap = [eff_local[local] * size + local for local in range(size)]
+    heapq.heapify(heap)
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    popped = bytearray(size)
+    shell_order: List[int] = []
+    while heap:
+        entry = heappop(heap)
+        degree, local = divmod(entry, size)
+        if popped[local] or degree != eff_local[local]:
+            continue
+        popped[local] = 1
+        shell_order.append(members[local])
+        for neighbour in adjacency[local]:
+            if not popped[neighbour]:
+                slack = eff_local[neighbour] - 1
+                eff_local[neighbour] = slack
+                heappush(heap, slack * size + neighbour)
+    return shell_order
+
+
+def incremental_anchor_commit(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    core: MutableSequence[float],
+    rank: MutableSequence[int],
+    order: List[int],
+    new_anchor_id: int,
+) -> List[Tuple[int, float]]:
+    """Apply one anchor commit to existing peel state, touching only the
+    affected region — the incremental path behind
+    :meth:`CoreIndexKernel.commit_anchor` for the id-array kernels (compact
+    and numpy; ``core``/``rank`` may be plain lists or numpy arrays).
+
+    **Core numbers.**  For a *single* added anchor every core rise is exactly
+    ``+1``, and the risers at level ``j`` are exactly the anchor's level-``j``
+    followers: a level-``j`` follower has old core ``j - 1`` (the single-
+    anchor shell lemma behind :func:`repro.anchored.followers.marginal_followers`),
+    so a vertex can rise at only one level, and the riser sets are computed
+    independently on the *old* core numbers by one region-restricted cascade
+    per level ``j - 1 ∈ {core(u) : u ∈ N(anchor), core(u) >= core(anchor)}``
+    (other levels provably gain nothing: below, the anchor was already in
+    the j-core; above, the anchor has no shell-``(j-1)`` neighbour to seed a
+    region).
+
+    **Removal order.**  With the new core numbers fixed, the reference heap
+    peel's order is the ascending concatenation of per-shell cascades over
+    same-shell subgraphs (the Phase-B invariant of the numpy and sharded
+    backends).  A shell's internal order can change only if its membership
+    changed (it gained or lost a riser or the anchor) or a member's starting
+    degree changed (a neighbour's core value crossed the shell level — for a
+    ``+1`` riser from ``a`` that is only shell ``a + 1``; for the anchor,
+    finite → infinity, every shell above its old core that contains one of
+    its neighbours).  Exactly those *affected shells* are re-cascaded;
+    every other shell keeps its old subsequence verbatim, and the global
+    rank array is renumbered in one O(n) pass.
+
+    Mutates ``core``, ``rank`` and ``order`` so they equal a full
+    :func:`compact_peel` with the enlarged anchor set, and returns
+    ``[(vertex id, previous core value)]`` for every vertex whose core
+    number changed (the new anchor included, finite → infinity).
+    """
+    x = new_anchor_id
+    anchor_core = core[x]
+
+    # Candidate levels and order-affected shells, read off the OLD state.
+    levels: Set[int] = set()
+    affected: Set[float] = {anchor_core}
+    for position in range(indptr[x], indptr[x + 1]):
+        value = core[indices[position]]
+        if value == ANCHOR_CORE:
+            continue
+        if value >= anchor_core:
+            levels.add(int(value) + 1)
+        if value > anchor_core:
+            # The anchor's own rise (finite -> infinity) crosses this
+            # neighbour's shell level, changing its starting degree there.
+            affected.add(value)
+
+    touched: List[Tuple[int, float]] = [(x, anchor_core)]
+    risers_by_level: Dict[int, Set[int]] = {}
+    for j in levels:
+        risers = _region_risers(indptr, indices, core, x, j)
+        if risers:
+            risers_by_level[j] = risers
+            affected.add(j - 1)
+            affected.add(j)
+            touched.extend((vid, float(j - 1)) for vid in risers)
+
+    # All riser cascades read the old core numbers (level independence: a
+    # level-j cascade never tests a value a +1 rise at another level could
+    # flip), so the writes happen only now.
+    for j, risers in risers_by_level.items():
+        for vid in risers:
+            core[vid] = j
+    core[x] = ANCHOR_CORE
+
+    # Rebuild the order: one walk buckets every finite vertex by NEW core,
+    # preserving the old within-shell sequence; affected shells are
+    # re-cascaded, anchors tail ascending by id (id == tie-break rank).
+    buckets: Dict[float, List[int]] = {}
+    anchor_tail: List[int] = []
+    for vid in order:
+        value = core[vid]
+        if value == ANCHOR_CORE:
+            anchor_tail.append(vid)
+        else:
+            bucket = buckets.get(value)
+            if bucket is None:
+                bucket = buckets[value] = []
+            bucket.append(vid)
+    anchor_tail.sort()
+
+    for level in affected:
+        bucket = buckets.get(level)
+        if not bucket:
+            continue
+        bucket.sort()
+        buckets[level] = _shell_order_ids(indptr, indices, core, bucket, level)
+
+    new_order: List[int] = []
+    for level in sorted(buckets):
+        new_order.extend(buckets[level])
+    new_order.extend(anchor_tail)
+    order[:] = new_order
+    for position, vid in enumerate(order):
+        rank[vid] = position
+    return touched
 
 
 def compact_k_core_ids(

@@ -37,6 +37,18 @@ All results are bit-identical to the dict/compact/numpy backends:
   within-shell cascade the compact and numpy backends use; shells are
   mutually independent, so they are farmed out in parallel.
 
+Shard-local result caching
+--------------------------
+Successive refreshes of an anchored core index differ by exactly one anchor,
+so most shards see *identical inputs* from one refresh to the next.  Three
+reuse layers exploit that without ever changing a result (all are keyed on
+the exact inputs of the computation they skip): the round-1 local peel is
+cached per shard keyed by its local anchor list (ghost support is pinned at
+infinity in round 1 either way); the per-shard shell fragments are cached
+keyed by the converged ``est``/``ghost_est`` vectors (content equality, not
+hashes); and refinement/cascade rounds skip shards with no incoming boundary
+traffic outright.  Hit counters are surfaced via :meth:`ShardCoordinator.stats`.
+
 Executors
 ---------
 ``executor="serial"`` runs every op as a direct function call against the
@@ -80,28 +92,42 @@ Buckets = Dict[int, Dict[int, int]]
 # the shard's dedicated worker for the process executor).  Every op takes the
 # shard state first and only plain picklable payloads after it.
 # ---------------------------------------------------------------------------
-def _op_hindex_reset(state: ShardState, anchor_gvids: List[int]) -> None:
-    """Arm the core-bound refinement.
+def _op_hindex_reset(state: ShardState, anchor_gvids: List[int]) -> bool:
+    """Arm the core-bound refinement; report whether the round-1 peel caches.
 
     Ghost estimates start at infinity — remote neighbours are assumed to
     support forever until their owner ships a tighter bound — and the
     last-shipped table starts at infinity too, so round 1 ships every
     boundary estimate that the first local peel lowers.
+
+    Shard-local result caching: the round-1 local peel (and the support
+    counters it establishes) depends *only* on the shard's local anchor set —
+    ghost support is pinned at infinity either way — so its output is cached
+    on the state, keyed by that anchor list, and reused verbatim when the
+    next refresh leaves this shard's anchors unchanged (the common case: the
+    greedy commits one anchor per refresh, owned by one shard).  The return
+    value (``True`` on a cache hit) feeds the coordinator's cache counters.
     """
     n = state.num_owned
     state.anchor = bytearray(n)
     est: List[float] = list(state.degrees)
+    local_anchors: List[int] = []
     for gvid in anchor_gvids:
         li = state.local_of.get(gvid)
         if li is not None:
             state.anchor[li] = 1
             est[li] = math.inf
+            local_anchors.append(gvid)
     state.est = est
     state.ghost_est = [math.inf] * state.num_ghosts
     state.sent_est = [math.inf] * n
     #: Count of neighbours with est >= est[li]; -1 = not yet established
     #: (round 1 fills it in after the local peel).
     state.support_ct = [-1] * n
+    peel_key = tuple(local_anchors)
+    cache = getattr(state, "peel_cache", None)
+    state.peel_key = peel_key
+    state.use_peel_cache = cache is not None and cache[0] == peel_key
     if not hasattr(state, "boundary_locals"):
         # Static per partition, so computed once and reused across resets:
         # the owned local indices with >= 1 ghost neighbour, and the distinct
@@ -118,7 +144,7 @@ def _op_hindex_reset(state: ShardState, anchor_gvids: List[int]) -> None:
         state.subs_of = {
             li: tuple(sorted(targets)) for li, targets in subscribers.items()
         }
-    return None
+    return state.use_peel_cache
 
 
 def _op_hindex_round(state: ShardState, updates: Dict[int, int], first: bool) -> Buckets:
@@ -155,44 +181,53 @@ def _op_hindex_round(state: ShardState, updates: Dict[int, int], first: bool) ->
     in_queue = bytearray(n)
     queue: List[int] = []
     if first:
-        degrees = state.degrees
-        eff = list(degrees)
-        removed = bytearray(n)
-        heap = [degrees[li] * n + li for li in range(n) if not anchor[li]]
-        heapq.heapify(heap)
-        heappush = heapq.heappush
-        heappop = heapq.heappop
-        current = 0
-        while heap:
-            packed = heappop(heap)
-            degree, li = divmod(packed, n)
-            if removed[li] or degree != eff[li]:
-                continue
-            if degree > current:
-                current = degree
-            est[li] = current
-            removed[li] = 1
-            for position in range(indptr[li], indptr[li + 1]):
-                entry = encoded[position]
-                if entry >= 0 and not removed[entry] and not anchor[entry]:
-                    slack = eff[entry] - 1
-                    eff[entry] = slack
-                    heappush(heap, slack * n + entry)
-        # Establish the support counters: how many neighbours currently sit
-        # at or above each vertex's estimate.  Kept incrementally up to date
-        # from here on, so later rounds recompute a vertex only when its
-        # count truly dips below its estimate.
-        for li in range(n):
-            if anchor[li]:
-                continue
-            level = est[li]
-            count = 0
-            for position in range(indptr[li], indptr[li + 1]):
-                entry = encoded[position]
-                value = est[entry] if entry >= 0 else ghost_est[-entry - 1]
-                if value >= level:
-                    count += 1
-            support_ct[li] = count
+        if state.use_peel_cache:
+            # Same local anchors as the cached run and ghost support pinned
+            # at infinity either way: restore the cached peel verbatim
+            # (copies — later rounds mutate both arrays in place).
+            _, cached_est, cached_support = state.peel_cache
+            est = state.est = list(cached_est)
+            support_ct = state.support_ct = list(cached_support)
+        else:
+            degrees = state.degrees
+            eff = list(degrees)
+            removed = bytearray(n)
+            heap = [degrees[li] * n + li for li in range(n) if not anchor[li]]
+            heapq.heapify(heap)
+            heappush = heapq.heappush
+            heappop = heapq.heappop
+            current = 0
+            while heap:
+                packed = heappop(heap)
+                degree, li = divmod(packed, n)
+                if removed[li] or degree != eff[li]:
+                    continue
+                if degree > current:
+                    current = degree
+                est[li] = current
+                removed[li] = 1
+                for position in range(indptr[li], indptr[li + 1]):
+                    entry = encoded[position]
+                    if entry >= 0 and not removed[entry] and not anchor[entry]:
+                        slack = eff[entry] - 1
+                        eff[entry] = slack
+                        heappush(heap, slack * n + entry)
+            # Establish the support counters: how many neighbours currently
+            # sit at or above each vertex's estimate.  Kept incrementally up
+            # to date from here on, so later rounds recompute a vertex only
+            # when its count truly dips below its estimate.
+            for li in range(n):
+                if anchor[li]:
+                    continue
+                level = est[li]
+                count = 0
+                for position in range(indptr[li], indptr[li + 1]):
+                    entry = encoded[position]
+                    value = est[entry] if entry >= 0 else ghost_est[-entry - 1]
+                    if value >= level:
+                        count += 1
+                support_ct[li] = count
+            state.peel_cache = (state.peel_key, list(est), list(support_ct))
         # Ghost holders assume remote support never goes away (est infinity)
         # until told otherwise, so every boundary estimate ships in round 1;
         # the peel itself is consistent with that same assumption, so
@@ -384,7 +419,7 @@ def _decode(state: ShardState, entry: int) -> int:
 
 def _op_shell_fragments(
     state: ShardState,
-) -> Dict[int, Tuple[List[int], List[int], List[int], List[int]]]:
+) -> Tuple[Dict[int, Tuple[List[int], List[int], List[int], List[int]]], bool]:
     """This shard's per-shell fragment of the order-reconstruction input.
 
     For every finite shell ``c``: the owned members (ascending global id),
@@ -392,7 +427,20 @@ def _op_shell_fragments(
     core >= c — anchors are infinity and therefore count), and the member's
     same-shell neighbour ids flattened CSR-style.  Reads the converged
     estimates, so no broadcast is needed between the phases.
+
+    Shard-local result caching: the fragments are a pure function of the
+    converged ``est`` / ``ghost_est`` vectors (plus the static structure), so
+    the previous output is reused — ``(fragments, True)`` — whenever both
+    vectors are unchanged since it was built.  The equality check is an O(n)
+    tuple compare (C speed), versus the O(n + m) Python edge scan it skips;
+    content equality, not hashing, so a collision can never smuggle in stale
+    fragments.
     """
+    est_key = tuple(state.est)
+    ghost_key = tuple(state.ghost_est)
+    cache = getattr(state, "frag_cache", None)
+    if cache is not None and cache[0] == est_key and cache[1] == ghost_key:
+        return cache[2], True
     est = state.est
     ghost_est = state.ghost_est
     ghost_gvid = state.ghost_gvid
@@ -425,7 +473,8 @@ def _op_shell_fragments(
         members.append(owned[li])
         start_eff.append(count)
         sub_indptr.append(len(sub_nbrs))
-    return frags
+    state.frag_cache = (est_key, ghost_key, frags)
+    return frags, False
 
 
 def _op_deg_plus(state: ShardState, rank_g: List[int]) -> Dict[int, int]:
@@ -708,17 +757,23 @@ _TASKS = {
 # Executors
 # ---------------------------------------------------------------------------
 class _SerialExecutor:
-    """Run every op as a direct call against in-process shard states."""
+    """Run every op as a direct call against in-process shard states.
+
+    A ``None`` entry in ``args_per_shard`` skips that shard (its result slot
+    is ``None``) — the coordinator uses this to avoid no-op rounds on shards
+    with no incoming boundary traffic.
+    """
 
     is_process = False
 
     def __init__(self, shards: List[ShardState]) -> None:
         self._shards = shards
 
-    def run(self, op: str, args_per_shard: List[tuple]) -> List[object]:
+    def run(self, op: str, args_per_shard: List[Optional[tuple]]) -> List[object]:
         func = _OPS[op]
         return [
-            func(state, *args) for state, args in zip(self._shards, args_per_shard)
+            None if args is None else func(state, *args)
+            for state, args in zip(self._shards, args_per_shard)
         ]
 
     def run_tasks(self, tasks: List[Tuple[str, tuple]]) -> List[object]:
@@ -814,14 +869,16 @@ class _ProcessExecutor:
         for future in loads:
             future.result()
 
-    def run(self, op: str, args_per_shard: List[tuple]) -> List[object]:
+    def run(self, op: str, args_per_shard: List[Optional[tuple]]) -> List[object]:
         futures = [
-            _get_pool(self.slots[shard_id]).submit(
+            None
+            if args is None
+            else _get_pool(self.slots[shard_id]).submit(
                 _worker_exec, self.key, shard_id, op, args
             )
             for shard_id, args in enumerate(args_per_shard)
         ]
-        return [future.result() for future in futures]
+        return [None if future is None else future.result() for future in futures]
 
     def run_tasks(self, tasks: List[Tuple[str, tuple]]) -> List[object]:
         futures = [
@@ -858,6 +915,15 @@ class ShardCoordinator:
         self.executor = executor
         self.rounds = 0
         self.messages = 0
+        #: Shard-local result caching observability (the ROADMAP follow-up):
+        #: round-1 peel reuses (`shard_cache_*`), fragment reuses
+        #: (`fragment_cache_*`), and per-shard op calls skipped because the
+        #: shard had no incoming boundary traffic (`shard_rounds_skipped`).
+        self.shard_cache_hits = 0
+        self.shard_cache_misses = 0
+        self.fragment_cache_hits = 0
+        self.fragment_cache_misses = 0
+        self.shard_rounds_skipped = 0
         self._finalizer = None
         if executor == EXECUTOR_PROCESS:
             self._exec = _ProcessExecutor(plan, max_workers)
@@ -910,19 +976,31 @@ class ShardCoordinator:
         return pending, produced
 
     def _cascade(self, op: str, level_args: tuple) -> int:
-        """Iterate a local-cascade op until the global fixpoint; return removals."""
+        """Iterate a local-cascade op until the global fixpoint; return removals.
+
+        After the initial rescan round, shards with no pending boundary
+        decrements are skipped outright — the op would find an empty queue
+        and do nothing — which keeps each round's cost proportional to where
+        the cascade actually is, not to the shard count.
+        """
         num_shards = self.plan.num_shards
         pending: List[Dict[int, int]] = [dict() for _ in range(num_shards)]
         rescan = True
         removed_total = 0
         while True:
-            results = self._run(
-                op, [level_args + (pending[i], rescan) for i in range(num_shards)]
-            )
+            args: List[Optional[tuple]] = [
+                level_args + (pending[i], rescan) if rescan or pending[i] else None
+                for i in range(num_shards)
+            ]
+            self.shard_rounds_skipped += sum(1 for entry in args if entry is None)
+            results = self._run(op, args)
             rescan = False
             removed_any = False
             outputs: List[Buckets] = []
-            for removed, out in results:
+            for result in results:
+                if result is None:
+                    continue
+                removed, out = result
                 removed_total += removed
                 if removed:
                     removed_any = True
@@ -950,16 +1028,26 @@ class ShardCoordinator:
             return [], []
 
         # Phase A: distributed core-bound refinement -> core numbers.
-        self._run("hindex_reset", shared=(anchor_list,))
-        updates: List[Dict[int, int]] = [dict() for _ in range(self.plan.num_shards)]
+        num_shards = self.plan.num_shards
+        reset_results = self._run("hindex_reset", shared=(anchor_list,))
+        peel_hits = sum(1 for hit in reset_results if hit)
+        self.shard_cache_hits += peel_hits
+        self.shard_cache_misses += num_shards - peel_hits
+        updates: List[Dict[int, int]] = [dict() for _ in range(num_shards)]
         first = True
         while True:
-            results = self._run(
-                "hindex_round",
-                [(updates[i], first) for i in range(self.plan.num_shards)],
-            )
+            # Round 1 must run everywhere; afterwards a shard with no
+            # incoming updates has nothing to relax and is skipped.
+            args: List[Optional[tuple]] = [
+                (updates[i], first) if first or updates[i] else None
+                for i in range(num_shards)
+            ]
+            self.shard_rounds_skipped += sum(1 for entry in args if entry is None)
+            results = self._run("hindex_round", args)
             first = False
-            updates, produced = self._merge_buckets(results)
+            updates, produced = self._merge_buckets(
+                [out for out in results if out is not None]
+            )
             if not produced:
                 break
 
@@ -973,7 +1061,13 @@ class ShardCoordinator:
         # Phase B: shell-by-shell order reconstruction.  Shells are mutually
         # independent, so they are packed into one balanced batch per worker
         # (greedy LPT on member + same-shell-edge counts) and farmed out.
-        frags_per_shard = self._run("shell_fragments")
+        frags_per_shard = []
+        for frags, from_cache in self._run("shell_fragments"):
+            frags_per_shard.append(frags)
+            if from_cache:
+                self.fragment_cache_hits += 1
+            else:
+                self.fragment_cache_misses += 1
         levels = sorted({c for frags in frags_per_shard for c in frags})
         shell_inputs = []
         for c in levels:
@@ -1031,11 +1125,14 @@ class ShardCoordinator:
             out.extend(part)
         return out
 
-    def marginal_follower_ids(self, k: int, candidate_id: int) -> Tuple[Set[int], int]:
+    def marginal_follower_ids(
+        self, k: int, candidate_id: int, region_out: Optional[Set[int]] = None
+    ) -> Tuple[Set[int], int]:
         """Region-restricted follower cascade; ``(follower ids, visited)``.
 
         The visited count — region size plus cascade removals — matches the
         dict/compact/numpy kernels exactly (both are order-independent).
+        ``region_out`` receives the explored region ids when supplied.
         """
         seeds: List[int] = []
         for part in self._run("region_init", shared=(k, candidate_id)):
@@ -1059,6 +1156,8 @@ class ShardCoordinator:
                     if gvid not in region:
                         region.add(gvid)
                         frontier.append(gvid)
+        if region_out is not None:
+            region_out.update(region)
         if not region:
             return set(), 0
         region_list = sorted(region)
@@ -1083,9 +1182,29 @@ class ShardCoordinator:
             survivors.update(part)
         return survivors, shell_size + removed_total
 
+    def stats(self) -> Dict[str, int]:
+        """Observability counters, including the shard-local cache hits.
+
+        ``shard_cache_hits`` / ``shard_cache_misses`` count round-1 peel
+        reuses per shard per refresh, ``fragment_cache_hits`` /
+        ``fragment_cache_misses`` the per-shard fragment reuses, and
+        ``shard_rounds_skipped`` the per-shard op calls avoided because a
+        shard had no incoming boundary traffic that round.
+        """
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "shard_cache_hits": self.shard_cache_hits,
+            "shard_cache_misses": self.shard_cache_misses,
+            "fragment_cache_hits": self.fragment_cache_hits,
+            "fragment_cache_misses": self.fragment_cache_misses,
+            "shard_rounds_skipped": self.shard_rounds_skipped,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ShardCoordinator(shards={self.plan.num_shards}, "
             f"executor={self.executor!r}, rounds={self.rounds}, "
-            f"messages={self.messages})"
+            f"messages={self.messages}, "
+            f"shard_cache_hits={self.shard_cache_hits})"
         )

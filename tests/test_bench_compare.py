@@ -1,0 +1,102 @@
+"""Tests for the benchmark floor enforcement helper (`repro.bench.compare`)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.compare import check_files, describe_floors, floor_failures, main
+
+
+def _record(value: float, floor: float, enforced: bool) -> dict:
+    return {
+        "benchmark": "demo",
+        "floors": {
+            "demo_speedup": {"value": value, "floor": floor, "enforced": enforced},
+        },
+    }
+
+
+class TestFloorFailures:
+    def test_enforced_floor_met_passes(self):
+        assert floor_failures(_record(2.5, 2.0, True)) == []
+
+    def test_enforced_floor_violated_fails(self):
+        failures = floor_failures(_record(1.4, 2.0, True))
+        assert len(failures) == 1
+        assert "demo_speedup" in failures[0]
+        assert "regressed" in failures[0]
+
+    def test_unenforced_floor_never_fails(self):
+        assert floor_failures(_record(0.1, 2.0, False)) == []
+
+    def test_record_without_floors_passes(self):
+        assert floor_failures({"benchmark": "legacy"}) == []
+
+    def test_malformed_spec_reported(self):
+        failures = floor_failures({"floors": {"bad": {"value": 1.0}}})
+        assert failures and "malformed" in failures[0]
+
+    def test_multiple_floors_checked_independently(self):
+        record = {
+            "floors": {
+                "ok": {"value": 3.0, "floor": 2.0, "enforced": True},
+                "bad": {"value": 1.0, "floor": 2.0, "enforced": True},
+            }
+        }
+        failures = floor_failures(record)
+        assert len(failures) == 1
+        assert "bad" in failures[0]
+
+
+class TestDescribeFloors:
+    def test_mentions_enforcement_status(self):
+        lines = describe_floors(_record(2.5, 2.0, True))
+        assert lines == ["demo_speedup: value=2.5 floor=2.0 (enforced)"]
+        lines = describe_floors(_record(2.5, 2.0, False))
+        assert "recorded only" in lines[0]
+
+
+class TestCheckFilesAndCli:
+    def test_check_files_mixed(self, tmp_path):
+        good = tmp_path / "BENCH_good.json"
+        good.write_text(json.dumps(_record(3.0, 2.0, True)), encoding="utf-8")
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps(_record(1.0, 2.0, True)), encoding="utf-8")
+        legacy = tmp_path / "BENCH_legacy.json"
+        legacy.write_text(json.dumps({"benchmark": "x"}), encoding="utf-8")
+        results = check_files([str(good), str(bad), str(legacy)])
+        assert results[str(good)] == []
+        assert results[str(bad)] != []
+        assert results[str(legacy)] == []
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "BENCH_good.json"
+        good.write_text(json.dumps(_record(3.0, 2.0, True)), encoding="utf-8")
+        assert main([str(good)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps(_record(1.0, 2.0, True)), encoding="utf-8")
+        assert main([str(good), str(bad)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+        missing = tmp_path / "nope.json"
+        assert main([str(missing)]) == 1
+        assert main([]) == 2
+
+    def test_emitted_benchmark_records_pass(self):
+        """Locally emitted BENCH_*.json artifacts must satisfy their floors.
+
+        ``benchmarks/results/`` is a gitignored artifact directory, so this
+        skips on fresh checkouts and guards any machine where the benchmarks
+        have been run (including the CI bench-smoke job's workspace).
+        """
+        import pytest
+        from pathlib import Path
+
+        results_dir = Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+        paths = sorted(str(p) for p in results_dir.glob("BENCH_*.json"))
+        if not paths:
+            pytest.skip("no benchmark artifacts emitted in this checkout")
+        for path, failures in check_files(paths).items():
+            assert failures == [], (path, failures)

@@ -1,0 +1,261 @@
+"""Property tests for the delta-refresh subsystem (PR 5).
+
+Two referees keep the incremental paths honest:
+
+* **Kernel-level**: after any random anchor sequence, a kernel driven purely
+  through :meth:`~repro.anchored.anchored_core.AnchoredCoreIndex.commit_anchor`
+  must be observationally identical — core numbers, removal ranks, candidate
+  sets, shell queries — to a kernel rebuilt with a full refresh for the same
+  anchor set, on every registered backend; and the returned touched set must
+  be exactly the core-number diff.
+* **Solver-level**: the memoized Greedy (``incremental=True``, the default)
+  must select bit-identical anchors and followers and report bit-identical
+  instrumentation (``candidates_evaluated``, ``visited_vertices``) as the
+  PR-4 full-recompute path (``incremental=False``), on seeded random graphs
+  across every backend — while actually recomputing fewer cascades.
+
+The same vertex-pool strategies as ``tests/test_backend_equivalence.py`` are
+used so the interner paths (sparse ints, strings, mixed types) stay covered.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.anchored.anchored_core import AnchoredCoreIndex
+from repro.anchored.greedy import GreedyAnchoredKCore
+from repro.backends import CoreIndexKernel, numpy_available
+from repro.backends.dict_backend import DictBackend, DictCoreIndexKernel
+from repro.backends.sharded_backend import ShardedBackend
+from repro.graph.generators import chung_lu_graph
+from repro.graph.static import Graph
+from repro.ordering import tie_break_key
+
+SETTINGS = settings(
+    max_examples=int(os.environ.get("REPRO_HYPOTHESIS_EXAMPLES", "50")),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+SHARDED = ShardedBackend(num_shards=3)
+
+BACKENDS = [
+    "dict",
+    "compact",
+    pytest.param(
+        "numpy",
+        marks=pytest.mark.skipif(not numpy_available(), reason="numpy is not installed"),
+    ),
+    pytest.param(SHARDED, id="sharded"),
+]
+
+VERTEX_POOLS = (
+    list(range(12)),
+    [3, 7, 1000, 9999, -5, 0, 42, 18, 2, 61],
+    ["alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"],
+    [0, 1, 2, "x", "y", "z", 77, "alice", -3, "bob"],
+)
+
+
+@st.composite
+def graphs(draw) -> Graph:
+    pool = draw(st.sampled_from(VERTEX_POOLS))
+    num_vertices = draw(st.integers(min_value=1, max_value=len(pool)))
+    vertices = pool[:num_vertices]
+    possible_edges = [
+        (u, v) for i, u in enumerate(vertices) for v in vertices[i + 1 :]
+    ]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), max_size=3 * num_vertices, unique=True)
+        if possible_edges
+        else st.just([])
+    )
+    return Graph(edges=edges, vertices=vertices)
+
+
+@st.composite
+def commit_scenarios(draw):
+    """A graph, a degree constraint and a sequence of anchors to commit."""
+    graph = draw(graphs())
+    k = draw(st.integers(min_value=1, max_value=4))
+    universe = sorted(graph.vertices(), key=tie_break_key)
+    anchors = draw(st.lists(st.sampled_from(universe), max_size=4, unique=True))
+    return graph, k, anchors
+
+
+def _assert_index_state_equal(incremental: AnchoredCoreIndex, full: AnchoredCoreIndex):
+    assert dict(incremental.core_numbers()) == dict(full.core_numbers())
+    inc_ranks = incremental.kernel.removal_ranks()
+    full_ranks = full.kernel.removal_ranks()
+    assert inc_ranks is not None and full_ranks is not None
+    assert dict(inc_ranks) == dict(full_ranks)
+    assert incremental.candidate_anchors() == full.candidate_anchors()
+    assert incremental.candidate_anchors(order_pruning=False) == full.candidate_anchors(
+        order_pruning=False
+    )
+    assert incremental.all_non_core_vertices() == full.all_non_core_vertices()
+    assert incremental.anchored_core_size() == full.anchored_core_size()
+    assert incremental.shell() == full.shell()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@SETTINGS
+@given(scenario=commit_scenarios())
+def test_commit_anchor_matches_full_refresh(backend, scenario):
+    """commit_anchor state == full refresh state after every single commit."""
+    graph, k, anchors = scenario
+    incremental = AnchoredCoreIndex(graph, k, backend=backend)
+    committed = []
+    for anchor in anchors:
+        before = dict(incremental.core_numbers())
+        touched = incremental.commit_anchor(anchor)
+        committed.append(anchor)
+        full = AnchoredCoreIndex(graph, k, anchors=committed, backend=backend)
+        _assert_index_state_equal(incremental, full)
+        # The touched set is the exact core-number diff (built-in kernels
+        # never fall back to the unknown-change None).
+        after = dict(incremental.core_numbers())
+        expected = {
+            vertex for vertex, value in after.items() if before[vertex] != value
+        }
+        assert touched == frozenset(expected)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@SETTINGS
+@given(scenario=commit_scenarios())
+def test_commit_existing_anchor_is_noop(backend, scenario):
+    graph, k, anchors = scenario
+    if not anchors:
+        return
+    index = AnchoredCoreIndex(graph, k, backend=backend)
+    index.commit_anchor(anchors[0])
+    before = dict(index.core_numbers())
+    assert index.commit_anchor(anchors[0]) == frozenset()
+    assert dict(index.core_numbers()) == before
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@SETTINGS
+@given(scenario=commit_scenarios())
+def test_shell_histogram_queries_match_core_numbers(backend, scenario):
+    """count/shell queries agree with the core map after incremental commits."""
+    graph, k, anchors = scenario
+    index = AnchoredCoreIndex(graph, k, backend=backend)
+    for anchor in anchors:
+        index.commit_anchor(anchor)
+    core = dict(index.core_numbers())
+    kernel = index.kernel
+    for level in range(0, 6):
+        assert kernel.count_core_at_least(level) == sum(
+            1 for value in core.values() if value >= level
+        )
+        assert kernel.shell_vertices(level) == {
+            vertex for vertex, value in core.items() if value == level
+        }
+        assert kernel.vertices_with_core_at_least(level) == {
+            vertex for vertex, value in core.items() if value >= level
+        }
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@SETTINGS
+@given(scenario=commit_scenarios(), budget=st.integers(min_value=0, max_value=4))
+def test_greedy_memoized_equals_full_recompute(backend, scenario, budget):
+    """Memoized Greedy == PR-4 Greedy: anchors, followers, stats.visited."""
+    graph, k, initial_anchors, = scenario
+    memoized = GreedyAnchoredKCore(
+        graph, k, budget, backend=backend, incremental=True
+    ).select()
+    full = GreedyAnchoredKCore(
+        graph, k, budget, backend=backend, incremental=False
+    ).select()
+    assert memoized.anchors == full.anchors
+    assert memoized.followers == full.followers
+    assert memoized.anchored_core_size == full.anchored_core_size
+    assert memoized.stats.candidates_evaluated == full.stats.candidates_evaluated
+    assert memoized.stats.visited_vertices == full.stats.visited_vertices
+    # The full path recomputes every evaluation; the memoized path never
+    # recomputes more than that.
+    assert full.stats.candidates_recomputed == full.stats.candidates_evaluated
+    assert full.stats.cache_hits == 0
+    assert (
+        memoized.stats.candidates_recomputed + memoized.stats.cache_hits
+        == memoized.stats.candidates_evaluated
+    )
+
+
+def test_memoization_avoids_cascades_on_a_real_instance():
+    """On a non-trivial graph most evaluations come from the gain cache."""
+    graph = chung_lu_graph(1500, 4500, seed=11)
+    result = GreedyAnchoredKCore(graph, 4, 6, backend="compact").select()
+    stats = result.stats
+    assert stats.iterations > 1
+    assert stats.cache_hits > 0
+    assert stats.candidates_recomputed < stats.candidates_evaluated
+    assert len(stats.commit_seconds) == stats.iterations
+    # And the selection is still exactly the full-recompute selection.
+    baseline = GreedyAnchoredKCore(
+        graph, 4, 6, backend="compact", incremental=False
+    ).select()
+    assert result.anchors == baseline.anchors
+    assert result.followers == baseline.followers
+    assert result.stats.visited_vertices == baseline.stats.visited_vertices
+
+
+# ---------------------------------------------------------------------------
+# Custom-backend fallback: kernels that do not implement commit_anchor
+# ---------------------------------------------------------------------------
+class _FallbackKernel(DictCoreIndexKernel):
+    """A dict kernel with the incremental path hidden (protocol defaults)."""
+
+    def commit_anchor(self, vertex, anchors):
+        return CoreIndexKernel.commit_anchor(self, vertex, anchors)
+
+    def marginal_followers_with_region(self, k, candidate):
+        return CoreIndexKernel.marginal_followers_with_region(self, k, candidate)
+
+
+class _FallbackBackend(DictBackend):
+    name = "dict-fallback"
+
+    def build_core_index(self, graph):
+        return _FallbackKernel(graph)
+
+
+@SETTINGS
+@given(scenario=commit_scenarios(), budget=st.integers(min_value=0, max_value=3))
+def test_custom_backend_without_incremental_path_keeps_working(scenario, budget):
+    """The protocol defaults (full refresh, None touched/region) stay exact."""
+    graph, k, _ = scenario
+    fallback = GreedyAnchoredKCore(
+        graph, k, budget, backend=_FallbackBackend(), incremental=True
+    ).select()
+    reference = GreedyAnchoredKCore(
+        graph, k, budget, backend="dict", incremental=False
+    ).select()
+    assert fallback.anchors == reference.anchors
+    assert fallback.followers == reference.followers
+    assert fallback.stats.candidates_evaluated == reference.stats.candidates_evaluated
+    assert fallback.stats.visited_vertices == reference.stats.visited_vertices
+    # Nothing is cacheable without a region, so nothing may be served stale.
+    assert fallback.stats.cache_hits == 0
+
+
+@SETTINGS
+@given(scenario=commit_scenarios())
+def test_fallback_commit_returns_none_and_full_state(scenario):
+    graph, k, anchors = scenario
+    index = AnchoredCoreIndex(graph, k, backend=_FallbackBackend())
+    committed = []
+    for anchor in anchors:
+        touched = index.commit_anchor(anchor)
+        committed.append(anchor)
+        assert touched is None
+        full = AnchoredCoreIndex(graph, k, anchors=committed, backend="dict")
+        assert dict(index.core_numbers()) == dict(full.core_numbers())
+        assert index.candidate_anchors() == full.candidate_anchors()

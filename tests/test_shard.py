@@ -153,6 +153,67 @@ class TestCoordinatorSerial:
         assert coordinator.k_core_ids(1) == set()
 
 
+class TestShardLocalCaching:
+    """The shard-local result caches never change a result, only skip work."""
+
+    def test_identical_refresh_hits_every_cache(self):
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        coordinator = ShardCoordinator(partition_compact_graph(cgraph, 3))
+        first = coordinator.decompose(anchor_ids=[2])
+        stats_after_first = coordinator.stats()
+        assert stats_after_first["shard_cache_hits"] == 0
+        assert stats_after_first["shard_cache_misses"] == 3
+        second = coordinator.decompose(anchor_ids=[2])
+        assert second == first
+        stats_after_second = coordinator.stats()
+        # Same local anchors everywhere: every round-1 peel and every
+        # fragment build is served from the shard-side caches.
+        assert stats_after_second["shard_cache_hits"] == 3
+        assert stats_after_second["fragment_cache_hits"] == 3
+
+    def test_anchor_commit_misses_only_the_owning_shard(self):
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, 3)
+        coordinator = ShardCoordinator(plan)
+        coordinator.decompose()
+        anchor = 4
+        core, order = coordinator.decompose(anchor_ids=[anchor])
+        expected_core, expected_order = compact_peel(cgraph, [anchor])
+        assert core == expected_core
+        assert order == expected_order
+        stats = coordinator.stats()
+        # Only the shard owning the new anchor re-peels; the other two reuse
+        # their cached round-1 peel.
+        assert stats["shard_cache_hits"] == 2
+        assert stats["shard_cache_misses"] == 4  # 3 initial + the owner
+
+    def test_cached_decompose_matches_fresh_coordinator(self):
+        """A cached refresh equals a cold coordinator's, anchors varying."""
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        warm = ShardCoordinator(partition_compact_graph(cgraph, 3))
+        committed = []
+        for anchor in (5, 2, 0):
+            committed.append(anchor)
+            warm_result = warm.decompose(anchor_ids=committed)
+            cold = ShardCoordinator(partition_compact_graph(cgraph, 3))
+            assert warm_result == cold.decompose(anchor_ids=committed)
+
+    @SETTINGS
+    @given(graph=graphs(), num_shards=st.integers(min_value=1, max_value=4))
+    def test_repeated_and_growing_anchor_sets_property(self, graph, num_shards):
+        cgraph = CompactGraph.from_graph(graph, ordered=True)
+        coordinator = ShardCoordinator(partition_compact_graph(cgraph, num_shards))
+        anchors = []
+        for anchor in range(0, cgraph.num_vertices, 3):
+            anchors.append(anchor)
+            core, order = coordinator.decompose(anchors)
+            expected_core, expected_order = compact_peel(cgraph, anchors)
+            assert core == expected_core
+            assert order == expected_order
+        stats = coordinator.stats()
+        assert stats["shard_cache_hits"] + stats["shard_cache_misses"] >= num_shards
+
+
 @pytest.fixture(scope="module")
 def process_pools():
     """Spawned worker pools shared by the process-executor tests."""
