@@ -160,7 +160,55 @@ availability, priorities and per-backend configuration.
 at flush time and migrates its :class:`CoreMaintainer` state, so an engine
 that starts empty upgrades off the dict backend once the ingested stream
 crosses the threshold.
+
+Observability
+-------------
+:mod:`repro.obs` is the cross-cutting layer every other layer reports into:
+
+===========================  ==================================================
+surface                      what it gives you
+===========================  ==================================================
+``repro.obs.tracer``         hierarchical spans over engine queries/flushes/
+                             checkpoints, warm vs cold solves, per-round
+                             greedy evaluate/commit, kernel calls, and shard
+                             coordinator rounds (worker spans are merged into
+                             the coordinator's trace with shard tags)
+:class:`~repro.obs.MetricsRegistry`
+                             counters / gauges / log-bucketed histograms with
+                             one snapshot schema, ``{name, type, value,
+                             labels}``; :class:`EngineStats`,
+                             ``SolverStats`` and the shard coordinator's
+                             counters are views over registries
+exporters                    :class:`~repro.obs.JsonLinesSpanSink` (streaming
+                             span JSONL), :func:`~repro.obs.to_prometheus` /
+                             :func:`~repro.obs.write_metrics` (Prometheus
+                             text or JSON), and the existing human
+                             ``summary()`` renderings
+===========================  ==================================================
+
+Tracing is off by default and costs one module-flag check per instrumented
+site when disabled (``benchmarks/bench_obs_overhead.py`` enforces a <=5%
+replay-overhead floor in ``BENCH_obs.json``).  Enable it with
+``repro.obs.tracer.set_enabled(True)``, the ``REPRO_TRACE=1`` environment
+variable, or ``avt-bench serve-sim --trace-out spans.jsonl --metrics-out
+metrics.prom`` for a fully traced replay; ``examples/traced_query.py`` walks
+a captured trace.  Engine lifecycle events also go to stdlib logging under
+the ``"repro"`` logger hierarchy (a :class:`logging.NullHandler` is
+installed at the package root, per library convention).
 """
+
+import logging as _logging
+
+from repro.obs import (
+    JsonLinesSpanSink,
+    MetricsRegistry,
+    global_registry,
+    to_prometheus,
+    tracer,
+    write_metrics,
+)
+
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 from repro.anchored import (
     AnchoredCoreIndex,
@@ -308,4 +356,11 @@ __all__ = [
     "EngineStats",
     "save_checkpoint",
     "load_checkpoint",
+    # observability
+    "tracer",
+    "MetricsRegistry",
+    "global_registry",
+    "JsonLinesSpanSink",
+    "to_prometheus",
+    "write_metrics",
 ]

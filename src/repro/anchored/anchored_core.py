@@ -31,6 +31,7 @@ from typing import FrozenSet, Iterable, Mapping, Optional, Set, Tuple, Union
 from repro.backends import BACKEND_AUTO, ExecutionBackend, get_backend
 from repro.errors import ParameterError, VertexNotFoundError
 from repro.graph.static import Graph, Vertex
+from repro.obs import tracer
 
 
 class AnchoredCoreIndex:
@@ -63,7 +64,13 @@ class AnchoredCoreIndex:
         # Instrumentation shared with the solver wrappers.
         self.candidates_evaluated = 0
         self.visited_vertices = 0
-        self._kernel.refresh(self._anchors)
+        with tracer.span(
+            "kernel.peel",
+            backend=self._backend.name,
+            vertices=graph.num_vertices,
+            anchors=len(self._anchors),
+        ):
+            self._kernel.refresh(self._anchors)
 
     # ------------------------------------------------------------------
     # Views
@@ -160,7 +167,11 @@ class AnchoredCoreIndex:
         return the same set, the flag only changes the amount of work counted
         by the instrumentation.
         """
-        gained, visited = self._kernel.marginal_followers(self._k, candidate, full_shell)
+        with tracer.span("kernel.marginal_followers", full_shell=full_shell) as mf_span:
+            gained, visited = self._kernel.marginal_followers(
+                self._k, candidate, full_shell
+            )
+            mf_span.set(visited=visited, gained=len(gained))
         self.candidates_evaluated += 1
         self.visited_vertices += max(visited, 1)
         return gained
@@ -178,9 +189,11 @@ class AnchoredCoreIndex:
         ``visited`` is returned raw so a memoizing caller can replay it later
         through :meth:`record_cached_evaluation`.
         """
-        gained, visited, region = self._kernel.marginal_followers_with_region(
-            self._k, candidate
-        )
+        with tracer.span("kernel.marginal_followers_with_region") as mf_span:
+            gained, visited, region = self._kernel.marginal_followers_with_region(
+                self._k, candidate
+            )
+            mf_span.set(visited=visited, gained=len(gained))
         self.candidates_evaluated += 1
         self.visited_vertices += max(visited, 1)
         return gained, visited, region
@@ -219,7 +232,12 @@ class AnchoredCoreIndex:
         if vertex in self._anchors:
             return frozenset()
         self._anchors.add(vertex)
-        return self._kernel.commit_anchor(vertex, self._anchors)
+        with tracer.span(
+            "kernel.commit_anchor", backend=self._backend.name
+        ) as commit_span:
+            touched = self._kernel.commit_anchor(vertex, self._anchors)
+            commit_span.set(touched=len(touched) if touched is not None else -1)
+        return touched
 
     def set_anchors(self, anchors: Iterable[Vertex]) -> None:
         """Replace the anchor set wholesale and refresh the decomposition."""
@@ -228,4 +246,7 @@ class AnchoredCoreIndex:
             if not self._graph.has_vertex(anchor):
                 raise VertexNotFoundError(anchor)
         self._anchors = new_anchors
-        self._kernel.refresh(self._anchors)
+        with tracer.span(
+            "kernel.peel", backend=self._backend.name, anchors=len(new_anchors)
+        ):
+            self._kernel.refresh(self._anchors)

@@ -54,6 +54,7 @@ from repro.anchored.result import AnchoredKCoreResult, SolverStats
 from repro.errors import ParameterError
 from repro.backends import BACKEND_AUTO, ExecutionBackend
 from repro.graph.static import Graph, Vertex
+from repro.obs import tracer
 from repro.ordering import tie_break_key
 
 
@@ -129,59 +130,81 @@ class GreedyAnchoredKCore:
     def select(self) -> AnchoredKCoreResult:
         """Run the greedy selection and return the resulting anchor set."""
         started = time.perf_counter()
-        index = AnchoredCoreIndex(
-            self._graph, self._k, anchors=self._initial_anchors, backend=self._backend
-        )
-        chosen: List[Vertex] = list(self._initial_anchors)
-        stats = SolverStats()
-        cache: Dict[Vertex, _CachedGain] = {}
+        with tracer.span(
+            "solver.select",
+            algorithm=self.name,
+            k=self._k,
+            budget=self._budget,
+            incremental=self._incremental,
+        ) as select_span:
+            index = AnchoredCoreIndex(
+                self._graph, self._k, anchors=self._initial_anchors, backend=self._backend
+            )
+            chosen: List[Vertex] = list(self._initial_anchors)
+            stats = SolverStats()
+            cache: Dict[Vertex, _CachedGain] = {}
 
-        while len(chosen) < self._budget:
-            candidates = index.candidate_anchors(order_pruning=self._order_pruning)
-            best_vertex: Optional[Vertex] = None
-            best_gain: FrozenSet[Vertex] = frozenset()
-            for candidate in sorted(candidates, key=tie_break_key):
-                entry = cache.get(candidate)
-                if entry is not None:
-                    # Valid cached gain: exact by the invalidation argument
-                    # below, so the cascade is skipped and its recorded
-                    # visit count replayed into the instrumentation.
-                    index.record_cached_evaluation(entry.visited)
-                    stats.cache_hits += 1
-                    gained = entry.followers
-                elif self._incremental:
-                    raw, visited, region = index.evaluate_candidate(candidate)
-                    stats.candidates_recomputed += 1
-                    gained = frozenset(raw)
-                    if region is not None:
-                        cache[candidate] = _CachedGain(
-                            followers=gained,
-                            visited=visited,
-                            scope=region | {candidate},
+            while len(chosen) < self._budget:
+                round_number = stats.iterations + 1
+                candidates = index.candidate_anchors(order_pruning=self._order_pruning)
+                best_vertex: Optional[Vertex] = None
+                best_gain: FrozenSet[Vertex] = frozenset()
+                with tracer.span(
+                    "greedy.evaluate", round=round_number, candidates=len(candidates)
+                ) as eval_span:
+                    recomputed_before = stats.candidates_recomputed
+                    for candidate in sorted(candidates, key=tie_break_key):
+                        entry = cache.get(candidate)
+                        if entry is not None:
+                            # Valid cached gain: exact by the invalidation argument
+                            # below, so the cascade is skipped and its recorded
+                            # visit count replayed into the instrumentation.
+                            index.record_cached_evaluation(entry.visited)
+                            stats.cache_hits += 1
+                            gained = entry.followers
+                        elif self._incremental:
+                            raw, visited, region = index.evaluate_candidate(candidate)
+                            stats.candidates_recomputed += 1
+                            gained = frozenset(raw)
+                            if region is not None:
+                                cache[candidate] = _CachedGain(
+                                    followers=gained,
+                                    visited=visited,
+                                    scope=region | {candidate},
+                                )
+                        else:
+                            # Full-recompute baseline: no region capture, no cache.
+                            gained = frozenset(index.marginal_followers(candidate))
+                            stats.candidates_recomputed += 1
+                        if len(gained) > len(best_gain):
+                            best_vertex, best_gain = candidate, gained
+                    eval_span.set(
+                        recomputed=stats.candidates_recomputed - recomputed_before
+                    )
+                if best_vertex is None or (self._stop_on_zero_gain and not best_gain):
+                    break
+                commit_started = time.perf_counter()
+                with tracer.span(
+                    "greedy.commit", round=round_number, gain=len(best_gain)
+                ) as commit_span:
+                    if self._incremental:
+                        touched = index.commit_anchor(best_vertex)
+                        self._invalidate(cache, touched)
+                        commit_span.set(
+                            touched=len(touched) if touched is not None else -1
                         )
-                else:
-                    # Full-recompute baseline: no region capture, no cache.
-                    gained = frozenset(index.marginal_followers(candidate))
-                    stats.candidates_recomputed += 1
-                if len(gained) > len(best_gain):
-                    best_vertex, best_gain = candidate, gained
-            if best_vertex is None or (self._stop_on_zero_gain and not best_gain):
-                break
-            commit_started = time.perf_counter()
-            if self._incremental:
-                touched = index.commit_anchor(best_vertex)
-                self._invalidate(cache, touched)
-            else:
-                # Full-recompute baseline: whole-snapshot anchored re-peel.
-                index.set_anchors(chosen + [best_vertex])
-            stats.commit_seconds.append(time.perf_counter() - commit_started)
-            chosen.append(best_vertex)
-            stats.iterations += 1
+                    else:
+                        # Full-recompute baseline: whole-snapshot anchored re-peel.
+                        index.set_anchors(chosen + [best_vertex])
+                stats.commit_seconds.append(time.perf_counter() - commit_started)
+                chosen.append(best_vertex)
+                stats.iterations += 1
+            followers = frozenset(index.followers())
+            select_span.set(anchors=len(chosen), followers=len(followers))
 
         stats.candidates_evaluated = index.candidates_evaluated
         stats.visited_vertices = index.visited_vertices
         stats.runtime_seconds = time.perf_counter() - started
-        followers = frozenset(index.followers())
         return AnchoredKCoreResult(
             algorithm=self.name,
             k=self._k,

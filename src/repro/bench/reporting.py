@@ -158,19 +158,30 @@ def write_bench_json(
     backend: str = "auto",
     num_shards: int = 1,
     num_workers: int = 1,
+    metrics=None,
 ) -> None:
     """Write one benchmark record as pretty-printed JSON with provenance.
 
     ``payload`` holds the benchmark-specific numbers (timings, hit rates,
     speedups); the record wraps it with the benchmark ``name``,
-    :func:`bench_environment`, and an ``execution`` block recording the
-    backend name, shard count and worker count the run used (single-process
-    defaults when the caller does not say), so records from differently
-    configured runs can be compared as a time series.
+    :func:`bench_environment`, an ``execution`` block recording the backend
+    name, shard count and worker count the run used (single-process defaults
+    when the caller does not say), and a ``metrics`` block — the unified
+    metrics-registry snapshot of the run (see :mod:`repro.obs`).  ``metrics``
+    may be a :class:`~repro.obs.MetricsRegistry`, an already-materialised
+    snapshot list, or ``None`` to capture the process-wide registry, so
+    records from differently configured runs can be compared as a time
+    series down to individual counters.
     """
     import json
     from pathlib import Path
 
+    from repro.obs import MetricsRegistry, global_registry
+
+    if metrics is None:
+        metrics = global_registry()
+    if isinstance(metrics, MetricsRegistry):
+        metrics = metrics.snapshot()
     record = {
         "benchmark": name,
         "environment": bench_environment(),
@@ -180,5 +191,6 @@ def write_bench_json(
             "num_workers": num_workers,
         },
         **dict(payload),
+        "metrics": list(metrics),
     }
     Path(path).write_text(json.dumps(record, indent=2, sort_keys=False) + "\n", encoding="utf-8")

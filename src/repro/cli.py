@@ -85,6 +85,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shard count for --backend sharded (default: REPRO_SHARD_COUNT or 4)",
     )
+    serve.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help=(
+            "enable hierarchical tracing for the run and stream spans to this "
+            "JSON-lines file (see repro.obs)"
+        ),
+    )
+    serve.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help=(
+            "write the run's metrics registry snapshot here; '.prom'/'.txt' "
+            "selects Prometheus text exposition, anything else JSON"
+        ),
+    )
     return parser
 
 
@@ -135,7 +153,40 @@ def _resolve_cli_backend(args: argparse.Namespace):
 
 
 def _run_serve_sim(args: argparse.Namespace) -> int:
-    """Replay a dataset's deltas through the streaming engine with interleaved queries."""
+    """Replay a dataset's deltas through the streaming engine with interleaved queries.
+
+    ``--trace-out`` enables hierarchical tracing for the duration of the run
+    and streams every finished span to a JSON-lines file; ``--metrics-out``
+    writes the engine's metrics-registry snapshot (plus the process-wide
+    registry) after the replay, as Prometheus text or JSON by extension.
+    """
+    from repro.obs import JsonLinesSpanSink, global_registry, tracer, write_metrics
+
+    sink = None
+    previous_enabled = None
+    if args.trace_out is not None:
+        sink = JsonLinesSpanSink(args.trace_out)
+        tracer.add_sink(sink)
+        previous_enabled = tracer.set_enabled(True)
+    engine = None
+    try:
+        code, engine = _serve_sim_replay(args)
+    finally:
+        if sink is not None:
+            tracer.set_enabled(previous_enabled)
+            tracer.remove_sink(sink)
+            sink.close()
+    if sink is not None:
+        print(f"trace written to {args.trace_out} ({sink.spans_written} spans)")
+    if args.metrics_out is not None and engine is not None:
+        snapshot = engine.stats.registry.snapshot() + global_registry().snapshot()
+        fmt = write_metrics(snapshot, args.metrics_out)
+        print(f"metrics snapshot ({fmt}) written to {args.metrics_out}")
+    return code
+
+
+def _serve_sim_replay(args: argparse.Namespace):
+    """The serve-sim replay loop; returns ``(exit_code, engine)``."""
     from repro.engine import StreamingAVTEngine
 
     problem = build_problem(
@@ -188,11 +239,11 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
         if args.checkpoint is not None and step == checkpoint_step:
             checkpointed = True
             if not checkpoint_and_verify(step, result):
-                return 2
+                return 2, engine
     if args.checkpoint is not None and not checkpointed:
         # No deltas to replay (e.g. --snapshots 1): honour --checkpoint anyway.
         if not checkpoint_and_verify(0, result):
-            return 2
+            return 2, engine
 
     print()
     print(engine.stats.summary())
@@ -201,8 +252,8 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
         # must hit; a single query per step (or an empty replay) makes no such
         # promise.
         print("error: expected at least one cache hit", file=sys.stderr)
-        return 2
-    return 0
+        return 2, engine
+    return 0, engine
 
 
 def _run_datasets() -> int:

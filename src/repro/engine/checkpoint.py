@@ -13,11 +13,15 @@ state, not an interchange format.
 
 from __future__ import annotations
 
+import logging
 import pickle
 from pathlib import Path
 from typing import Any, Dict, Union
 
 from repro.errors import CheckpointError
+from repro.obs import tracer
+
+logger = logging.getLogger("repro.engine.checkpoint")
 
 PathLike = Union[str, Path]
 
@@ -70,8 +74,16 @@ def read_state(path: PathLike) -> Dict[str, Any]:
 
 def save_checkpoint(engine: Any, path: PathLike) -> None:
     """Persist ``engine`` (a :class:`StreamingAVTEngine`) to ``path``."""
-    write_state(engine.to_state(), path)
+    with tracer.span("engine.checkpoint.save") as save_span:
+        write_state(engine.to_state(), path)
+        save_span.set(path=str(path))
     engine.stats.checkpoints_saved += 1
+    logger.info(
+        "checkpoint saved to %s (version=%d, %d vertices)",
+        path,
+        engine.graph_version,
+        engine.graph.num_vertices,
+    )
 
 
 def load_checkpoint(path: PathLike, **engine_kwargs: Any) -> Any:
@@ -82,6 +94,15 @@ def load_checkpoint(path: PathLike, **engine_kwargs: Any) -> Any:
     """
     from repro.engine.engine import StreamingAVTEngine
 
-    engine = StreamingAVTEngine.from_state(read_state(path), **engine_kwargs)
+    with tracer.span("engine.checkpoint.restore") as restore_span:
+        engine = StreamingAVTEngine.from_state(read_state(path), **engine_kwargs)
+        restore_span.set(path=str(path), version=engine.graph_version)
     engine.stats.checkpoints_restored += 1
+    logger.info(
+        "checkpoint restored from %s (version=%d, %d vertices, backend=%s)",
+        path,
+        engine.graph_version,
+        engine.graph.num_vertices,
+        engine.backend,
+    )
     return engine

@@ -29,6 +29,7 @@ so a restarted server resumes without a single decomposition.
 
 from __future__ import annotations
 
+import logging
 import time
 import warnings
 from collections import OrderedDict
@@ -55,6 +56,9 @@ from repro.backends import (
 from repro.errors import CheckpointError, ParameterError
 from repro.graph.dynamic import EdgeDelta
 from repro.graph.static import Graph, Vertex
+from repro.obs import tracer
+
+logger = logging.getLogger("repro.engine")
 
 SOLVERS: Dict[str, Callable[[Graph, int, int], Any]] = {
     "greedy": GreedyAnchoredKCore,
@@ -229,6 +233,11 @@ class StreamingAVTEngine:
         """
         if self._buffer.is_empty():
             return DeltaEffect()
+        with tracer.span("engine.flush") as flush_span:
+            effect = self._flush_pending(flush_span)
+        return effect
+
+    def _flush_pending(self, flush_span) -> DeltaEffect:
         started = time.perf_counter()
         delta = self._buffer.flush()
         effect = self._maintainer.apply_delta(delta)
@@ -244,6 +253,12 @@ class StreamingAVTEngine:
             )
             if resolved.name != BACKEND_DICT and self._maintainer.switch_backend(resolved):
                 self._backend = resolved
+                logger.info(
+                    "backend re-resolved to %r at %d vertices (policy %r)",
+                    resolved.name,
+                    self._maintainer.graph.num_vertices,
+                    self._backend_policy,
+                )
         self._stats.deltas_applied += 1
         self._stats.edges_inserted += len(delta.inserted)
         self._stats.edges_removed += len(delta.removed)
@@ -281,7 +296,20 @@ class StreamingAVTEngine:
                     doomed.append(warm_key)
             for warm_key in doomed:
                 del self._warm[warm_key]
-        self._stats.update_seconds += time.perf_counter() - started
+        self._stats.observe_latency("update", time.perf_counter() - started)
+        flush_span.set(
+            inserted=len(delta.inserted),
+            removed=len(delta.removed),
+            touched=len(touched),
+            version=self._version,
+        )
+        logger.debug(
+            "flush applied: +%d/-%d edges, %d vertices touched, version=%d",
+            len(delta.inserted),
+            len(delta.removed),
+            len(touched),
+            self._version,
+        )
         return effect
 
     # ------------------------------------------------------------------
@@ -314,57 +342,67 @@ class StreamingAVTEngine:
             )
         use_warm = self._warm_queries if warm is None else warm
 
-        self.flush()
-        started = time.perf_counter()
-        self._stats.queries += 1
-        key = CacheKey(self._version, k, budget, solver_name)
-        cached = self._cache.get(key)
-        if cached is not None and not use_warm and cached.algorithm == WARM_ALGORITHM:
-            # The caller demands an exact answer but the entry is the warm
-            # heuristic: fall through to a cold solve (which replaces it, so
-            # the upgraded entry then serves both modes).
-            cached = None
-        if cached is not None:
-            self._stats.cache_hits += 1
-            self._stats.hit_seconds += time.perf_counter() - started
-            return cached
-        self._stats.cache_misses += 1
+        with tracer.span(
+            "engine.query", k=k, budget=budget, solver=solver_name
+        ) as query_span:
+            self.flush()
+            started = time.perf_counter()
+            self._stats.queries += 1
+            key = CacheKey(self._version, k, budget, solver_name)
+            cached = self._cache.get(key)
+            if cached is not None and not use_warm and cached.algorithm == WARM_ALGORITHM:
+                # The caller demands an exact answer but the entry is the warm
+                # heuristic: fall through to a cold solve (which replaces it, so
+                # the upgraded entry then serves both modes).
+                cached = None
+            if cached is not None:
+                self._stats.cache_hits += 1
+                self._stats.observe_latency("hit", time.perf_counter() - started)
+                query_span.set(outcome="hit", version=self._version)
+                return cached
+            self._stats.cache_misses += 1
 
-        warm_key = (k, budget, solver_name)
-        state = self._warm.get(warm_key) if use_warm else None
-        if state is not None:
-            result = self._answer_warm(k, budget, state, started)
-        else:
-            result = self._answer_cold(k, budget, solver_name, started)
-        self._cache.put(key, result)
-        self._warm[warm_key] = _WarmState(
-            version=self._version, anchors=tuple(result.anchors)
-        )
-        self._warm.move_to_end(warm_key)
-        while len(self._warm) > self._warm_capacity:
-            self._warm.popitem(last=False)
-        return result
+            warm_key = (k, budget, solver_name)
+            state = self._warm.get(warm_key) if use_warm else None
+            if state is not None:
+                result = self._answer_warm(k, budget, state, started)
+                query_span.set(outcome="warm", version=self._version)
+            else:
+                result = self._answer_cold(k, budget, solver_name, started)
+                query_span.set(outcome="cold", version=self._version)
+            self._cache.put(key, result)
+            self._warm[warm_key] = _WarmState(
+                version=self._version, anchors=tuple(result.anchors)
+            )
+            self._warm.move_to_end(warm_key)
+            while len(self._warm) > self._warm_capacity:
+                self._warm.popitem(last=False)
+            return result
 
     def _answer_warm(
         self, k: int, budget: int, state: _WarmState, started: float
     ) -> AnchoredKCoreResult:
         graph = self._maintainer.graph
-        if state.version == self._version or not state.stale:
-            # Graph unchanged since the anchors were chosen (the cache entry
-            # merely fell to LRU pressure): the previous anchors still stand.
-            anchors: List[Vertex] = [
-                anchor for anchor in state.anchors if graph.has_vertex(anchor)
-            ][:budget]
-            solver_stats = SolverStats()
-        else:
-            anchors, solver_stats = self._refresher.refresh_anchors(
-                self._maintainer, k, budget, state.anchors, state.stale
-            )
-        plain_core = self._maintainer.k_core_vertices(k)
-        followers = compute_followers(graph, k, anchors, k_core_vertices=plain_core)
-        solver_stats.runtime_seconds = time.perf_counter() - started
+        with tracer.span("engine.solve.warm", k=k, budget=budget) as warm_span:
+            if state.version == self._version or not state.stale:
+                # Graph unchanged since the anchors were chosen (the cache entry
+                # merely fell to LRU pressure): the previous anchors still stand.
+                anchors: List[Vertex] = [
+                    anchor for anchor in state.anchors if graph.has_vertex(anchor)
+                ][:budget]
+                solver_stats = SolverStats()
+                warm_span.set(refreshed=False)
+            else:
+                anchors, solver_stats = self._refresher.refresh_anchors(
+                    self._maintainer, k, budget, state.anchors, state.stale
+                )
+                warm_span.set(refreshed=True, stale=len(state.stale))
+            plain_core = self._maintainer.k_core_vertices(k)
+            followers = compute_followers(graph, k, anchors, k_core_vertices=plain_core)
+            solver_stats.runtime_seconds = time.perf_counter() - started
+            warm_span.set(anchors=len(anchors), followers=len(followers))
         self._stats.warm_solves += 1
-        self._stats.warm_seconds += solver_stats.runtime_seconds
+        self._stats.observe_latency("warm", solver_stats.runtime_seconds)
         return AnchoredKCoreResult(
             algorithm=WARM_ALGORITHM,
             k=k,
@@ -378,12 +416,16 @@ class StreamingAVTEngine:
     def _answer_cold(
         self, k: int, budget: int, solver_name: str, started: float
     ) -> AnchoredKCoreResult:
-        solver = SOLVERS[solver_name](
-            self._maintainer.graph, k, budget, backend=self._backend
-        )
-        result = solver.select()
+        with tracer.span(
+            "engine.solve.cold", k=k, budget=budget, solver=solver_name
+        ) as cold_span:
+            solver = SOLVERS[solver_name](
+                self._maintainer.graph, k, budget, backend=self._backend
+            )
+            result = solver.select()
+            cold_span.set(anchors=len(result.anchors), followers=result.num_followers)
         self._stats.cold_solves += 1
-        self._stats.cold_seconds += time.perf_counter() - started
+        self._stats.observe_latency("cold", time.perf_counter() - started)
         return result
 
     # ------------------------------------------------------------------
@@ -461,6 +503,12 @@ class StreamingAVTEngine:
         try:
             resolved = get_backend(policy, num_vertices)
         except ParameterError as error:
+            logger.warning(
+                "checkpoint backend %r is not available in this process "
+                "(%s); restoring with backend='auto'",
+                policy,
+                error,
+            )
             warnings.warn(
                 f"checkpoint backend {policy!r} is not available in this "
                 f"process ({error}); restoring with backend='auto'",

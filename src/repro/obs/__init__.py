@@ -1,0 +1,56 @@
+"""repro.obs — hierarchical tracing, unified metrics, pluggable exporters.
+
+The observability layer threaded through every execution layer of the repo:
+
+=================  ==========================================================
+piece              role
+=================  ==========================================================
+``tracer``         Hierarchical spans with a context-manager API and a
+                   near-zero-overhead no-op path while disabled; spans from
+                   spawn-based shard workers merge into the parent trace.
+``MetricsRegistry``  Counters / gauges / log-bucketed histograms behind one
+                   ``{name, type, value, labels}`` snapshot schema; the
+                   legacy stats surfaces are views over it.
+``exporters``      JSON-lines span sink, Prometheus text exposition, and
+                   snapshot writers for the CLI and benches.
+=================  ==========================================================
+
+Enable tracing programmatically (``tracer.set_enabled(True)``), per run
+(``avt-bench serve-sim --trace-out trace.jsonl``), or process-wide via the
+``REPRO_TRACE=1`` environment variable.
+"""
+
+from repro.obs import tracer
+from repro.obs.exporters import (
+    JsonLinesSpanSink,
+    read_spans_jsonl,
+    to_prometheus,
+    write_metrics,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    reset_global_registry,
+)
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "tracer",
+    "Span",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "reset_global_registry",
+    "JsonLinesSpanSink",
+    "read_spans_jsonl",
+    "write_spans_jsonl",
+    "to_prometheus",
+    "write_metrics",
+]

@@ -67,16 +67,21 @@ from __future__ import annotations
 
 import atexit
 import heapq
+import logging
 import math
 import threading
 import uuid
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import get_context
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ParameterError
+from repro.obs import tracer
+from repro.obs.metrics import MetricsRegistry
 from repro.shard.partition import ShardPlan, ShardState
+
+logger = logging.getLogger("repro.shard")
 
 #: Valid ``executor=`` values for :class:`ShardCoordinator`.
 EXECUTOR_SERIAL = "serial"
@@ -771,13 +776,28 @@ class _SerialExecutor:
 
     def run(self, op: str, args_per_shard: List[Optional[tuple]]) -> List[object]:
         func = _OPS[op]
-        return [
-            None if args is None else func(state, *args)
-            for state, args in zip(self._shards, args_per_shard)
-        ]
+        if not tracer.enabled:
+            return [
+                None if args is None else func(state, *args)
+                for state, args in zip(self._shards, args_per_shard)
+            ]
+        results: List[object] = []
+        for shard_id, (state, args) in enumerate(zip(self._shards, args_per_shard)):
+            if args is None:
+                results.append(None)
+                continue
+            with tracer.span("shard.op", op=op, shard=shard_id):
+                results.append(func(state, *args))
+        return results
 
     def run_tasks(self, tasks: List[Tuple[str, tuple]]) -> List[object]:
-        return [_TASKS[name](*args) for name, args in tasks]
+        if not tracer.enabled:
+            return [_TASKS[name](*args) for name, args in tasks]
+        results = []
+        for index, (name, args) in enumerate(tasks):
+            with tracer.span("shard.task", task=name, slot=index):
+                results.append(_TASKS[name](*args))
+        return results
 
 
 # Process-wide worker pools, one single-worker spawn pool per slot, reused
@@ -802,12 +822,28 @@ def _worker_drop(key: str) -> int:
     return len(doomed)
 
 
-def _worker_exec(key: str, shard_id: int, op: str, args: tuple) -> object:
-    return _OPS[op](_WORKER_STATES[(key, shard_id)], *args)
+def _worker_exec(
+    key: str, shard_id: int, op: str, args: tuple, trace: bool = False
+) -> object:
+    """Run one op in the worker.  With ``trace``, the op executes inside a
+    worker-local span and the result is returned as ``(result, spans)`` so the
+    coordinator can merge the worker's trace into its own (shard-id tagged,
+    pid-prefixed span ids keep everything unique across processes)."""
+    if not trace:
+        return _OPS[op](_WORKER_STATES[(key, shard_id)], *args)
+    tracer.set_enabled(True)
+    with tracer.span("shard.op", op=op, shard=shard_id):
+        result = _OPS[op](_WORKER_STATES[(key, shard_id)], *args)
+    return result, tracer.drain()
 
 
-def _worker_task(name: str, args: tuple) -> object:
-    return _TASKS[name](*args)
+def _worker_task(name: str, args: tuple, trace: bool = False) -> object:
+    if not trace:
+        return _TASKS[name](*args)
+    tracer.set_enabled(True)
+    with tracer.span("shard.task", task=name):
+        result = _TASKS[name](*args)
+    return result, tracer.drain()
 
 
 def _get_pool(slot: int) -> ProcessPoolExecutor:
@@ -870,27 +906,59 @@ class _ProcessExecutor:
             future.result()
 
     def run(self, op: str, args_per_shard: List[Optional[tuple]]) -> List[object]:
+        trace = tracer.is_enabled()
         futures = [
             None
             if args is None
             else _get_pool(self.slots[shard_id]).submit(
-                _worker_exec, self.key, shard_id, op, args
+                _worker_exec, self.key, shard_id, op, args, trace
             )
             for shard_id, args in enumerate(args_per_shard)
         ]
-        return [None if future is None else future.result() for future in futures]
+        results: List[object] = []
+        for future in futures:
+            if future is None:
+                results.append(None)
+                continue
+            value = future.result()
+            if trace:
+                value, spans = value
+                tracer.adopt(spans)
+            results.append(value)
+        return results
 
     def run_tasks(self, tasks: List[Tuple[str, tuple]]) -> List[object]:
+        trace = tracer.is_enabled()
         futures = [
-            _get_pool(index % self.num_workers).submit(_worker_task, name, args)
+            _get_pool(index % self.num_workers).submit(_worker_task, name, args, trace)
             for index, (name, args) in enumerate(tasks)
         ]
-        return [future.result() for future in futures]
+        results = []
+        for future in futures:
+            value = future.result()
+            if trace:
+                value, spans = value
+                tracer.adopt(spans)
+            results.append(value)
+        return results
 
 
 # ---------------------------------------------------------------------------
 # Coordinator
 # ---------------------------------------------------------------------------
+#: Registry-backed coordinator counters (``shard.<name>`` in the registry,
+#: same keys in the :meth:`ShardCoordinator.stats` plain dict).
+_COUNTER_FIELDS = (
+    "rounds",
+    "messages",
+    "shard_cache_hits",
+    "shard_cache_misses",
+    "fragment_cache_hits",
+    "fragment_cache_misses",
+    "shard_rounds_skipped",
+)
+
+
 class ShardCoordinator:
     """Drives sharded kernels over a :class:`~repro.shard.partition.ShardPlan`.
 
@@ -913,17 +981,17 @@ class ShardCoordinator:
             )
         self.plan = plan
         self.executor = executor
-        self.rounds = 0
-        self.messages = 0
-        #: Shard-local result caching observability (the ROADMAP follow-up):
-        #: round-1 peel reuses (`shard_cache_*`), fragment reuses
-        #: (`fragment_cache_*`), and per-shard op calls skipped because the
-        #: shard had no incoming boundary traffic (`shard_rounds_skipped`).
-        self.shard_cache_hits = 0
-        self.shard_cache_misses = 0
-        self.fragment_cache_hits = 0
-        self.fragment_cache_misses = 0
-        self.shard_rounds_skipped = 0
+        #: Registry behind every coordinator counter: ``rounds``/``messages``
+        #: and the shard-local caching observability (round-1 peel reuses,
+        #: fragment reuses, per-shard op calls skipped because the shard had
+        #: no incoming boundary traffic) are properties over ``shard.*``
+        #: counters here, so :meth:`snapshot` shares the unified
+        #: ``{name, type, value, labels}`` schema with the engine and solver
+        #: stats while :meth:`stats` keeps its plain-dict shape.
+        self.registry = MetricsRegistry()
+        self._metrics = {
+            name: self.registry.counter("shard." + name) for name in _COUNTER_FIELDS
+        }
         self._finalizer = None
         if executor == EXECUTOR_PROCESS:
             self._exec = _ProcessExecutor(plan, max_workers)
@@ -958,7 +1026,12 @@ class ShardCoordinator:
         if args_per_shard is None:
             args_per_shard = [shared] * self.plan.num_shards
         self.rounds += 1
-        return self._exec.run(op, args_per_shard)
+        with tracer.span(
+            "shard.round",
+            op=op,
+            shards=sum(1 for args in args_per_shard if args is not None),
+        ):
+            return self._exec.run(op, args_per_shard)
 
     def _merge_buckets(self, outputs: List[Buckets]) -> Tuple[List[Dict[int, int]], bool]:
         """Combine per-shard destination buckets, summing duplicate targets."""
@@ -1026,7 +1099,17 @@ class ShardCoordinator:
         n = self.plan.num_vertices
         if n == 0:
             return [], []
+        with tracer.span(
+            "shard.decompose",
+            shards=self.plan.num_shards,
+            executor=self.executor,
+            anchors=len(anchor_list),
+        ):
+            return self._decompose(anchor_list, n)
 
+    def _decompose(
+        self, anchor_list: List[int], n: int
+    ) -> Tuple[List[float], List[int]]:
         # Phase A: distributed core-bound refinement -> core numbers.
         num_shards = self.plan.num_shards
         reset_results = self._run("hindex_reset", shared=(anchor_list,))
@@ -1082,9 +1165,10 @@ class ShardCoordinator:
             bins[lightest].append((c, fragments))
             loads[lightest] += cost
         self.rounds += 1
-        results = self._exec.run_tasks(
-            [("shell_orders", (batch,)) for batch in bins if batch]
-        )
+        with tracer.span("shard.round", op="shell_orders", shards=len([b for b in bins if b])):
+            results = self._exec.run_tasks(
+                [("shell_orders", (batch,)) for batch in bins if batch]
+            )
         by_level: Dict[int, List[int]] = {}
         for part in results:
             for c, shell_order in part:
@@ -1100,12 +1184,13 @@ class ShardCoordinator:
         if self.plan.num_vertices == 0:
             return set()
         anchor_list = sorted({int(a) for a in anchor_ids})
-        self._run("peel_reset", shared=(anchor_list,))
-        self._cascade("peel_cascade", (k - 1,))
-        survivors: Set[int] = set()
-        for part in self._run("alive_collect"):
-            survivors.update(part)
-        return survivors
+        with tracer.span("shard.k_core", k=k, anchors=len(anchor_list)):
+            self._run("peel_reset", shared=(anchor_list,))
+            self._cascade("peel_cascade", (k - 1,))
+            survivors: Set[int] = set()
+            for part in self._run("alive_collect"):
+                survivors.update(part)
+            return survivors
 
     def remaining_degree_ids(self, rank_ids: List[int]) -> Dict[int, int]:
         """``deg+`` for every id with ``rank_ids[id] >= 0`` (one round)."""
@@ -1134,6 +1219,16 @@ class ShardCoordinator:
         dict/compact/numpy kernels exactly (both are order-independent).
         ``region_out`` receives the explored region ids when supplied.
         """
+        with tracer.span("shard.marginal_followers", k=k) as mf_span:
+            return self._marginal_follower_ids(k, candidate_id, region_out, mf_span)
+
+    def _marginal_follower_ids(
+        self,
+        k: int,
+        candidate_id: int,
+        region_out: Optional[Set[int]],
+        mf_span: Any,
+    ) -> Tuple[Set[int], int]:
         seeds: List[int] = []
         for part in self._run("region_init", shared=(k, candidate_id)):
             seeds.extend(part)
@@ -1166,21 +1261,23 @@ class ShardCoordinator:
         survivors: Set[int] = set()
         for part in self._run("support_collect"):
             survivors.update(part)
+        mf_span.set(region=len(region), gained=len(survivors))
         return survivors, len(region) + removed_total
 
     def full_shell_follower_ids(
         self, k: int, candidate_id: int
     ) -> Tuple[Set[int], int]:
         """Whole-shell follower cascade (OLAK baseline); same contract."""
-        counts = self._run("support_init", shared=(k, candidate_id, None))
-        shell_size = sum(counts)
-        if shell_size == 0:
-            return set(), 0
-        removed_total = self._cascade("support_cascade", ())
-        survivors: Set[int] = set()
-        for part in self._run("support_collect"):
-            survivors.update(part)
-        return survivors, shell_size + removed_total
+        with tracer.span("shard.full_shell_followers", k=k):
+            counts = self._run("support_init", shared=(k, candidate_id, None))
+            shell_size = sum(counts)
+            if shell_size == 0:
+                return set(), 0
+            removed_total = self._cascade("support_cascade", ())
+            survivors: Set[int] = set()
+            for part in self._run("support_collect"):
+                survivors.update(part)
+            return survivors, shell_size + removed_total
 
     def stats(self) -> Dict[str, int]:
         """Observability counters, including the shard-local cache hits.
@@ -1191,15 +1288,13 @@ class ShardCoordinator:
         ``shard_rounds_skipped`` the per-shard op calls avoided because a
         shard had no incoming boundary traffic that round.
         """
-        return {
-            "rounds": self.rounds,
-            "messages": self.messages,
-            "shard_cache_hits": self.shard_cache_hits,
-            "shard_cache_misses": self.shard_cache_misses,
-            "fragment_cache_hits": self.fragment_cache_hits,
-            "fragment_cache_misses": self.fragment_cache_misses,
-            "shard_rounds_skipped": self.shard_rounds_skipped,
-        }
+        return {name: self._metrics[name].value for name in _COUNTER_FIELDS}
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """The same counters in the unified ``{name, type, value, labels}``
+        schema shared with ``EngineStats`` and ``SolverStats`` (exporters,
+        bench embedding)."""
+        return self.registry.snapshot()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -1208,3 +1303,19 @@ class ShardCoordinator:
             f"messages={self.messages}, "
             f"shard_cache_hits={self.shard_cache_hits})"
         )
+
+
+def _make_counter_property(name: str) -> property:
+    def fget(self: ShardCoordinator) -> int:
+        return self._metrics[name].value
+
+    def fset(self: ShardCoordinator, value: int) -> None:
+        self._metrics[name].set(value)
+
+    fget.__name__ = name
+    return property(fget, fset, doc=f"Registry-backed view of ``shard.{name}``.")
+
+
+for _name in _COUNTER_FIELDS:
+    setattr(ShardCoordinator, _name, _make_counter_property(_name))
+del _name

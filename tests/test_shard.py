@@ -296,6 +296,65 @@ class TestCoordinatorProcess:
             pooled.close()
 
 
+class TestCrossProcessTracing:
+    """Spans recorded inside spawn workers merge into the coordinator trace."""
+
+    def test_worker_spans_adopted_into_coordinator_trace(self, process_pools):
+        import os
+
+        from repro.obs import tracer
+
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, 2)
+        pooled = ShardCoordinator(plan, executor="process")
+        previous = tracer.set_enabled(True)
+        tracer.drain()
+        try:
+            with tracer.span("test.root") as root:
+                pooled.decompose()
+            spans = tracer.drain()
+        finally:
+            tracer.set_enabled(previous)
+            pooled.close()
+
+        worker_spans = [entry for entry in spans if entry["pid"] != os.getpid()]
+        assert worker_spans, "workers recorded no spans"
+        # Per-shard ops carry their shard id; fan-out tasks their task name.
+        assert {entry["name"] for entry in worker_spans} <= {"shard.op", "shard.task"}
+        op_spans = [entry for entry in worker_spans if entry["name"] == "shard.op"]
+        assert {entry["attrs"]["shard"] for entry in op_spans} == {0, 1}
+        # pid-prefixed ids never collide with the coordinator's.
+        coordinator_ids = {
+            entry["span_id"] for entry in spans if entry["pid"] == os.getpid()
+        }
+        assert not coordinator_ids & {entry["span_id"] for entry in worker_spans}
+
+        root_dict = next(entry for entry in spans if entry["name"] == "test.root")
+        by_id = {entry["span_id"]: entry for entry in spans}
+        for entry in worker_spans:
+            # Shared trace id and a parent chain that reaches the test root.
+            assert entry["trace_id"] == root_dict["trace_id"]
+            cursor = entry
+            while cursor["parent_id"] is not None:
+                cursor = by_id[cursor["parent_id"]]
+            assert cursor["span_id"] == root_dict["span_id"]
+
+    def test_untraced_process_run_returns_no_spans(self, process_pools):
+        from repro.obs import tracer
+
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, 2)
+        pooled = ShardCoordinator(plan, executor="process")
+        previous = tracer.set_enabled(False)
+        tracer.drain()
+        try:
+            pooled.decompose()
+            assert tracer.drain() == []
+        finally:
+            tracer.set_enabled(previous)
+            pooled.close()
+
+
 class TestShardedBackendConfig:
     def test_registered_and_not_picked_by_auto(self):
         assert get_backend("sharded").name == BACKEND_SHARDED
