@@ -59,7 +59,7 @@ cascades, K-order ``deg+``, the follower cascades and candidate scans behind
 the anchored core index, the incremental maintenance traversals) is defined
 once as the :class:`~repro.backends.ExecutionBackend` protocol and
 implemented by the registered backends; public modules never branch on a
-backend name, they call through the object the registry resolves.  The four
+backend name, they call through the object the registry resolves.  The five
 built-ins:
 
 ================  =============================================  =========================================
@@ -70,11 +70,16 @@ backend           implementation                                 ``auto`` picks 
                                                                  vertices, or for any one-shot cascade
                                                                  (a single O(n + m) pass cannot amortise
                                                                  a snapshot build)
-``compact``       flat int arrays over an interned CSR           large amortised workloads when numpy is
-                  snapshot; packed single-int heap peeling       not installed
+``compact``       flat int arrays over an interned CSR           large amortised workloads when neither
+                  snapshot; packed single-int heap peeling       numba nor numpy is installed
 ``numpy``         vectorised numpy kernels over the same CSR     large amortised workloads when numpy is
-                  contract (wave peeling, bincount support       installed (highest auto priority)
+                  contract (wave peeling, bincount support       installed but numba is not
                   counts, edge-level candidate scans)
+``numba``         the three hottest kernels (packed-heap peel,   large amortised workloads when numba is
+                  support cascades, maintenance traversals) as   installed (highest auto priority); JIT
+                  ``@njit(cache=True)`` machine code over the    compilation runs once at construction
+                  CSR contract; everything else inherits the     under a ``kernel.jit_compile`` span
+                  compact twins
 ``sharded``       the CSR snapshot partitioned across shards     never — multi-process execution is an
                   (:mod:`repro.shard`: hash or degree-balanced   explicit operator decision: request
                   partitioners, ghost tables); every cascade     ``backend="sharded"``, pass a configured
@@ -84,14 +89,24 @@ backend           implementation                                 ``auto`` picks 
                   process per shard                              workers)
 ================  =============================================  =========================================
 
+The priority ladder above is only the *uncalibrated* policy.  A measured
+calibration table (:mod:`repro.backends.calibrate`: ``avt-bench calibrate``
+or :func:`repro.backends.run_calibration`, activated via
+:func:`repro.backends.load_calibration` or ``REPRO_CALIBRATION``) makes
+``auto`` resolve amortised workloads to the *measured* winner of the size
+band containing the graph, falling back to the ladder for uncalibrated sizes
+and unavailable winners.
+
 All registered backends guarantee identical core numbers, identical
 *removal orders* and identical instrumentation counts (enforced by
-``tests/test_backend_equivalence.py``, four-way); only speed differs —
+``tests/test_backend_equivalence.py``, five-way); only speed differs —
 ``benchmarks/bench_backend_compare.py`` tracks the gaps and emits
 ``BENCH_backend.json`` / ``BENCH_numpy.json`` / ``BENCH_sharded.json``
 (shard-scaling: 1-shard serial vs multi-worker process pool) /
-``BENCH_incremental.json`` (incremental vs full-recompute Greedy), each with
-an enforced ``floors`` block read by ``python -m repro.bench.compare``.
+``BENCH_incremental.json`` (incremental vs full-recompute Greedy), and
+``benchmarks/bench_autotune.py`` emits ``BENCH_autotune.json`` (compiled-vs-
+vectorised kernel floor plus the recorded calibration table), each with an
+enforced ``floors`` block read by ``python -m repro.bench.compare``.
 
 *Delta refresh* — committing one anchor never re-peels the snapshot.
 :meth:`~repro.backends.CoreIndexKernel.commit_anchor` is the incremental
@@ -108,6 +123,8 @@ kernel         ``commit_anchor`` path
 ``compact``    the same splice over flat id arrays
                (:func:`repro.cores.decomposition.incremental_anchor_commit`)
 ``numpy``      shares the compact splice (the region is scalar-sized work)
+``numba``      shares the compact splice too, then patches its float64 core
+               mirror for the touched ids
 ``sharded``    full refresh through the coordinator's shard-local result
                caches (round-1 peel keyed by local anchors, fragments keyed
                by converged bounds, no-traffic shards skipped), then an
@@ -152,14 +169,17 @@ restoring process falls back to ``"auto"`` with a warning.
     GreedyAnchoredKCore(graph, k=3, budget=5, backend="mine")
 
 ``auto_priority`` ranks the backend for ``auto`` on large amortised
-workloads; an ``is_available`` probe lets optional-dependency backends (like
-numpy) degrade gracefully — ``avt-bench backends`` prints the registry with
-availability, priorities and per-backend configuration.
+workloads; an ``is_available`` probe (with an optional ``availability_reason``
+companion explaining *why* — missing import vs. ``REPRO_DISABLE_*`` switch)
+lets optional-dependency backends like numpy and numba degrade gracefully —
+``avt-bench backends`` prints the registry with availability, skip reasons,
+priorities and per-backend configuration.
 
 *Dynamic re-resolution* — ``StreamingAVTEngine(backend="auto")`` re-resolves
 at flush time and migrates its :class:`CoreMaintainer` state, so an engine
 that starts empty upgrades off the dict backend once the ingested stream
-crosses the threshold.
+crosses the threshold; with a calibration table active the measured winner
+is re-consulted at every flush, so the engine follows band boundaries.
 
 Observability
 -------------
@@ -255,17 +275,23 @@ from repro.backends import (
     BACKEND_AUTO,
     BACKEND_COMPACT,
     BACKEND_DICT,
+    BACKEND_NUMBA,
     BACKEND_NUMPY,
     BACKEND_SHARDED,
     BACKENDS,
     COMPACT_THRESHOLD,
+    CalibrationSpec,
+    CalibrationTable,
     ExecutionBackend,
     available_backends,
+    backend_availability,
     backend_info,
     get_backend,
+    load_calibration,
     register_backend,
     registered_backends,
     resolve_backend,
+    run_calibration,
 )
 from repro.graph import (
     CompactGraph,
@@ -298,20 +324,26 @@ __all__ = [
     "BACKEND_AUTO",
     "BACKEND_COMPACT",
     "BACKEND_DICT",
+    "BACKEND_NUMBA",
     "BACKEND_NUMPY",
     "BACKEND_SHARDED",
     "BACKENDS",
     "COMPACT_THRESHOLD",
+    "CalibrationSpec",
+    "CalibrationTable",
     "CompactGraph",
     "DynamicCompactAdjacency",
     "ExecutionBackend",
     "VertexInterner",
     "available_backends",
+    "backend_availability",
     "backend_info",
     "get_backend",
+    "load_calibration",
     "register_backend",
     "registered_backends",
     "resolve_backend",
+    "run_calibration",
     # datasets
     "DATASET_NAMES",
     "dataset_spec",

@@ -85,11 +85,20 @@ BACKEND_DICT = "dict"
 BACKEND_COMPACT = "compact"
 #: Vectorised numpy kernels over the same CSR contract (optional dependency).
 BACKEND_NUMPY = "numpy"
+#: JIT-compiled numba kernels over the same CSR contract (optional dependency).
+BACKEND_NUMBA = "numba"
 #: Partitioned per-shard kernels with boundary exchange (:mod:`repro.shard`).
 BACKEND_SHARDED = "sharded"
 
 #: Every built-in ``backend=`` value (third-party backends register more).
-BACKENDS = (BACKEND_AUTO, BACKEND_DICT, BACKEND_COMPACT, BACKEND_NUMPY, BACKEND_SHARDED)
+BACKENDS = (
+    BACKEND_AUTO,
+    BACKEND_DICT,
+    BACKEND_COMPACT,
+    BACKEND_NUMPY,
+    BACKEND_NUMBA,
+    BACKEND_SHARDED,
+)
 
 #: ``auto`` switches away from the dict backend at this vertex count.  The
 #: crossover is where interning cost is clearly amortised by the kernels;

@@ -8,10 +8,10 @@ instance — to :func:`get_backend` and use whatever comes back.
 Registration
 ------------
 :func:`register_backend` associates a name with a zero-argument factory plus
-selection metadata.  The four built-ins (dict, compact, numpy, sharded) are
-registered by :mod:`repro.backends` itself (with lazy factories, so
-importing the package never imports numpy); third parties can register
-more::
+selection metadata.  The five built-ins (dict, compact, numpy, numba,
+sharded) are registered by :mod:`repro.backends` itself (with lazy
+factories, so importing the package never imports numpy or numba); third
+parties can register more::
 
     from repro.backends import ExecutionBackend, register_backend
 
@@ -19,9 +19,14 @@ more::
         name = "remote"
         ...
 
-    register_backend("remote", RemoteBackend, auto_priority=30)
+    register_backend("remote", RemoteBackend, auto_priority=40)
 
 After that every ``backend=`` kwarg in the library accepts ``"remote"``.
+Import-gated backends pass ``is_available`` (the probe) and, optionally,
+``availability_reason`` — a callable explaining *why* the probe currently
+fails (missing import vs. env-disabled), surfaced by
+:func:`backend_availability`, ``avt-bench backends`` and every
+unavailable-backend error or warning.
 
 The ``auto`` policy
 -------------------
@@ -32,18 +37,23 @@ The ``auto`` policy
    :func:`repro.anchored.followers.anchored_k_core`) always resolve to the
    dict backend, at any size: building an interned snapshot costs one full
    pass itself, so a lone cascade can never amortise it.
-2. **Amortised workloads** (full peeling decompositions, the long-lived
-   :class:`~repro.anchored.anchored_core.AnchoredCoreIndex`, incremental
-   maintenance) resolve to the dict backend below
-   :data:`~repro.backends.base.COMPACT_THRESHOLD` vertices — translation
-   overhead dominates on small graphs — and above it to the *available*
-   registered backend with the highest ``auto_priority`` (numpy 20 >
-   compact 10 > sharded 5 > dict 0, so numpy wins whenever it is importable
-   and the multi-process sharded backend is never auto-picked).
+2. **Amortised workloads with an active calibration table**
+   (:func:`repro.backends.calibrate.active_calibration`, installed
+   explicitly or via ``REPRO_CALIBRATION``) resolve to the *measured* winner
+   of the size band containing the graph — the empirical replacement for
+   the priority ladder.  A band whose winner is currently unavailable, and
+   sizes no band covers, fall through to rule 3.
+3. **Amortised workloads without a measurement** resolve to the dict
+   backend below :data:`~repro.backends.base.COMPACT_THRESHOLD` vertices —
+   translation overhead dominates on small graphs — and above it to the
+   *available* registered backend with the highest ``auto_priority``
+   (numba 30 > numpy 20 > compact 10 > sharded 5 > dict 0, so the compiled
+   tier wins whenever numba is importable and the multi-process sharded
+   backend is never auto-picked).
 
 Explicit names bypass the policy entirely; asking for a registered but
-unavailable backend (e.g. ``"numpy"`` without numpy installed) raises
-:class:`~repro.errors.ParameterError` with an actionable message.
+unavailable backend (e.g. ``"numba"`` without numba installed) raises
+:class:`~repro.errors.ParameterError` naming the reason.
 """
 
 from __future__ import annotations
@@ -59,9 +69,14 @@ from repro.backends.base import (
     WORKLOAD_ONE_SHOT,
     ExecutionBackend,
 )
+from repro.backends.calibrate import active_calibration
 from repro.errors import ParameterError
 
 _WORKLOADS = (WORKLOAD_ONE_SHOT, WORKLOAD_AMORTIZED)
+
+
+#: Fallback explanation when a probe fails without a reason provider.
+_GENERIC_REASON = "a runtime dependency is missing"
 
 
 @dataclass
@@ -72,6 +87,16 @@ class _BackendSpec:
     factory: Callable[[], ExecutionBackend]
     auto_priority: int = 0
     is_available: Callable[[], bool] = field(default=lambda: True)
+    availability_reason: Optional[Callable[[], Optional[str]]] = None
+
+    def availability(self) -> Tuple[bool, Optional[str]]:
+        """``(available, reason)``: the probe's verdict plus why it failed."""
+        if self.is_available():
+            return True, None
+        reason = None
+        if self.availability_reason is not None:
+            reason = self.availability_reason()
+        return False, reason if reason else _GENERIC_REASON
 
 
 _REGISTRY: Dict[str, _BackendSpec] = {}
@@ -84,6 +109,7 @@ def register_backend(
     *,
     auto_priority: int = 0,
     is_available: Optional[Callable[[], bool]] = None,
+    availability_reason: Optional[Callable[[], Optional[str]]] = None,
     replace: bool = False,
 ) -> None:
     """Register ``factory`` under ``name`` for every ``backend=`` kwarg.
@@ -95,12 +121,18 @@ def register_backend(
         Called at most once; the instance is cached process-wide.
     auto_priority:
         Rank among available backends when ``"auto"`` resolves an amortised
-        workload on a large graph (highest wins; dict=0, compact=10,
-        numpy=20).
+        workload on a large graph without a calibration table (highest wins;
+        dict=0, compact=10, numpy=20, numba=30).
     is_available:
         Optional probe called at resolution time — return ``False`` while a
         runtime dependency is missing and the backend is skipped by ``auto``
         and rejected (with an explanation) when requested by name.
+    availability_reason:
+        Optional companion to ``is_available``: return a one-line human
+        explanation of *why* the backend is currently unavailable (e.g.
+        ``"numba is not installed"`` vs ``"disabled via REPRO_DISABLE_NUMBA"``)
+        or ``None`` when it is available.  Surfaced by
+        :func:`backend_availability`, the CLI and unavailable-backend errors.
     replace:
         Allow overwriting an existing registration (off by default so typos
         cannot silently shadow a built-in).
@@ -114,6 +146,7 @@ def register_backend(
         factory=factory,
         auto_priority=auto_priority,
         is_available=is_available if is_available is not None else (lambda: True),
+        availability_reason=availability_reason,
     )
     _INSTANCES.pop(name, None)
 
@@ -128,10 +161,26 @@ def available_backends() -> Tuple[str, ...]:
     return tuple(name for name, spec in _REGISTRY.items() if spec.is_available())
 
 
+def backend_availability() -> Dict[str, Optional[str]]:
+    """Snapshot ``{name: None if available else reason}`` for every backend.
+
+    The reason distinguishes *why* a tier is being skipped — a missing
+    import (``"numba is not installed"``) vs. an explicit environment switch
+    (``"disabled via REPRO_DISABLE_NUMBA"``) — so the CLI and the engine's
+    unavailable-backend warning can say so instead of a generic shrug.
+    """
+    report: Dict[str, Optional[str]] = {}
+    for name, spec in _REGISTRY.items():
+        _available, reason = spec.availability()
+        report[name] = reason
+    return report
+
+
 def backend_info() -> Tuple[Dict[str, object], ...]:
     """One metadata row per registered backend, in registration order.
 
     Each row carries ``name``, ``available`` (the probe's current verdict),
+    ``reason`` (why the probe fails, ``None`` when available),
     ``auto_priority`` and ``config`` (the instance configuration of backends
     that have one — empty for stateless backends, and for unavailable
     backends whose factory cannot be called).  This is what the
@@ -139,7 +188,7 @@ def backend_info() -> Tuple[Dict[str, object], ...]:
     """
     rows = []
     for name, spec in _REGISTRY.items():
-        available = spec.is_available()
+        available, reason = spec.availability()
         config: Dict[str, object] = {}
         if available:
             config = dict(get_backend(name).config())
@@ -147,6 +196,7 @@ def backend_info() -> Tuple[Dict[str, object], ...]:
             {
                 "name": name,
                 "available": available,
+                "reason": reason,
                 "auto_priority": spec.auto_priority,
                 "config": config,
             }
@@ -179,7 +229,19 @@ def resolve_backend(
                 f"unknown backend {backend!r}; expected one of {known}"
             )
         return backend
-    if workload == WORKLOAD_ONE_SHOT or num_vertices < threshold:
+    if workload == WORKLOAD_ONE_SHOT:
+        return BACKEND_DICT
+    # Measured policy first: an active calibration table answers amortised
+    # workloads with the empirical winner of the size band (rule 2 in the
+    # module docstring); anything it cannot answer — no table, no covering
+    # band, winner not currently available/registered — falls through to
+    # the priority ladder.
+    table = active_calibration()
+    if table is not None:
+        winner = table.winner_for(num_vertices, available=available_backends())
+        if winner is not None and winner in _REGISTRY:
+            return winner
+    if num_vertices < threshold:
         return BACKEND_DICT
     best = BACKEND_DICT
     best_priority = _REGISTRY[BACKEND_DICT].auto_priority if BACKEND_DICT in _REGISTRY else 0
@@ -210,10 +272,10 @@ def get_backend(
     # REPRO_DISABLE_NUMPY switch flipping mid-process), and the contract is
     # that requesting it by name then fails loudly.
     spec = _REGISTRY[name]
-    if not spec.is_available():
+    available, reason = spec.availability()
+    if not available:
         raise ParameterError(
-            f"backend {name!r} is registered but unavailable "
-            f"(a runtime dependency is missing); "
+            f"backend {name!r} is registered but unavailable ({reason}); "
             f"available backends: {sorted(available_backends())}"
         )
     instance = _INSTANCES.get(name)

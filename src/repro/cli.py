@@ -9,6 +9,7 @@ Installed as the ``avt-bench`` console script::
     avt-bench summary --dataset gnutella  # one-problem comparison of all trackers
     avt-bench serve-sim --dataset gnutella  # online engine simulation
     avt-bench backends                    # registered execution backends
+    avt-bench calibrate --out cal.json    # measured backend sweep for "auto"
 """
 
 from __future__ import annotations
@@ -37,7 +38,7 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="?",
         help=(
             "experiment id (fig03..fig12, table4, ablation_*), 'summary', "
-            "'datasets', 'backends', or 'serve-sim'"
+            "'datasets', 'backends', 'calibrate', or 'serve-sim'"
         ),
     )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
@@ -102,6 +103,28 @@ def _build_parser() -> argparse.ArgumentParser:
             "write the run's metrics registry snapshot here; '.prom'/'.txt' "
             "selects Prometheus text exposition, anything else JSON"
         ),
+    )
+    calibrate = parser.add_argument_group("calibrate options")
+    calibrate.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help=(
+            "write the calibration table (JSON) here; load it later via "
+            "load_calibration() or the REPRO_CALIBRATION environment variable"
+        ),
+    )
+    calibrate.add_argument(
+        "--max-vertices",
+        type=int,
+        default=None,
+        help="cap every size band's sample graph at this many vertices (smoke sweeps)",
+    )
+    calibrate.add_argument(
+        "--repetitions",
+        type=int,
+        default=3,
+        help="timing repetitions per (band, workload, backend) cell; minimum is kept",
     )
     return parser
 
@@ -274,6 +297,7 @@ def _run_backends() -> int:
             {
                 "backend": info["name"],
                 "available": "yes" if info["available"] else "no",
+                "reason": info["reason"] or "-",
                 "auto_priority": info["auto_priority"],
                 "configuration": (
                     " ".join(f"{key}={value}" for key, value in sorted(config.items()))
@@ -292,6 +316,47 @@ def _run_backends() -> int:
     return 0
 
 
+def _run_calibrate(args: argparse.Namespace) -> int:
+    """Run a calibration sweep and print (and optionally persist) the winners.
+
+    The resulting table is what ``backend="auto"`` consults for amortised
+    workloads once installed — see :mod:`repro.backends.calibrate`.
+    """
+    from repro.backends import CalibrationSpec, backend_availability, run_calibration
+
+    spec = CalibrationSpec(repetitions=max(1, args.repetitions))
+    if args.max_vertices is not None:
+        spec = spec.scaled(max(2, args.max_vertices))
+    skipped = {name: reason for name, reason in backend_availability().items() if reason}
+    for name, reason in sorted(skipped.items()):
+        print(f"skipping backend '{name}': {reason}")
+    print(
+        f"calibrating {len(spec.bands)} size bands x {len(spec.workloads)} workloads "
+        f"(best of {spec.repetitions} repetitions)..."
+    )
+    table = run_calibration(spec)
+    rows = []
+    for band in table.bands:
+        timings = band["timings"]
+        rows.append(
+            {
+                "band": band["name"],
+                "vertices": band["sample_vertices"],
+                "edges": band["sample_edges"],
+                "winner": band["winner"] or "-",
+                "total_seconds": " ".join(
+                    f"{name}={sum(per.values()):.4f}" for name, per in sorted(timings.items())
+                ),
+            }
+        )
+    print(format_table(rows))
+    if args.out is not None:
+        table.save(args.out)
+        print(f"calibration table written to {args.out}")
+        print(f"activate it with REPRO_CALIBRATION={args.out} or load_calibration()")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``avt-bench`` console script."""
     parser = _build_parser()
@@ -305,6 +370,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("  summary                Compare all trackers on one dataset (see --dataset).")
         print("  datasets               Show the bundled dataset stand-ins.")
         print("  backends               Show the registered execution backends.")
+        print("  calibrate              Measure backends per size band for the 'auto' policy.")
         print("  serve-sim              Replay a dataset through the online streaming engine.")
         return 0
 
@@ -315,6 +381,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_datasets()
         if args.experiment == "backends":
             return _run_backends()
+        if args.experiment == "calibrate":
+            return _run_calibrate(args)
         if args.experiment == "serve-sim":
             return _run_serve_sim(args)
         experiment = get_experiment(args.experiment)

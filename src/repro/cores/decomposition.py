@@ -17,11 +17,12 @@ Execution is dispatched through the :mod:`repro.backends` registry: every
 function here accepts ``backend=`` (a registered name, ``"auto"``, or an
 :class:`~repro.backends.ExecutionBackend` instance) and calls the resolved
 backend's kernel.  All registered backends produce *identical* core numbers
-**and** identical removal orders — the compact/numpy snapshots intern
+**and** identical removal orders — the compact/numpy/numba snapshots intern
 vertices in tie-break order so the integer id doubles as the deterministic
-tie-break rank.  This module also hosts the flat integer-array kernel
-primitives (:func:`compact_peel`, :func:`compact_k_core_ids`) that the
-compact backend is built from.
+tie-break rank, and the numba tier's compiled packed-heap peel pops the same
+unique ascending keys as the :mod:`heapq` reference here.  This module also
+hosts the flat integer-array kernel primitives (:func:`compact_peel`,
+:func:`compact_k_core_ids`) that the compact backend is built from.
 """
 
 from __future__ import annotations

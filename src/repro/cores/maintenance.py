@@ -20,10 +20,13 @@ backend's :class:`~repro.backends.MaintenanceKernel` — the dict kernel walks
 the graph directly; the compact kernel (also used by the numpy backend,
 whose vectorisation cannot beat int-set traversals on per-edge subcores)
 mirrors the adjacency into integer-id sets with O(1) upkeep per edge
-operation.  Results are identical across backends, and a maintainer can be
-migrated to another backend mid-flight via :meth:`CoreMaintainer.switch_backend`
-(used by the streaming engine when an initially small graph outgrows the
-dict backend).
+operation; the numba kernel compiles the same subcore/eviction and
+support-drop traversals over a flat arena adjacency.  Results are identical
+across backends, and a maintainer can be migrated to another backend
+mid-flight via :meth:`CoreMaintainer.switch_backend` (used by the streaming
+engine when an initially small graph outgrows the dict backend, and — when a
+calibration table is active — whenever the graph crosses into a size band
+with a different measured winner).
 
 The maintained core numbers are the single source of truth for the incremental
 tracker; a :meth:`validate` hook recomputes them from scratch and raises if

@@ -1,18 +1,19 @@
 """Property tests: all registered execution backends are observationally identical.
 
-The compact, numpy and sharded backends (:mod:`repro.backends`) re-implement
-every hot kernel — peeling decomposition, k-core cascades, the K-order
-remaining degrees, follower computation, greedy selection, incremental
-maintenance — over flat int arrays / numpy arrays / partitioned shard states
-with boundary exchange.  These tests pin the contract that makes
-``backend="auto"`` safe: for *any* graph (isolated vertices, non-integer and
-mixed-type vertex ids included) every backend returns results identical to
-the dict reference, down to the removal order and the instrumentation
-counters.  Each test runs dict vs compact, dict vs sharded (3 shards, so
-boundary exchange is always exercised; the executor follows
-``REPRO_SHARD_EXECUTOR``, which the CI spawn job sets to ``process``) and,
-when numpy is installed, dict vs numpy (skipped cleanly otherwise — the
-import gate is part of the contract).
+The compact, numpy, numba and sharded backends (:mod:`repro.backends`)
+re-implement every hot kernel — peeling decomposition, k-core cascades, the
+K-order remaining degrees, follower computation, greedy selection,
+incremental maintenance — over flat int arrays / numpy arrays / JIT-compiled
+kernels / partitioned shard states with boundary exchange.  These tests pin
+the five-way contract that makes ``backend="auto"`` safe: for *any* graph
+(isolated vertices, non-integer and mixed-type vertex ids included) every
+backend returns results identical to the dict reference, down to the removal
+order and the instrumentation counters.  Each test runs dict vs compact,
+dict vs sharded (3 shards, so boundary exchange is always exercised; the
+executor follows ``REPRO_SHARD_EXECUTOR``, which the CI spawn job sets to
+``process``) and, when the optional dependency is installed, dict vs numpy
+and dict vs numba (each skipped cleanly otherwise — the import gates are
+part of the contract, and the no-numpy/no-numba CI jobs exercise them).
 
 ``REPRO_HYPOTHESIS_EXAMPLES`` overrides the example count per property (the
 CI spawn job lowers it: every sharded op there is a multi-process round).
@@ -31,7 +32,7 @@ from repro.anchored.followers import anchored_k_core
 from repro.anchored.greedy import GreedyAnchoredKCore
 from repro.anchored.olak import OLAKAnchoredKCore
 from repro.anchored.rcm import RCMAnchoredKCore
-from repro.backends import numpy_available
+from repro.backends import numba_available, numpy_available
 from repro.backends.sharded_backend import ShardedBackend
 from repro.cores.decomposition import (
     anchored_core_decomposition,
@@ -56,12 +57,16 @@ SETTINGS = settings(
 SHARDED = ShardedBackend(num_shards=3)
 
 #: The non-reference backends, each compared against the dict reference.
-#: numpy is skipped (not failed) on interpreters without numpy.
+#: numpy and numba are skipped (not failed) on interpreters missing them.
 OTHER_BACKENDS = [
     "compact",
     pytest.param(
         "numpy",
         marks=pytest.mark.skipif(not numpy_available(), reason="numpy is not installed"),
+    ),
+    pytest.param(
+        "numba",
+        marks=pytest.mark.skipif(not numba_available(), reason="numba is not installed"),
     ),
     pytest.param(SHARDED, id="sharded"),
 ]

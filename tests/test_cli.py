@@ -51,14 +51,59 @@ class TestBackends:
     def test_backends_table(self, capsys):
         assert main(["backends"]) == 0
         output = capsys.readouterr().out
-        for name in ("dict", "compact", "numpy", "sharded"):
+        for name in ("dict", "compact", "numpy", "numba", "sharded"):
             assert name in output
         assert "auto_priority" in output
+        assert "reason" in output  # why an unavailable tier is being skipped
         assert "num_shards=" in output  # the sharded worker/shard configuration
+
+    def test_backends_table_names_the_disable_switch(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_NUMBA", "1")
+        assert main(["backends"]) == 0
+        assert "disabled via REPRO_DISABLE_NUMBA" in capsys.readouterr().out
 
     def test_backends_listed(self, capsys):
         assert main(["--list"]) == 0
         assert "backends" in capsys.readouterr().out
+
+
+class TestCalibrate:
+    def test_calibrate_writes_a_loadable_table(self, capsys, tmp_path):
+        from repro.backends import CalibrationTable
+
+        out = tmp_path / "calibration.json"
+        assert (
+            main(
+                [
+                    "calibrate",
+                    "--max-vertices",
+                    "160",
+                    "--repetitions",
+                    "1",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "winner" in output
+        assert "calibration table written" in output
+        table = CalibrationTable.load(out)
+        assert table.band_names() == ("small", "medium", "large")
+        assert table.winner_for(100) is not None
+
+    def test_calibrate_reports_skipped_backends(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+        monkeypatch.setenv("REPRO_DISABLE_NUMBA", "1")
+        assert main(["calibrate", "--max-vertices", "64", "--repetitions", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "skipping backend 'numpy': disabled via REPRO_DISABLE_NUMPY" in output
+        assert "skipping backend 'numba': disabled via REPRO_DISABLE_NUMBA" in output
+
+    def test_calibrate_listed(self, capsys):
+        assert main(["--list"]) == 0
+        assert "calibrate" in capsys.readouterr().out
 
 
 class TestServeSim:
