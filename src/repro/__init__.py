@@ -42,9 +42,11 @@ The library is layered; each layer only depends on the ones above it::
     repro.graph     Graph (adjacency-set dict, hashable vertex ids)  ── public substrate
                     compact: VertexInterner · CompactGraph (CSR) ·
                     DynamicCompactAdjacency                          ── snapshot structures
-    repro.shard     partitioners (hash / degree-balanced) ·
-                    ShardCoordinator (per-shard waves + boundary
-                    exchange, serial or spawn process pool)          ── scale-out layer
+    repro.shard     partitioners (hash / degree-balanced /
+                    community) · ShardCoordinator (per-shard waves
+                    + async futures-based or lock-step boundary
+                    exchange, serial or spawn process pool over
+                    shared-memory CSR states)                        ── scale-out layer
     repro.backends  ExecutionBackend protocol · registry · auto
                     policy · dict / compact / numpy / sharded
                     kernels                                          ── execution layer
@@ -81,12 +83,15 @@ backend           implementation                                 ``auto`` picks 
                   CSR contract; everything else inherits the     under a ``kernel.jit_compile`` span
                   compact twins
 ``sharded``       the CSR snapshot partitioned across shards     never — multi-process execution is an
-                  (:mod:`repro.shard`: hash or degree-balanced   explicit operator decision: request
-                  partitioners, ghost tables); every cascade     ``backend="sharded"``, pass a configured
-                  runs as per-shard waves plus a cut-edge        ``ShardedBackend(...)``, or set the
-                  boundary-exchange step until fixpoint, on a    ``REPRO_SHARD_*`` environment variables
-                  serial executor or one spawn-safe worker       (count / partitioner / executor /
-                  process per shard                              workers)
+                  (:mod:`repro.shard`: hash, degree-balanced     explicit operator decision: request
+                  or locality-aware community partitioners,      ``backend="sharded"``, pass a configured
+                  ghost tables); cascades run as per-shard       ``ShardedBackend(...)``, or set the
+                  waves with boundary exchange — async           ``REPRO_SHARD_*`` environment variables
+                  futures-based by default, lock-step rounds     (count / partitioner / executor /
+                  selectable — until fixpoint, on a serial       workers / exchange / shm)
+                  executor or one spawn-safe worker process
+                  per shard attached to shared-memory CSR
+                  blocks
 ================  =============================================  =========================================
 
 The priority ladder above is only the *uncalibrated* policy.  A measured
@@ -102,7 +107,9 @@ All registered backends guarantee identical core numbers, identical
 ``tests/test_backend_equivalence.py``, five-way); only speed differs —
 ``benchmarks/bench_backend_compare.py`` tracks the gaps and emits
 ``BENCH_backend.json`` / ``BENCH_numpy.json`` / ``BENCH_sharded.json``
-(shard-scaling: 1-shard serial vs multi-worker process pool) /
+(shard-scaling: 1-shard serial vs multi-worker process pool, async vs
+lock-step exchange, and the community partitioner's cut-edge reduction
+vs hash) /
 ``BENCH_incremental.json`` (incremental vs full-recompute Greedy), and
 ``benchmarks/bench_autotune.py`` emits ``BENCH_autotune.json`` (compiled-vs-
 vectorised kernel floor plus the recorded calibration table), each with an
@@ -151,9 +158,14 @@ each id in exactly one shard: core numbers come from locally-exact peels
 reconciled through exchanged boundary core bounds, removal orders from the
 same packed-heap within-shell cascade the other snapshot backends use, and
 deletion cascades are confluent, so batched boundary decrements reach the
-sequential fixpoint exactly.  Engine checkpoints persist a configurable
-backend's configuration (shard count, partitioner policy) next to the policy
-name, and restoring a checkpoint whose backend is unavailable in the
+sequential fixpoint exactly.  The async exchange keeps this bit-identity
+under arbitrary completion interleavings because every payload merge is
+order-insensitive — cascade deltas sum, h-index estimates combine with
+``min`` (the bounds only ever decrease toward the unique fixpoint) — so
+whichever shard finishes first, the converged state is the lock-step one.
+Engine checkpoints persist a configurable backend's configuration (shard
+count, partitioner policy, exchange mode, shared-memory flag) next to the
+policy name, and restoring a checkpoint whose backend is unavailable in the
 restoring process falls back to ``"auto"`` with a warning.
 
 *Custom backends* — implement the protocol and register it::

@@ -23,6 +23,14 @@ environment at first use:
     a dedicated spawn worker (see :mod:`repro.shard.coordinator`).
 ``REPRO_SHARD_WORKERS``
     Worker-process count for the process executor (default: one per shard).
+``REPRO_SHARD_EXCHANGE``
+    ``"async"`` (default) for the futures-based boundary exchange or
+    ``"lockstep"`` for global barrier rounds (see
+    :mod:`repro.shard.coordinator`).
+``REPRO_SHARD_SHM``
+    ``"1"`` (default) to load process workers from shared-memory blocks,
+    ``"0"`` to fall back to pickled shard states.  Ignored by the serial
+    executor.
 
 Explicit configurations are first-class too: construct
 ``ShardedBackend(num_shards=8, executor="process")`` and pass the instance
@@ -53,6 +61,8 @@ from repro.errors import ParameterError
 from repro.graph.compact import CompactGraph
 from repro.graph.static import Graph, Vertex
 from repro.shard.coordinator import (
+    EXCHANGE_ASYNC,
+    EXCHANGES,
     EXECUTOR_SERIAL,
     EXECUTORS,
     ShardCoordinator,
@@ -73,6 +83,18 @@ def _env_int(name: str, default: Optional[int]) -> Optional[int]:
         raise ParameterError(f"{name} must be an integer, got {raw!r}") from None
 
 
+def _env_bool(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    lowered = raw.strip().lower()
+    if lowered in {"1", "true", "yes", "on"}:
+        return True
+    if lowered in {"0", "false", "no", "off"}:
+        return False
+    raise ParameterError(f"{name} must be a boolean flag, got {raw!r}")
+
+
 class ShardedCoreIndexKernel(CoreIndexKernel):
     """Anchored-core-index state over one partitioned ordered snapshot.
 
@@ -89,10 +111,18 @@ class ShardedCoreIndexKernel(CoreIndexKernel):
         partitioner: Union[str, object],
         executor: str,
         max_workers: Optional[int],
+        exchange: str = EXCHANGE_ASYNC,
+        shared_memory: Optional[bool] = None,
     ) -> None:
         self._cgraph = CompactGraph.from_graph(graph, ordered=True)
         plan = partition_compact_graph(self._cgraph, num_shards, partitioner)
-        self._coord = ShardCoordinator(plan, executor=executor, max_workers=max_workers)
+        self._coord = ShardCoordinator(
+            plan,
+            executor=executor,
+            max_workers=max_workers,
+            exchange=exchange,
+            shared_memory=shared_memory,
+        )
         self._core_ids: List[float] = []
         self._rank_ids: List[int] = []
         self._anchor_ids: Set[int] = set()
@@ -217,6 +247,8 @@ class ShardedBackend(ExecutionBackend):
         partitioner: Optional[Union[str, object]] = None,
         executor: Optional[str] = None,
         max_workers: Optional[int] = None,
+        exchange: Optional[str] = None,
+        shared_memory: Optional[bool] = None,
     ) -> None:
         resolved_shards = (
             num_shards
@@ -251,6 +283,21 @@ class ShardedBackend(ExecutionBackend):
         )
         if self.max_workers is not None and self.max_workers < 1:
             raise ParameterError("max_workers must be >= 1")
+        self.exchange = (
+            exchange
+            if exchange is not None
+            else os.environ.get("REPRO_SHARD_EXCHANGE", EXCHANGE_ASYNC)
+        )
+        if self.exchange not in EXCHANGES:
+            raise ParameterError(
+                f"unknown shard exchange {self.exchange!r}; "
+                f"expected one of {sorted(EXCHANGES)}"
+            )
+        self.shared_memory = (
+            bool(shared_memory)
+            if shared_memory is not None
+            else _env_bool("REPRO_SHARD_SHM", True)
+        )
 
     # ------------------------------------------------------------------
     # Configuration (persisted by engine checkpoints)
@@ -261,6 +308,8 @@ class ShardedBackend(ExecutionBackend):
             "partitioner": getattr(self.partitioner, "name", self.partitioner),
             "executor": self.executor,
             "max_workers": self.max_workers,
+            "exchange": self.exchange,
+            "shared_memory": self.shared_memory,
         }
 
     def with_config(self, config: Mapping[str, object]) -> "ShardedBackend":
@@ -276,6 +325,8 @@ class ShardedBackend(ExecutionBackend):
             partitioner=merged["partitioner"],
             executor=merged["executor"],
             max_workers=merged["max_workers"],
+            exchange=merged["exchange"],
+            shared_memory=merged["shared_memory"],
         )
 
     # ------------------------------------------------------------------
@@ -284,7 +335,11 @@ class ShardedBackend(ExecutionBackend):
     def _coordinator(self, cgraph: CompactGraph) -> ShardCoordinator:
         plan = partition_compact_graph(cgraph, self.num_shards, self.partitioner)
         return ShardCoordinator(
-            plan, executor=self.executor, max_workers=self.max_workers
+            plan,
+            executor=self.executor,
+            max_workers=self.max_workers,
+            exchange=self.exchange,
+            shared_memory=self.shared_memory,
         )
 
     def decompose(self, graph: Graph, anchors: FrozenSet[Vertex] = frozenset()):
@@ -369,6 +424,8 @@ class ShardedBackend(ExecutionBackend):
             partitioner=self.partitioner,
             executor=self.executor,
             max_workers=self.max_workers,
+            exchange=self.exchange,
+            shared_memory=self.shared_memory,
         )
 
     def build_maintenance(
@@ -384,5 +441,5 @@ class ShardedBackend(ExecutionBackend):
         return (
             f"<ShardedBackend shards={self.num_shards} "
             f"partitioner={getattr(self.partitioner, 'name', self.partitioner)!r} "
-            f"executor={self.executor!r}>"
+            f"executor={self.executor!r} exchange={self.exchange!r}>"
         )

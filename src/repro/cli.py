@@ -87,6 +87,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shard count for --backend sharded (default: REPRO_SHARD_COUNT or 4)",
     )
     serve.add_argument(
+        "--partitioner",
+        default=None,
+        help=(
+            "partitioner for --backend sharded: 'hash', 'degree_balanced' or "
+            "'community' (default: REPRO_SHARD_PARTITIONER or 'hash')"
+        ),
+    )
+    serve.add_argument(
         "--trace-out",
         type=Path,
         default=None,
@@ -158,7 +166,8 @@ def _run_summary(args: argparse.Namespace) -> int:
 
 
 def _resolve_cli_backend(args: argparse.Namespace):
-    """Turn the serve-sim ``--backend``/``--shards`` flags into a policy."""
+    """Turn the serve-sim ``--backend``/``--shards``/``--partitioner`` flags
+    into a policy."""
     from repro.backends import BACKEND_SHARDED, get_backend, registered_backends
     from repro.errors import ParameterError
 
@@ -168,10 +177,23 @@ def _resolve_cli_backend(args: argparse.Namespace):
             f"unknown backend {backend!r}; "
             f"expected 'auto' or one of {sorted(registered_backends())}"
         )
+    overrides = {}
     if args.shards is not None:
+        overrides["num_shards"] = args.shards
+    if getattr(args, "partitioner", None) is not None:
+        overrides["partitioner"] = args.partitioner
+    if overrides:
         if backend != BACKEND_SHARDED:
-            raise ParameterError("--shards requires --backend sharded")
-        return get_backend(BACKEND_SHARDED).with_config({"num_shards": args.shards})
+            flags = " / ".join(
+                flag
+                for flag, present in (
+                    ("--shards", args.shards is not None),
+                    ("--partitioner", getattr(args, "partitioner", None) is not None),
+                )
+                if present
+            )
+            raise ParameterError(f"{flags} requires --backend sharded")
+        return get_backend(BACKEND_SHARDED).with_config(overrides)
     return backend
 
 
@@ -311,9 +333,53 @@ def _run_backends() -> int:
     print(
         "'auto' resolves by graph size and workload (see repro.backends.registry); "
         "the sharded backend reads REPRO_SHARD_COUNT / REPRO_SHARD_PARTITIONER / "
-        "REPRO_SHARD_EXECUTOR / REPRO_SHARD_WORKERS."
+        "REPRO_SHARD_EXECUTOR / REPRO_SHARD_WORKERS / REPRO_SHARD_EXCHANGE / "
+        "REPRO_SHARD_SHM."
     )
+    print()
+    print(_partition_stats_report())
     return 0
+
+
+def _partition_stats_report(num_shards: int = 4) -> str:
+    """Per-partitioner cut-edge/balance stats on a small clustered sample.
+
+    Partitions one planted-community graph (the paper's running-example
+    shape) with every registered partitioner so ``avt-bench backends`` shows
+    what the ``--partitioner`` choice buys before anyone runs a workload.
+    """
+    from repro.graph.compact import CompactGraph
+    from repro.graph.generators import planted_community_graph
+    from repro.shard.partition import PARTITIONERS, partition_compact_graph
+
+    graph = planted_community_graph(
+        num_communities=num_shards,
+        community_size=50,
+        intra_edge_probability=0.2,
+        inter_edges=60,
+        seed=42,
+    )
+    cgraph = CompactGraph.from_graph(graph, ordered=True)
+    rows = []
+    for name in sorted(PARTITIONERS):
+        plan = partition_compact_graph(cgraph, num_shards, name)
+        rows.append(
+            {
+                "partitioner": name,
+                "cut_edges": plan.cut_edge_count,
+                "cut_ratio": f"{plan.cut_edge_ratio:.3f}",
+                "balance": f"{plan.balance:.2f}",
+                "shard_sizes": "/".join(
+                    str(state.num_owned) for state in plan.shards
+                ),
+            }
+        )
+    header = (
+        f"partition quality on a planted-community sample "
+        f"(n={cgraph.num_vertices}, m={cgraph.num_edges}, "
+        f"{num_shards} shards; lower cut_ratio = less boundary traffic):"
+    )
+    return header + "\n" + format_table(rows)
 
 
 def _run_calibrate(args: argparse.Namespace) -> int:

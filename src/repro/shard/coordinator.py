@@ -1,15 +1,35 @@
 """The shard coordinator: cascade kernels as local work + boundary exchange.
 
-:class:`ShardCoordinator` drives every sharded kernel as a sequence of
-*rounds*.  In one round each shard performs purely local work on its
-:class:`~repro.shard.partition.ShardState` — refining core bounds, cascading
-removals or follower support, scanning candidates — and returns the updates
-that cross a cut edge, already bucketed by owner shard (the ghost tables
-record who owns every remote neighbour).  The coordinator forwards the
-buckets and starts the next round; a kernel finishes when a round performs no
-work and produces no boundary traffic (the fixpoint).  The number of rounds
-is therefore the *cross-shard propagation depth* of the computation, not its
-sequential length — the property that lets a process-pool executor win.
+:class:`ShardCoordinator` drives every sharded kernel as local work on the
+:class:`~repro.shard.partition.ShardState`\\ s — refining core bounds,
+cascading removals or follower support, scanning candidates — interleaved
+with a boundary exchange that routes the updates crossing cut edges, already
+bucketed by owner shard (the ghost tables record who owns every remote
+neighbour).
+
+Exchange scheduling comes in two modes (``exchange=``):
+
+``async`` (default)
+    Futures-based: a shard's op is (re)submitted the moment its input bucket
+    is non-empty and no op of its own is still in flight; every completed
+    future immediately routes its boundary output into the destination
+    buckets, waking the affected shards.  A straggler therefore only delays
+    the shards that genuinely depend on its updates — unrelated shards keep
+    draining their own buckets.  The fixpoint is an *outstanding-work
+    counter* reaching zero: no in-flight futures and every bucket empty.
+    Montresor-style bound refinement is monotone with a unique fixpoint and
+    the deletion cascades are confluent, so the interleaving freedom never
+    changes a result.
+
+``lockstep``
+    The PR-4 scheme, kept for comparison benchmarks: global rounds with a
+    barrier after each — every shard waits for the slowest straggler.  A
+    kernel finishes when a round performs no work and produces no boundary
+    traffic.
+
+Either way the exchange count is governed by the *cross-shard propagation
+depth* of the computation, not its sequential length — the property that
+lets a process-pool executor win.
 
 Exactness
 ---------
@@ -61,6 +81,21 @@ state consistent across rounds; the pools themselves are process-wide and
 reused across coordinators (states are loaded under a unique key at
 coordinator construction and dropped again when the coordinator is closed or
 garbage-collected), so the spawn cost is paid once per interpreter.
+
+Shared-memory shard states
+--------------------------
+Under the process executor the static CSR arrays of every shard state —
+``indptr``/``encoded``, the ghost tables, ``owned``/``degrees`` — are packed
+into one :mod:`multiprocessing.shared_memory` block per shard
+(:mod:`repro.shard.shm`) and workers *attach* instead of unpickling: the
+load ships a tiny :class:`~repro.shard.shm.SharedShardHandle` and each
+worker keeps a lifetime attachment per loaded shard, with zero-copy
+``memoryview`` slices standing in for the list arrays.  The coordinator owns
+the blocks and unlinks them on :meth:`ShardCoordinator.close` (also via a
+``weakref.finalize`` and an ``atexit`` hook, so neither a dropped reference
+nor a crashed worker can leak ``/dev/shm`` segments).  Disable with
+``shared_memory=False`` (or ``REPRO_SHARD_SHM=0`` through the backend) to
+fall back to pickled state loads.
 """
 
 from __future__ import annotations
@@ -72,13 +107,15 @@ import math
 import threading
 import uuid
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ParameterError
 from repro.obs import tracer
 from repro.obs.metrics import MetricsRegistry
+from repro.shard import shm
 from repro.shard.partition import ShardPlan, ShardState
 
 logger = logging.getLogger("repro.shard")
@@ -87,6 +124,11 @@ logger = logging.getLogger("repro.shard")
 EXECUTOR_SERIAL = "serial"
 EXECUTOR_PROCESS = "process"
 EXECUTORS = (EXECUTOR_SERIAL, EXECUTOR_PROCESS)
+
+#: Valid ``exchange=`` values for :class:`ShardCoordinator`.
+EXCHANGE_ASYNC = "async"
+EXCHANGE_LOCKSTEP = "lockstep"
+EXCHANGES = (EXCHANGE_ASYNC, EXCHANGE_LOCKSTEP)
 
 #: Boundary updates bucketed by destination shard.
 Buckets = Dict[int, Dict[int, int]]
@@ -767,6 +809,12 @@ class _SerialExecutor:
     A ``None`` entry in ``args_per_shard`` skips that shard (its result slot
     is ``None``) — the coordinator uses this to avoid no-op rounds on shards
     with no incoming boundary traffic.
+
+    :meth:`submit` serves the async exchange: the op runs inline and comes
+    back as an already-completed future, so the futures-based scheduler is a
+    deterministic work-queue walk with zero overhead beyond the lock-step
+    path (and bit-identical results either way — the kernels are monotone or
+    confluent, see the module docstring).
     """
 
     is_process = False
@@ -790,6 +838,24 @@ class _SerialExecutor:
                 results.append(func(state, *args))
         return results
 
+    def submit(self, op: str, shard_id: int, args: tuple) -> "Future[object]":
+        future: "Future[object]" = Future()
+        state = self._shards[shard_id]
+        try:
+            if tracer.enabled:
+                with tracer.span("shard.op", op=op, shard=shard_id):
+                    result = _OPS[op](state, *args)
+            else:
+                result = _OPS[op](state, *args)
+        except BaseException as error:  # pragma: no cover - op bugs only
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+        return future
+
+    def resolve(self, future: "Future[object]") -> object:
+        return future.result()
+
     def run_tasks(self, tasks: List[Tuple[str, tuple]]) -> List[object]:
         if not tracer.enabled:
             return [_TASKS[name](*args) for name, args in tasks]
@@ -809,8 +875,22 @@ _POOLS_LOCK = threading.Lock()
 # the worker process; the names below are only ever *called* there.
 _WORKER_STATES: Dict[Tuple[str, int], ShardState] = {}
 
+# Worker-side lifetime attachments to shared-memory blocks, same keying.
+# Held open for as long as the state is loaded (the memoryview-backed arrays
+# alias the mapped buffer) and closed when the coordinator drops its states.
+_WORKER_ATTACHMENTS: Dict[Tuple[str, int], object] = {}
 
-def _worker_load(key: str, shard_id: int, state: ShardState) -> bool:
+
+def _worker_load(key: str, shard_id: int, state: object) -> bool:
+    """Install one shard's state: a pickled :class:`ShardState` or, on the
+    shared-memory path, a :class:`~repro.shard.shm.SharedShardHandle` the
+    worker attaches to (keeping the attachment for the coordinator's
+    lifetime)."""
+    if isinstance(state, shm.SharedShardHandle):
+        attached, block = shm.attach_state(state)
+        _WORKER_STATES[(key, shard_id)] = attached
+        _WORKER_ATTACHMENTS[(key, shard_id)] = block
+        return True
     _WORKER_STATES[(key, shard_id)] = state
     return True
 
@@ -819,7 +899,39 @@ def _worker_drop(key: str) -> int:
     doomed = [item for item in _WORKER_STATES if item[0] == key]
     for item in doomed:
         del _WORKER_STATES[item]
+        block = _WORKER_ATTACHMENTS.pop(item, None)
+        if block is not None:
+            # The state (and with it every memoryview over the buffer) is
+            # unreferenced now, so the mapping can be closed.  Unlinking is
+            # the creator's job, never the attacher's.
+            try:
+                block.close()
+            except BufferError:  # pragma: no cover - a view outlived the state
+                pass  # the mapping falls with the worker process instead
     return len(doomed)
+
+
+def _worker_atexit() -> None:
+    """Release loaded states before worker-interpreter teardown.
+
+    Runs in every process importing this module (a no-op in the coordinator,
+    whose state dicts stay empty).  When a coordinator dies without
+    ``close()`` — a crashed parent, an aborted test — its workers still shut
+    down through the pool's exit handler with attachments live; dropping the
+    states here frees their memoryview slices while the interpreter is still
+    orderly, so the block's mapping closes cleanly instead of its ``__del__``
+    raising an ignored ``BufferError`` over exported pointers.
+    """
+    _WORKER_STATES.clear()
+    for item in list(_WORKER_ATTACHMENTS):
+        block = _WORKER_ATTACHMENTS.pop(item)
+        try:
+            block.close()
+        except BufferError:  # pragma: no cover - a view outlived the state
+            pass  # the mapping falls with the process instead
+
+
+atexit.register(_worker_atexit)
 
 
 def _worker_exec(
@@ -855,6 +967,29 @@ def _get_pool(slot: int) -> ProcessPoolExecutor:
         return pool
 
 
+def _discard_pool(slot: int) -> None:
+    """Retire a broken pool so the next :func:`_get_pool` spawns a fresh one.
+
+    A worker crash (OOM kill, segfault, ``os._exit``) leaves its
+    :class:`ProcessPoolExecutor` permanently broken; keeping it in
+    :data:`_POOLS` would poison every later coordinator sharing the slot.
+    """
+    with _POOLS_LOCK:
+        pool = _POOLS.pop(slot, None)
+    if pool is not None:
+        logger.warning("shard worker slot %d broke; respawning on next use", slot)
+        pool.shutdown(wait=False)
+
+
+def _submit_to_slot(slot: int, fn, *args) -> "Future[object]":
+    """Submit to a slot's pool, retiring the pool if its worker has died."""
+    try:
+        return _get_pool(slot).submit(fn, *args)
+    except BrokenProcessPool:
+        _discard_pool(slot)
+        raise
+
+
 def shutdown_shard_pools() -> None:
     """Shut down every persistent shard worker pool (they respawn on demand)."""
     with _POOLS_LOCK:
@@ -868,14 +1003,21 @@ atexit.register(shutdown_shard_pools)
 
 
 def _release_states(key: str, slots: Tuple[int, ...]) -> None:
-    """Drop a coordinator's worker-side states (GC/close callback)."""
-    with _POOLS_LOCK:
-        pools = [_POOLS[slot] for slot in slots if slot in _POOLS]
-    for pool in pools:
+    """Drop a coordinator's worker-side states and unlink its shared-memory
+    blocks (GC/close callback).
+
+    The unlink must run even when a worker crashed: a broken pool means the
+    worker-side attachments died with the process, but the segment *names*
+    live until the creator unlinks them — exactly what this does last.
+    """
+    for slot in slots:
         try:
-            pool.submit(_worker_drop, key)
+            _get_pool(slot).submit(_worker_drop, key)
+        except BrokenProcessPool:
+            _discard_pool(slot)
         except RuntimeError:  # pool already shut down — nothing to release
             pass
+    shm.unlink_blocks(key)
 
 
 class _ProcessExecutor:
@@ -885,52 +1027,69 @@ class _ProcessExecutor:
     state (loaded once under this coordinator's key) stays consistent across
     rounds.  With ``max_workers < num_shards`` several shards share a worker
     — less parallelism, same semantics.
+
+    With ``shared_memory`` (the default) the static CSR arrays travel as
+    :mod:`repro.shard.shm` blocks: the load submits a tiny handle per shard
+    and each worker attaches zero-copy instead of unpickling the state.  The
+    executor's ``key`` doubles as the shm owner key, so
+    :func:`_release_states` can unlink every block the coordinator created.
     """
 
     is_process = True
 
-    def __init__(self, plan: ShardPlan, max_workers: Optional[int]) -> None:
+    def __init__(
+        self,
+        plan: ShardPlan,
+        max_workers: Optional[int],
+        shared_memory: bool = True,
+    ) -> None:
         workers = plan.num_shards if max_workers is None else max_workers
         if workers < 1:
             raise ParameterError("max_workers must be >= 1")
         self.num_workers = min(workers, plan.num_shards)
         self.key = uuid.uuid4().hex
+        self.shared_memory = shared_memory
         self.slots = [i % self.num_workers for i in range(plan.num_shards)]
+        payloads: List[object] = (
+            [shm.pack_state(state, self.key) for state in plan.shards]
+            if shared_memory
+            else list(plan.shards)
+        )
         loads = [
-            _get_pool(self.slots[shard_id]).submit(
-                _worker_load, self.key, shard_id, state
-            )
-            for shard_id, state in enumerate(plan.shards)
+            _submit_to_slot(self.slots[shard_id], _worker_load, self.key, shard_id, payload)
+            for shard_id, payload in enumerate(payloads)
         ]
         for future in loads:
             future.result()
 
-    def run(self, op: str, args_per_shard: List[Optional[tuple]]) -> List[object]:
+    def submit(self, op: str, shard_id: int, args: tuple) -> "Future[object]":
         trace = tracer.is_enabled()
+        future = _submit_to_slot(
+            self.slots[shard_id], _worker_exec, self.key, shard_id, op, args, trace
+        )
+        future._repro_traced = trace  # type: ignore[attr-defined]
+        return future
+
+    def resolve(self, future: "Future[object]") -> object:
+        value = future.result()
+        if getattr(future, "_repro_traced", False):
+            value, spans = value
+            tracer.adopt(spans)
+        return value
+
+    def run(self, op: str, args_per_shard: List[Optional[tuple]]) -> List[object]:
         futures = [
-            None
-            if args is None
-            else _get_pool(self.slots[shard_id]).submit(
-                _worker_exec, self.key, shard_id, op, args, trace
-            )
+            None if args is None else self.submit(op, shard_id, args)
             for shard_id, args in enumerate(args_per_shard)
         ]
-        results: List[object] = []
-        for future in futures:
-            if future is None:
-                results.append(None)
-                continue
-            value = future.result()
-            if trace:
-                value, spans = value
-                tracer.adopt(spans)
-            results.append(value)
-        return results
+        return [
+            None if future is None else self.resolve(future) for future in futures
+        ]
 
     def run_tasks(self, tasks: List[Tuple[str, tuple]]) -> List[object]:
         trace = tracer.is_enabled()
         futures = [
-            _get_pool(index % self.num_workers).submit(_worker_task, name, args, trace)
+            _submit_to_slot(index % self.num_workers, _worker_task, name, args, trace)
             for index, (name, args) in enumerate(tasks)
         ]
         results = []
@@ -956,6 +1115,8 @@ _COUNTER_FIELDS = (
     "fragment_cache_hits",
     "fragment_cache_misses",
     "shard_rounds_skipped",
+    "exchange_waves",
+    "ops_dispatched",
 )
 
 
@@ -974,27 +1135,51 @@ class ShardCoordinator:
         plan: ShardPlan,
         executor: str = EXECUTOR_SERIAL,
         max_workers: Optional[int] = None,
+        exchange: str = EXCHANGE_ASYNC,
+        shared_memory: Optional[bool] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ParameterError(
                 f"unknown shard executor {executor!r}; expected one of {sorted(EXECUTORS)}"
             )
+        if exchange not in EXCHANGES:
+            raise ParameterError(
+                f"unknown shard exchange {exchange!r}; expected one of {sorted(EXCHANGES)}"
+            )
         self.plan = plan
         self.executor = executor
+        self.exchange = exchange
+        #: Shared-memory state shipping is a process-executor concern: the
+        #: serial executor works on the plan's states directly.  ``None``
+        #: means "on whenever it applies".
+        self.shared_memory = (
+            (True if shared_memory is None else bool(shared_memory))
+            and executor == EXECUTOR_PROCESS
+        )
         #: Registry behind every coordinator counter: ``rounds``/``messages``
         #: and the shard-local caching observability (round-1 peel reuses,
         #: fragment reuses, per-shard op calls skipped because the shard had
         #: no incoming boundary traffic) are properties over ``shard.*``
         #: counters here, so :meth:`snapshot` shares the unified
         #: ``{name, type, value, labels}`` schema with the engine and solver
-        #: stats while :meth:`stats` keeps its plain-dict shape.
+        #: stats while :meth:`stats` keeps its plain-dict shape.  The async
+        #: exchange adds ``exchange_waves`` (scheduler wake-ups) and
+        #: ``ops_dispatched`` (per-shard ops actually submitted).
         self.registry = MetricsRegistry()
         self._metrics = {
             name: self.registry.counter("shard." + name) for name in _COUNTER_FIELDS
         }
+        #: Partition quality, static per plan: total distinct cut edges, the
+        #: cut-edge ratio (cut / total edges) and the owned-vertex balance
+        #: (max shard size over the ideal even split).
+        self.registry.gauge("shard.cut_edges").set(plan.cut_edge_count)
+        self.registry.gauge("shard.cut_edge_ratio").set(plan.cut_edge_ratio)
+        self.registry.gauge("shard.balance").set(plan.balance)
         self._finalizer = None
         if executor == EXECUTOR_PROCESS:
-            self._exec = _ProcessExecutor(plan, max_workers)
+            self._exec = _ProcessExecutor(
+                plan, max_workers, shared_memory=self.shared_memory
+            )
             self.num_workers = self._exec.num_workers
             self._finalizer = weakref.finalize(
                 self, _release_states, self._exec.key, tuple(set(self._exec.slots))
@@ -1048,8 +1233,107 @@ class ShardCoordinator:
                     bucket[gvid] = bucket.get(gvid, 0) + count
         return pending, produced
 
+    def _exchange_until_fixpoint(
+        self, op: str, first_args, next_args, extract, combine=None
+    ) -> None:
+        """The futures-based exchange: run ``op`` to the global fixpoint.
+
+        Every shard gets one initial submission (``first_args(shard_id)``);
+        afterwards a shard is resubmitted (``next_args(drained_bucket)``) the
+        moment its input bucket is non-empty and it has no op in flight, and
+        every completed future's boundary output is routed into destination
+        buckets immediately.  ``extract(result)`` pulls the buckets out of an
+        op result (accumulating any side counts).
+
+        ``combine`` resolves a routed value colliding with one already
+        pending for the same vertex — a case lock-step never sees (it drains
+        every bucket each round) but the async exchange does whenever a
+        producer laps a still-busy consumer.  Cascades ship *deltas* (the
+        default sums them); the bound refinement ships *absolute estimates*,
+        where the estimates only ever decrease, so it combines with ``min``
+        to keep the latest bound.
+
+        Fixpoint is the outstanding-work counter reaching zero: no in-flight
+        futures and every bucket empty.  The invariant making the ``while
+        inflight`` test sufficient: after each dispatch pass a non-empty
+        bucket can only belong to a shard that is itself still in flight, so
+        an empty in-flight map implies globally empty buckets.
+
+        Bit-exactness does not depend on completion order — the bound
+        refinement is a monotone relaxation with a unique fixpoint and the
+        deletion cascades are confluent (module docstring) — so stragglers
+        can finish whenever they finish.
+        """
+        num_shards = self.plan.num_shards
+        pending: List[Dict[int, int]] = [dict() for _ in range(num_shards)]
+        inflight: Dict[int, "Future[object]"] = {}
+        submit = self._exec.submit
+        resolve = self._exec.resolve
+        if combine is None:
+            combine = lambda old, new: old + new  # noqa: E731 - delta sum
+        with tracer.span(
+            "shard.exchange", op=op, mode=EXCHANGE_ASYNC, shards=num_shards
+        ) as exchange_span:
+            for shard_id in range(num_shards):
+                inflight[shard_id] = submit(op, shard_id, first_args(shard_id))
+            self.ops_dispatched += num_shards
+            self.rounds += 1
+            waves = 0
+            while inflight:
+                done, _ = wait(inflight.values(), return_when=FIRST_COMPLETED)
+                waves += 1
+                finished = [sid for sid, future in inflight.items() if future in done]
+                with tracer.span("shard.wave", op=op, completed=len(finished)):
+                    for shard_id in finished:
+                        out = extract(resolve(inflight.pop(shard_id)))
+                        for target, payload in out.items():
+                            if not payload:
+                                continue
+                            self.messages += len(payload)
+                            bucket = pending[target]
+                            for gvid, value in payload.items():
+                                if gvid in bucket:
+                                    bucket[gvid] = combine(bucket[gvid], value)
+                                else:
+                                    bucket[gvid] = value
+                    dispatched = 0
+                    for shard_id in range(num_shards):
+                        if pending[shard_id] and shard_id not in inflight:
+                            updates = pending[shard_id]
+                            pending[shard_id] = {}
+                            inflight[shard_id] = submit(op, shard_id, next_args(updates))
+                            dispatched += 1
+                    if dispatched:
+                        self.ops_dispatched += dispatched
+                        self.rounds += 1
+            self.exchange_waves += waves
+            exchange_span.set(waves=waves)
+
     def _cascade(self, op: str, level_args: tuple) -> int:
-        """Iterate a local-cascade op until the global fixpoint; return removals.
+        """Drive a local-cascade op to the global fixpoint; return removals."""
+        if self.exchange == EXCHANGE_ASYNC:
+            return self._cascade_async(op, level_args)
+        return self._cascade_lockstep(op, level_args)
+
+    def _cascade_async(self, op: str, level_args: tuple) -> int:
+        removed_total = 0
+
+        def extract(result: object) -> Buckets:
+            nonlocal removed_total
+            removed, out = result
+            removed_total += removed
+            return out
+
+        self._exchange_until_fixpoint(
+            op,
+            first_args=lambda shard_id: level_args + ({}, True),
+            next_args=lambda updates: level_args + (updates, False),
+            extract=extract,
+        )
+        return removed_total
+
+    def _cascade_lockstep(self, op: str, level_args: tuple) -> int:
+        """The PR-4 barrier scheme: global rounds, each waiting on every shard.
 
         After the initial rescan round, shards with no pending boundary
         decrements are skipped outright — the op would find an empty queue
@@ -1116,23 +1400,32 @@ class ShardCoordinator:
         peel_hits = sum(1 for hit in reset_results if hit)
         self.shard_cache_hits += peel_hits
         self.shard_cache_misses += num_shards - peel_hits
-        updates: List[Dict[int, int]] = [dict() for _ in range(num_shards)]
-        first = True
-        while True:
-            # Round 1 must run everywhere; afterwards a shard with no
-            # incoming updates has nothing to relax and is skipped.
-            args: List[Optional[tuple]] = [
-                (updates[i], first) if first or updates[i] else None
-                for i in range(num_shards)
-            ]
-            self.shard_rounds_skipped += sum(1 for entry in args if entry is None)
-            results = self._run("hindex_round", args)
-            first = False
-            updates, produced = self._merge_buckets(
-                [out for out in results if out is not None]
+        if self.exchange == EXCHANGE_ASYNC:
+            self._exchange_until_fixpoint(
+                "hindex_round",
+                first_args=lambda shard_id: ({}, True),
+                next_args=lambda updates: (updates, False),
+                extract=lambda out: out,
+                combine=min,
             )
-            if not produced:
-                break
+        else:
+            updates: List[Dict[int, int]] = [dict() for _ in range(num_shards)]
+            first = True
+            while True:
+                # Round 1 must run everywhere; afterwards a shard with no
+                # incoming updates has nothing to relax and is skipped.
+                args: List[Optional[tuple]] = [
+                    (updates[i], first) if first or updates[i] else None
+                    for i in range(num_shards)
+                ]
+                self.shard_rounds_skipped += sum(1 for entry in args if entry is None)
+                results = self._run("hindex_round", args)
+                first = False
+                updates, produced = self._merge_buckets(
+                    [out for out in results if out is not None]
+                )
+                if not produced:
+                    break
 
         core: List[float] = [0] * n
         for shard, part in zip(self.plan.shards, self._run("hindex_collect")):
@@ -1286,9 +1579,18 @@ class ShardCoordinator:
         reuses per shard per refresh, ``fragment_cache_hits`` /
         ``fragment_cache_misses`` the per-shard fragment reuses, and
         ``shard_rounds_skipped`` the per-shard op calls avoided because a
-        shard had no incoming boundary traffic that round.
+        shard had no incoming boundary traffic that round (lock-step mode;
+        the async exchange never dispatches an idle shard in the first
+        place).  ``exchange_waves`` counts completion waves of the async
+        exchange and ``ops_dispatched`` its individual op submissions.
+        ``cut_edges`` / ``cut_edge_ratio`` / ``balance`` echo the partition
+        quality of the plan this coordinator runs on.
         """
-        return {name: self._metrics[name].value for name in _COUNTER_FIELDS}
+        counters = {name: self._metrics[name].value for name in _COUNTER_FIELDS}
+        counters["cut_edges"] = self.plan.cut_edge_count
+        counters["cut_edge_ratio"] = self.plan.cut_edge_ratio
+        counters["balance"] = self.plan.balance
+        return counters
 
     def snapshot(self) -> List[Dict[str, Any]]:
         """The same counters in the unified ``{name, type, value, labels}``

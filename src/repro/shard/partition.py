@@ -31,10 +31,26 @@ Partitioners are pluggable through :data:`PARTITIONERS`:
     Greedy longest-processing-time assignment: vertices in decreasing degree
     order, each to the currently lightest shard (load = degree + 1).  The LPT
     invariant bounds the spread: ``max_load - min_load <= max_degree + 1``.
+``community``
+    Locality-aware: deterministic label propagation finds communities, each
+    community is carved into connected BFS blocks no larger than the ideal
+    shard size, and the blocks are LPT-packed into shards by vertex count.
+    Keeping community neighbourhoods co-resident minimises cut edges — and
+    with them the boundary traffic every coordinator exchange pays for —
+    while the block cap keeps shard sizes balanced.
+
+Partition quality is measured on every plan: :attr:`ShardPlan.cut_edge_count`
+(each cut edge counted once), :attr:`ShardPlan.cut_edge_ratio` (cut over
+total edges) and :attr:`ShardPlan.balance` (largest owned set over the ideal
+even split).
 
 Shard states hold only plain ints, lists and dicts, so they pickle cleanly
 through a ``spawn`` process pool — the contract the process executor of
-:mod:`repro.shard.coordinator` relies on.
+:mod:`repro.shard.coordinator` relies on.  Under the process executor the
+static arrays normally travel via shared memory instead: :meth:`ShardState.to_shared`
+packs them into one :mod:`multiprocessing.shared_memory` block and
+:meth:`ShardState.from_shared` attaches zero-copy views (see
+:mod:`repro.shard.shm`).
 """
 
 from __future__ import annotations
@@ -131,6 +147,29 @@ class ShardState:
         """Cut edges incident to this shard (each counted once per shard)."""
         return sum(len(local_neighbours) for local_neighbours in self.ghost_rev)
 
+    def to_shared(self, owner_key: str) -> "object":
+        """Pack the static arrays into one shared-memory block.
+
+        Returns a tiny picklable :class:`~repro.shard.shm.SharedShardHandle`;
+        the block is registered under ``owner_key`` and unlinked via
+        :func:`repro.shard.shm.unlink_blocks`.
+        """
+        from repro.shard import shm
+
+        return shm.pack_state(self, owner_key)
+
+    @classmethod
+    def from_shared(cls, handle: "object") -> Tuple["ShardState", "object"]:
+        """Attach a state over a packed block: ``(state, attachment)``.
+
+        The caller must keep the attachment alive while the state is in use
+        and ``close()`` it afterwards; the arrays are zero-copy views of the
+        shared buffer.
+        """
+        from repro.shard import shm
+
+        return shm.attach_state(handle)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ShardState(shard={self.shard_id}/{self.num_shards}, "
@@ -160,10 +199,35 @@ class ShardPlan:
         self.num_edges = num_edges
         self.ordered = ordered
 
+    @property
+    def cut_edge_count(self) -> int:
+        """Cut edges in the plan, each counted once.
+
+        Every cut edge appears in both endpoint shards' ghost tables, so the
+        per-shard incident counts sum to exactly twice the true count.
+        """
+        return sum(state.num_cut_edges for state in self.shards) // 2
+
+    @property
+    def cut_edge_ratio(self) -> float:
+        """Fraction of all edges that cross shards (0.0 on an empty graph)."""
+        if self.num_edges == 0:
+            return 0.0
+        return self.cut_edge_count / self.num_edges
+
+    @property
+    def balance(self) -> float:
+        """Largest owned set over the ideal even split (1.0 = perfect)."""
+        if self.num_vertices == 0 or self.num_shards == 0:
+            return 1.0
+        ideal = self.num_vertices / self.num_shards
+        return max(state.num_owned for state in self.shards) / ideal
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ShardPlan(shards={self.num_shards}, partitioner={self.partitioner!r}, "
-            f"n={self.num_vertices}, m={self.num_edges})"
+            f"n={self.num_vertices}, m={self.num_edges}, "
+            f"cut={self.cut_edge_count})"
         )
 
 
@@ -199,10 +263,108 @@ class DegreeBalancedPartitioner:
         return assignment
 
 
+class CommunityPartitioner:
+    """Locality-aware assignment: label propagation -> BFS blocks -> LPT.
+
+    Three deterministic stages:
+
+    1. **Label propagation** (asynchronous, ascending-id sweeps, ties to the
+       smallest label, bounded at :attr:`max_sweeps`): each vertex adopts the
+       most frequent label among its neighbours until a sweep changes
+       nothing.  On graphs with community structure the surviving labels
+       track the communities; on structureless graphs they degrade to
+       something near-arbitrary but still deterministic.
+    2. **BFS blocks**: each community is carved into connected blocks of at
+       most ``ceil(n / num_shards)`` vertices by BFS from its smallest
+       unvisited member.  The cap makes every block packable without
+       overflowing a shard; BFS keeps each block internally connected so the
+       carve adds few new cut edges.
+    3. **LPT packing**: blocks in decreasing size (ties by smallest member
+       id) onto the currently lightest shard by vertex count — community
+       neighbourhoods stay co-resident, shard sizes stay balanced.
+    """
+
+    name = "community"
+
+    #: Label-propagation sweep bound; LPA converges in a handful of sweeps
+    #: on community-structured graphs and oscillations past this point no
+    #: longer improve locality.
+    max_sweeps = 10
+
+    def assign(self, cgraph: CompactGraph, num_shards: int) -> List[int]:
+        n = cgraph.num_vertices
+        if n == 0:
+            return []
+        indptr = cgraph.indptr
+        indices = cgraph.indices
+        labels = list(range(n))
+        for _ in range(self.max_sweeps):
+            changed = False
+            for vid in range(n):
+                start, end = indptr[vid], indptr[vid + 1]
+                if start == end:
+                    continue
+                counts: Dict[int, int] = {}
+                for position in range(start, end):
+                    label = labels[indices[position]]
+                    counts[label] = counts.get(label, 0) + 1
+                best = min(counts, key=lambda lab: (-counts[lab], lab))
+                if best != labels[vid]:
+                    labels[vid] = best
+                    changed = True
+            if not changed:
+                break
+
+        members: Dict[int, List[int]] = {}
+        for vid in range(n):
+            members.setdefault(labels[vid], []).append(vid)
+        cap = -(-n // num_shards)  # ceil: the ideal shard size
+
+        blocks: List[List[int]] = []
+        for label in sorted(members, key=lambda lab: members[lab][0]):
+            community = members[label]
+            in_community = set(community)
+            visited: set = set()
+            for seed in community:
+                if seed in visited:
+                    continue
+                block: List[int] = []
+                queue = [seed]
+                visited.add(seed)
+                head = 0
+                while head < len(queue) and len(block) < cap:
+                    vid = queue[head]
+                    head += 1
+                    block.append(vid)
+                    for position in range(indptr[vid], indptr[vid + 1]):
+                        neighbour = indices[position]
+                        if neighbour in in_community and neighbour not in visited:
+                            visited.add(neighbour)
+                            queue.append(neighbour)
+                # Frontier vertices left in the queue at the cap are released
+                # to seed the community's next block — they are adjacent to
+                # this one, so the carve stays local.
+                for vid in queue[head:]:
+                    visited.discard(vid)
+                blocks.append(block)
+
+        assignment = [0] * n
+        loads = [0] * num_shards
+        order = sorted(range(len(blocks)), key=lambda b: (-len(blocks[b]), blocks[b][0]))
+        for index in order:
+            block = blocks[index]
+            lightest = min(range(num_shards), key=lambda s: (loads[s], s))
+            for vid in block:
+                assignment[vid] = lightest
+            loads[lightest] += len(block)
+        return assignment
+
+
 #: Registered partitioner policies, by name (extend to plug in your own).
 PARTITIONERS = {
     HashPartitioner.name: HashPartitioner,
     DegreeBalancedPartitioner.name: DegreeBalancedPartitioner,
+    CommunityPartitioner.name: CommunityPartitioner,
 }
 
 

@@ -1,0 +1,303 @@
+"""Shared-memory packing for :class:`~repro.shard.partition.ShardState`.
+
+The process executor of :mod:`repro.shard.coordinator` pins each shard to a
+dedicated spawn worker.  Before this module, loading a shard meant pickling
+the whole :class:`ShardState` — every CSR array, every ghost table — through
+the pool's pipe and unpickling element by element on the other side.  Here
+the static arrays are packed instead into **one**
+:class:`multiprocessing.shared_memory.SharedMemory` block per shard:
+
+* :meth:`ShardState.to_shared` (a thin wrapper over :func:`pack_state`)
+  copies every static ``int`` array — ``owned``, ``indptr``, ``encoded``,
+  ``degrees``, the four ghost tables and the CSR-flattened ghost reverse
+  adjacency — into a single 8-byte-aligned block and returns a tiny picklable
+  :class:`SharedShardHandle` (the block name plus field lengths).
+* :func:`attach_state` (the engine behind :meth:`ShardState.from_shared`)
+  maps the block **in place**: the big read-only arrays become zero-copy
+  ``memoryview`` slices over the shared buffer, so a worker's load cost is an
+  ``mmap`` plus two small dict builds, independent of the edge count.  The
+  worker keeps the attachment alive for the coordinator's lifetime (the
+  mutable cascade scratch the ops attach is per-process, exactly as before).
+
+Lifetime is owned by the *creator* (the coordinator process): every block is
+recorded in a module registry keyed by coordinator, and
+:func:`unlink_blocks` — called from ``ShardCoordinator.close()``, its
+``weakref.finalize`` hook and the module ``atexit`` hook — unlinks them even
+if a worker crashed mid-exchange (the attachment in a dead worker cannot pin
+a POSIX shm segment's *name*; the memory itself is reclaimed when the last
+map disappears).  Workers deliberately attach *untracked* — attaching is not
+owning, and letting the :mod:`multiprocessing.resource_tracker` claim an
+attachment would unlink the segment when one worker exits, tearing shared
+state out from under its siblings.  On CPython 3.13+ that is the ``track=False``
+flag; earlier interpreters register every ``SharedMemory(name=...)`` with the
+tracker unconditionally, so :func:`_attach_untracked` suppresses the
+registration call for the duration of the attach instead — sending a
+compensating ``unregister`` after the fact (the documented pre-3.13
+workaround) races when several workers share one tracker process and attach
+the same block, leaving spurious ``KeyError`` tracebacks in the tracker.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from multiprocessing import shared_memory
+from typing import Dict, List, Sequence, Tuple
+
+#: Field order inside the block.  Every field is an ``int64`` array; the
+#: handle stores one length per field and the block stores them back to back.
+_FIELDS = (
+    "owned",
+    "indptr",
+    "encoded",
+    "degrees",
+    "ghost_gvid",
+    "ghost_owner",
+    "ghost_deg",
+    "ghost_rev_indptr",
+    "ghost_rev_data",
+)
+
+_ITEM = 8  # bytes per int64 entry
+
+
+class SharedShardHandle:
+    """A picklable pointer to one shard's packed shared-memory block.
+
+    Carries no graph data: only the block name, the per-field array lengths
+    (so :func:`attach_state` can slice the buffer without a header parse) and
+    the scalar shard metadata.
+    """
+
+    __slots__ = ("block_name", "shard_id", "num_shards", "lengths")
+
+    def __init__(
+        self,
+        block_name: str,
+        shard_id: int,
+        num_shards: int,
+        lengths: Tuple[int, ...],
+    ) -> None:
+        self.block_name = block_name
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self.lengths = lengths
+
+    def __getstate__(self) -> tuple:
+        return (self.block_name, self.shard_id, self.num_shards, self.lengths)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.block_name, self.shard_id, self.num_shards, self.lengths = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedShardHandle({self.block_name!r}, shard={self.shard_id}/"
+            f"{self.num_shards}, ints={sum(self.lengths)})"
+        )
+
+
+class _CSRRows:
+    """Read-only list-of-rows view over a CSR ``(indptr, data)`` pair.
+
+    Presents the exact sequence interface the cascade ops use on
+    ``ShardState.ghost_rev`` (``len``, iteration, ``rows[i]`` yielding an
+    iterable of ints) without materialising per-row lists — each row is a
+    zero-copy ``memoryview`` slice of the shared block.
+    """
+
+    __slots__ = ("_indptr", "_data")
+
+    def __init__(self, indptr: Sequence[int], data: Sequence[int]) -> None:
+        self._indptr = indptr
+        self._data = data
+
+    def __len__(self) -> int:
+        return len(self._indptr) - 1
+
+    def __getitem__(self, row: int) -> Sequence[int]:
+        if row < 0:
+            row += len(self)
+        if not 0 <= row < len(self):
+            raise IndexError(row)
+        return self._data[self._indptr[row] : self._indptr[row + 1]]
+
+    def __iter__(self):
+        indptr = self._indptr
+        data = self._data
+        for row in range(len(self)):
+            yield data[indptr[row] : indptr[row + 1]]
+
+
+# ---------------------------------------------------------------------------
+# Creator-side registry: every block this process created, keyed by owner
+# (one coordinator = one key), unlinked on close/GC/atexit.
+# ---------------------------------------------------------------------------
+_BLOCKS: Dict[str, List[shared_memory.SharedMemory]] = {}
+_BLOCKS_LOCK = threading.Lock()
+
+
+def register_block(owner_key: str, block: shared_memory.SharedMemory) -> None:
+    """Record a created block for :func:`unlink_blocks` cleanup."""
+    with _BLOCKS_LOCK:
+        _BLOCKS.setdefault(owner_key, []).append(block)
+
+
+def unlink_blocks(owner_key: str) -> int:
+    """Close and unlink every block created under ``owner_key``.
+
+    Idempotent and crash-tolerant: a block whose name is already gone (e.g.
+    an operator cleaned ``/dev/shm`` by hand) is skipped silently.  Returns
+    the number of blocks unlinked.
+    """
+    with _BLOCKS_LOCK:
+        blocks = _BLOCKS.pop(owner_key, [])
+    unlinked = 0
+    for block in blocks:
+        try:
+            block.close()
+            block.unlink()
+            unlinked += 1
+        except FileNotFoundError:  # pragma: no cover - external cleanup won
+            pass
+    return unlinked
+
+
+def live_block_names() -> List[str]:
+    """Names of every not-yet-unlinked block this process created (tests)."""
+    with _BLOCKS_LOCK:
+        return [block.name for blocks in _BLOCKS.values() for block in blocks]
+
+
+def _unlink_all() -> None:
+    with _BLOCKS_LOCK:
+        keys = list(_BLOCKS)
+    for key in keys:
+        unlink_blocks(key)
+
+
+atexit.register(_unlink_all)
+
+
+try:  # pragma: no cover - version probe
+    import inspect
+
+    _HAS_TRACK_KWARG = "track" in inspect.signature(
+        shared_memory.SharedMemory.__init__
+    ).parameters
+except Exception:  # pragma: no cover - exotic interpreter
+    _HAS_TRACK_KWARG = False
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without resource-tracker registration.
+
+    CPython < 3.13 registers every ``SharedMemory(name=...)`` attachment with
+    the resource tracker, which then unlinks the segment when the attaching
+    process exits — wrong for a worker that merely maps a block the
+    coordinator owns.  3.13+ exposes ``track=False`` for exactly this; on
+    older interpreters the registration call is suppressed for the duration
+    of the attach (serialised by a lock, so a concurrent attach of a
+    different block cannot slip through the patched window unregistered...
+    which would be harmless anyway — untracked is the state we want).
+    """
+    if _HAS_TRACK_KWARG:  # pragma: no cover - 3.13+ only
+        return shared_memory.SharedMemory(name=name, track=False)
+    try:
+        from multiprocessing import resource_tracker
+    except Exception:  # pragma: no cover - exotic interpreter
+        return shared_memory.SharedMemory(name=name)
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+
+        def _skip_shm_register(rname, rtype):  # pragma: no cover - passthrough
+            if rtype != "shared_memory":
+                original(rname, rtype)
+
+        resource_tracker.register = _skip_shm_register
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def pack_state(state: "ShardState", owner_key: str) -> SharedShardHandle:
+    """Pack ``state``'s static arrays into one shm block; register it."""
+    ghost_rev_indptr: List[int] = [0]
+    ghost_rev_data: List[int] = []
+    for local_neighbours in state.ghost_rev:
+        ghost_rev_data.extend(local_neighbours)
+        ghost_rev_indptr.append(len(ghost_rev_data))
+    arrays: Tuple[Sequence[int], ...] = (
+        state.owned,
+        state.indptr,
+        state.encoded,
+        state.degrees,
+        state.ghost_gvid,
+        state.ghost_owner,
+        state.ghost_deg,
+        ghost_rev_indptr,
+        ghost_rev_data,
+    )
+    lengths = tuple(len(arr) for arr in arrays)
+    total = sum(lengths)
+    block = shared_memory.SharedMemory(create=True, size=max(total, 1) * _ITEM)
+    view = memoryview(block.buf).cast("q")
+    cursor = 0
+    for arr in arrays:
+        view[cursor : cursor + len(arr)] = memoryview(_as_int64(arr))
+        cursor += len(arr)
+    view.release()
+    register_block(owner_key, block)
+    return SharedShardHandle(
+        block_name=block.name,
+        shard_id=state.shard_id,
+        num_shards=state.num_shards,
+        lengths=lengths,
+    )
+
+
+def _as_int64(arr: Sequence[int]):
+    import array
+
+    return array.array("q", arr)
+
+
+def attach_state(
+    handle: SharedShardHandle,
+) -> Tuple["ShardState", shared_memory.SharedMemory]:
+    """Rebuild a :class:`ShardState` over a zero-copy view of the block.
+
+    Returns ``(state, attachment)``; the caller owns the attachment and must
+    keep it alive as long as the state is used (the worker keeps one per
+    loaded shard for the coordinator's lifetime) and ``close()`` it when the
+    state is dropped.  The attachment is untracked (:func:`_attach_untracked`)
+    — the creator owns the segment's name, not the attacher.
+    """
+    from repro.shard.partition import ShardState
+
+    block = _attach_untracked(handle.block_name)
+    view = memoryview(block.buf).cast("q")
+    fields = {}
+    cursor = 0
+    for name, length in zip(_FIELDS, handle.lengths):
+        fields[name] = view[cursor : cursor + length]
+        cursor += length
+    ghost_rev = _CSRRows(fields["ghost_rev_indptr"], fields["ghost_rev_data"])
+    state = ShardState.__new__(ShardState)
+    state.shard_id = handle.shard_id
+    state.num_shards = handle.num_shards
+    state.owned = fields["owned"]
+    state.local_of = {gvid: local for local, gvid in enumerate(fields["owned"])}
+    state.indptr = fields["indptr"]
+    state.encoded = fields["encoded"]
+    state.degrees = fields["degrees"]
+    state.ghost_gvid = fields["ghost_gvid"]
+    state.ghost_owner = fields["ghost_owner"]
+    state.ghost_deg = fields["ghost_deg"]
+    state.ghost_rev = ghost_rev
+    state.ghost_of = {
+        gvid: ghost for ghost, gvid in enumerate(fields["ghost_gvid"])
+    }
+    return state, block

@@ -1,9 +1,11 @@
 """Unit and property tests for the :mod:`repro.shard` subsystem.
 
 Covers the partitioner invariants (total coverage, cut-edge symmetry,
-degree balance), the serial vs process-pool coordinator equivalence (the
-pickling / spawn contract), and the sharded backend's configuration surface
-(environment defaults, ``with_config``, engine checkpoints).
+degree balance, community cut reduction), the async/lock-step exchange and
+serial vs process-pool coordinator equivalences (the pickling / spawn / shm
+contracts), the shared-memory round-trip and unlink lifecycle, and the
+sharded backend's configuration surface (environment defaults,
+``with_config``, engine checkpoints).
 """
 
 from __future__ import annotations
@@ -20,9 +22,12 @@ from repro.cores.decomposition import compact_peel
 from repro.engine import StreamingAVTEngine
 from repro.errors import ParameterError
 from repro.graph.compact import CompactGraph
+from repro.graph.generators import planted_community_graph
 from repro.graph.static import Graph
+from repro.shard import shm
 from repro.shard.coordinator import ShardCoordinator, shutdown_shard_pools
 from repro.shard.partition import (
+    CommunityPartitioner,
     DegreeBalancedPartitioner,
     HashPartitioner,
     PARTITIONERS,
@@ -365,12 +370,16 @@ class TestShardedBackendConfig:
         monkeypatch.setenv("REPRO_SHARD_PARTITIONER", "degree_balanced")
         monkeypatch.setenv("REPRO_SHARD_EXECUTOR", "serial")
         monkeypatch.setenv("REPRO_SHARD_WORKERS", "2")
+        monkeypatch.setenv("REPRO_SHARD_EXCHANGE", "lockstep")
+        monkeypatch.setenv("REPRO_SHARD_SHM", "0")
         backend = ShardedBackend()
         assert backend.config() == {
             "num_shards": 6,
             "partitioner": "degree_balanced",
             "executor": "serial",
             "max_workers": 2,
+            "exchange": "lockstep",
+            "shared_memory": False,
         }
 
     def test_invalid_env_rejected(self, monkeypatch):
@@ -398,6 +407,15 @@ class TestShardedBackendConfig:
             ShardedBackend(partitioner="metis")
         with pytest.raises(ParameterError):
             ShardedBackend(max_workers=0)
+        with pytest.raises(ParameterError):
+            ShardedBackend(exchange="gossip")
+        with pytest.raises(ParameterError):
+            ShardCoordinator(
+                partition_compact_graph(
+                    CompactGraph.from_graph(sample_graph(), ordered=True), 2
+                ),
+                exchange="gossip",
+            )
 
     def test_korder_shares_one_partition(self):
         backend = ShardedBackend(num_shards=3, executor="serial")
@@ -421,6 +439,20 @@ class TestEngineCheckpointConfig:
         assert restored.backend == BACKEND_SHARDED
         assert restored._backend.num_shards == 5
         assert restored._backend.partitioner == backend.partitioner
+        assert restored.core_numbers() == engine.core_numbers()
+
+    def test_checkpoint_persists_exchange_and_shm_configuration(self, tmp_path):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+        backend = get_backend("sharded").with_config(
+            {"exchange": "lockstep", "shared_memory": False}
+        )
+        engine = StreamingAVTEngine(graph, backend=backend, batch_size=None)
+        engine.query(k=2, budget=1)
+        path = tmp_path / "sharded-exchange.ckpt"
+        engine.checkpoint(path)
+        restored = StreamingAVTEngine.restore(path)
+        assert restored._backend.exchange == "lockstep"
+        assert restored._backend.shared_memory is False
         assert restored.core_numbers() == engine.core_numbers()
 
     def test_restore_backend_override_wins(self, tmp_path):
@@ -483,6 +515,228 @@ class TestCheckpointUnavailableBackendFallback:
             warnings.simplefilter("error")
             restored = StreamingAVTEngine.restore(path)
         assert restored.backend == "compact"
+
+
+class TestCommunityPartitioner:
+    def test_cut_reduction_on_planted_communities(self):
+        """Label propagation halves (at least) the hash partitioner's cut."""
+        graph = planted_community_graph(
+            num_communities=4,
+            community_size=30,
+            intra_edge_probability=0.3,
+            inter_edges=30,
+            seed=7,
+        )
+        cgraph = CompactGraph.from_graph(graph, ordered=True)
+        community = partition_compact_graph(cgraph, 4, "community")
+        hashed = partition_compact_graph(cgraph, 4, "hash")
+        assert community.cut_edge_count * 2 <= hashed.cut_edge_count
+        assert community.cut_edge_ratio <= 0.5 * hashed.cut_edge_ratio
+        # LPT packing under the block cap keeps shard sizes balanced.
+        assert community.balance <= 2.0
+
+    def test_community_results_bit_identical(self):
+        graph = planted_community_graph(
+            num_communities=3,
+            community_size=12,
+            intra_edge_probability=0.4,
+            inter_edges=10,
+            seed=3,
+        )
+        cgraph = CompactGraph.from_graph(graph, ordered=True)
+        coordinator = ShardCoordinator(partition_compact_graph(cgraph, 3, "community"))
+        anchors = [0, 13]
+        assert coordinator.decompose(anchors) == compact_peel(cgraph, anchors)
+
+    def test_assignment_deterministic(self):
+        graph = planted_community_graph(
+            num_communities=3,
+            community_size=10,
+            intra_edge_probability=0.5,
+            inter_edges=8,
+            seed=11,
+        )
+        cgraph = CompactGraph.from_graph(graph, ordered=True)
+        partitioner = CommunityPartitioner()
+        assert partitioner.assign(cgraph, 3) == partitioner.assign(cgraph, 3)
+
+    def test_plan_quality_metadata(self):
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, 3)
+        assert plan.cut_edge_count == sum(s.num_cut_edges for s in plan.shards) // 2
+        assert plan.cut_edge_ratio == plan.cut_edge_count / cgraph.num_edges
+        assert plan.balance >= 1.0
+        stats = ShardCoordinator(plan).stats()
+        assert stats["cut_edges"] == plan.cut_edge_count
+        assert stats["cut_edge_ratio"] == plan.cut_edge_ratio
+        assert stats["balance"] == plan.balance
+
+    def test_empty_graph_metadata(self):
+        cgraph = CompactGraph.from_graph(Graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, 2, "community")
+        assert plan.cut_edge_count == 0
+        assert plan.cut_edge_ratio == 0.0
+        assert plan.balance == 1.0
+
+
+class TestAsyncExchange:
+    """The futures-based exchange is bit-identical to lock-step and compact."""
+
+    @SETTINGS
+    @given(graph=graphs(), num_shards=st.integers(min_value=1, max_value=4))
+    def test_partitioners_and_exchanges_match_compact(self, graph, num_shards):
+        cgraph = CompactGraph.from_graph(graph, ordered=True)
+        anchors = [0] if cgraph.num_vertices > 2 else []
+        expected = compact_peel(cgraph, anchors)
+        for partitioner in sorted(PARTITIONERS):
+            for exchange in ("async", "lockstep"):
+                coordinator = ShardCoordinator(
+                    partition_compact_graph(cgraph, num_shards, partitioner),
+                    exchange=exchange,
+                )
+                assert coordinator.decompose(anchors) == expected
+                assert coordinator.k_core_ids(2, anchors) == {
+                    vid for vid, c in enumerate(expected[0]) if c >= 2
+                }
+
+    @SETTINGS
+    @given(graph=graphs(), partitioner=st.sampled_from(sorted(PARTITIONERS)))
+    def test_process_async_matches_compact(self, process_pools, graph, partitioner):
+        cgraph = CompactGraph.from_graph(graph, ordered=True)
+        anchors = [0] if cgraph.num_vertices > 2 else []
+        expected = compact_peel(cgraph, anchors)
+        pooled = ShardCoordinator(
+            partition_compact_graph(cgraph, 3, partitioner), executor="process"
+        )
+        try:
+            assert pooled.decompose(anchors) == expected
+        finally:
+            pooled.close()
+
+    def test_async_exchange_counters(self):
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        asynchronous = ShardCoordinator(partition_compact_graph(cgraph, 3))
+        asynchronous.decompose(anchor_ids=[2])
+        stats = asynchronous.stats()
+        assert stats["exchange_waves"] > 0
+        assert stats["ops_dispatched"] >= 3
+        lockstep = ShardCoordinator(
+            partition_compact_graph(cgraph, 3), exchange="lockstep"
+        )
+        lockstep.decompose(anchor_ids=[2])
+        assert lockstep.stats()["exchange_waves"] == 0
+
+
+class TestSharedMemoryStates:
+    """to_shared/from_shared round-trips and the unlink lifecycle."""
+
+    def test_round_trip_preserves_every_field(self):
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, 3, "degree_balanced")
+        key = "test-round-trip"
+        try:
+            for state in plan.shards:
+                handle = state.to_shared(key)
+                attached, block = type(state).from_shared(handle)
+                try:
+                    assert attached.shard_id == state.shard_id
+                    assert attached.num_shards == state.num_shards
+                    assert list(attached.owned) == list(state.owned)
+                    assert attached.local_of == state.local_of
+                    assert list(attached.indptr) == list(state.indptr)
+                    assert list(attached.encoded) == list(state.encoded)
+                    assert list(attached.degrees) == list(state.degrees)
+                    assert list(attached.ghost_gvid) == list(state.ghost_gvid)
+                    assert list(attached.ghost_owner) == list(state.ghost_owner)
+                    assert list(attached.ghost_deg) == list(state.ghost_deg)
+                    assert attached.ghost_of == state.ghost_of
+                    assert len(attached.ghost_rev) == len(state.ghost_rev)
+                    assert [list(row) for row in attached.ghost_rev] == [
+                        list(row) for row in state.ghost_rev
+                    ]
+                    assert attached.boundary == state.boundary
+                    assert attached.num_cut_edges == state.num_cut_edges
+                finally:
+                    del attached
+                    block.close()
+        finally:
+            shm.unlink_blocks(key)
+
+    def test_handles_pickle_small(self):
+        import pickle
+
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, 2)
+        key = "test-pickle"
+        try:
+            handle = plan.shards[0].to_shared(key)
+            payload = pickle.dumps(handle)
+            assert len(payload) < 500  # a name and a few ints, not the graph
+            clone = pickle.loads(payload)
+            assert clone.block_name == handle.block_name
+            assert clone.lengths == handle.lengths
+        finally:
+            shm.unlink_blocks(key)
+
+    def test_unlink_on_coordinator_close(self, process_pools):
+        from multiprocessing import shared_memory as mp_shm
+
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, 2)
+        pooled = ShardCoordinator(plan, executor="process")
+        key = pooled._exec.key
+        names = [
+            block.name
+            for blocks_key, blocks in shm._BLOCKS.items()
+            if blocks_key == key
+            for block in blocks
+        ]
+        assert len(names) == 2  # one block per shard
+        pooled.decompose()
+        pooled.close()
+        assert not any(name in shm.live_block_names() for name in names)
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                mp_shm.SharedMemory(name=name)
+
+    def test_shared_memory_disabled_still_works(self, process_pools):
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, 2)
+        pooled = ShardCoordinator(plan, executor="process", shared_memory=False)
+        try:
+            assert pooled.shared_memory is False
+            expected_core, expected_order = compact_peel(cgraph)
+            assert pooled.decompose() == (expected_core, list(expected_order))
+        finally:
+            pooled.close()
+
+    def test_worker_crash_still_unlinks_and_pools_respawn(self, process_pools):
+        import os
+
+        from repro.shard import coordinator as co
+
+        cgraph = CompactGraph.from_graph(sample_graph(), ordered=True)
+        plan = partition_compact_graph(cgraph, 2)
+        pooled = ShardCoordinator(plan, executor="process")
+        key = pooled._exec.key
+        pooled.decompose()
+        # Kill one dedicated worker mid-life; the pool breaks.
+        victim_slot = pooled._exec.slots[0]
+        crash = co._get_pool(victim_slot).submit(os._exit, 1)
+        with pytest.raises(Exception):
+            crash.result(timeout=30)
+        # Close must still drop the sibling worker's state and unlink every
+        # shared block, and the broken pool must respawn for the next user.
+        pooled.close()
+        assert shm.live_block_names() == []
+        fresh = ShardCoordinator(
+            partition_compact_graph(cgraph, 2), executor="process"
+        )
+        try:
+            expected_core, expected_order = compact_peel(cgraph)
+            assert fresh.decompose() == (expected_core, list(expected_order))
+        finally:
+            fresh.close()
 
 
 class TestAnchoredSharding:
