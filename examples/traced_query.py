@@ -8,10 +8,18 @@ check); this example turns it on for a short streaming session and then
 1. prints the span tree of the final query — who called what, how long each
    level took, and the attributes the code attached (outcome, candidate
    counts, touched sets);
-2. prints the engine's unified metrics snapshot and a derived latency
+2. extracts the critical path of the slowest query with
+   :func:`repro.obs.critical_path` — the chain of spans that actually gated
+   the latency, whose step durations sum to the root's wall time — and the
+   per-stack self-time flamegraph aggregation (collapsed-stack format, ready
+   for ``flamegraph.pl`` / speedscope);
+3. prints the engine's unified metrics snapshot and a derived latency
    percentile, the same ``{name, type, value, labels}`` records that
    ``avt-bench serve-sim --metrics-out`` exports and every ``BENCH_*.json``
    embeds.
+
+The same analyses run offline over an ``avt-bench serve-sim --trace-out``
+file via ``avt-bench trace {tree,critical-path,flame,stragglers}``.
 
 Run with::
 
@@ -21,7 +29,13 @@ Run with::
 from __future__ import annotations
 
 from repro import StreamingAVTEngine, load_dataset
-from repro.obs import tracer
+from repro.obs import (
+    build_span_trees,
+    critical_path,
+    flame_stacks,
+    render_collapsed,
+    tracer,
+)
 
 K = 3  # engagement degree constraint
 BUDGET = 3  # anchors we can afford per answer
@@ -65,6 +79,29 @@ def main() -> None:
     print(f"Traced {len(spans)} spans from two engine queries -> {answer.summary()}")
     print("span tree (duration, attributes):")
     print_span_tree(spans)
+
+    # Critical path of the slowest query: the chain of spans that gated the
+    # latency.  Step durations sum to the root's wall time by construction,
+    # so nothing is hidden or double-counted.
+    slowest = max(build_span_trees(spans), key=lambda root: root.duration)
+    steps = critical_path(slowest)
+    print()
+    print(
+        f"critical path through '{slowest.name}' "
+        f"({slowest.duration * 1e3:.3f}ms wall):"
+    )
+    for step in steps:
+        share = step.seconds / slowest.duration * 100 if slowest.duration else 0.0
+        print(f"  {step.node.name:<28} {step.seconds * 1e3:8.3f}ms  {share:5.1f}%")
+    covered = sum(step.seconds for step in steps)
+    print(f"  steps sum to {covered * 1e3:.3f}ms of {slowest.duration * 1e3:.3f}ms")
+
+    # Flamegraph aggregation: self time per span-name stack, in the standard
+    # collapsed format ('a;b;c <microseconds>').
+    print()
+    print("flamegraph stacks (collapsed format, self time in us):")
+    for line in render_collapsed(flame_stacks(spans)).splitlines():
+        print(f"  {line}")
 
     print()
     print("engine metrics snapshot (unified schema):")

@@ -216,6 +216,31 @@ exporters                    :class:`~repro.obs.JsonLinesSpanSink` (streaming
                              :func:`~repro.obs.write_metrics` (Prometheus
                              text or JSON), and the existing human
                              ``summary()`` renderings
+``repro.obs.analyze``        offline trace analytics: span-tree
+                             reconstruction (:func:`~repro.obs.build_span_trees`),
+                             Dapper-style critical paths
+                             (:func:`~repro.obs.critical_path`, summing to the
+                             root's wall time by construction), per-name
+                             self-time flamegraph aggregation with
+                             collapsed-stack output, shard
+                             straggler/utilization reports reconciling with
+                             the coordinator's ``exchange_waves`` /
+                             ``ops_dispatched`` counters, and two-trace
+                             latency diffs — also on the command line as
+                             ``avt-bench trace {tree,critical-path,flame,
+                             stragglers}`` (``--diff`` compares two traces)
+:class:`~repro.obs.SamplingProfiler`
+                             thread-based wall-clock sampling profiler
+                             (``sys._current_frames`` at a configurable hz)
+                             attributing samples both to code stacks and to
+                             the open span stack, with an enforced <=5%
+                             overhead floor in ``BENCH_trace.json``
+:class:`~repro.obs.FlightRecorder`
+                             always-on bounded ring of recent spans + metric
+                             deltas that survives disabled tracing cheaply
+                             and auto-dumps on span errors, broken worker
+                             pools and checkpoint failures; inspect it live
+                             via ``engine.flight_record()``
 ===========================  ==================================================
 
 Tracing is off by default and costs one module-flag check per instrumented
@@ -224,7 +249,10 @@ replay-overhead floor in ``BENCH_obs.json``).  Enable it with
 ``repro.obs.tracer.set_enabled(True)``, the ``REPRO_TRACE=1`` environment
 variable, or ``avt-bench serve-sim --trace-out spans.jsonl --metrics-out
 metrics.prom`` for a fully traced replay; ``examples/traced_query.py`` walks
-a captured trace.  Engine lifecycle events also go to stdlib logging under
+a captured trace through the span tree, the critical path and the flamegraph
+aggregation.  The ``engine.latency.*`` histograms additionally carry
+*exemplars* — each bucket remembers the trace id of its slowest recent
+observation, linking a latency outlier straight to its trace.  Engine lifecycle events also go to stdlib logging under
 the ``"repro"`` logger hierarchy (a :class:`logging.NullHandler` is
 installed at the package root, per library convention).
 """

@@ -10,6 +10,10 @@ Installed as the ``avt-bench`` console script::
     avt-bench serve-sim --dataset gnutella  # online engine simulation
     avt-bench backends                    # registered execution backends
     avt-bench calibrate --out cal.json    # measured backend sweep for "auto"
+    avt-bench trace critical-path t.jsonl # analyze a --trace-out span file
+    avt-bench trace flame t.jsonl --out collapsed.txt   # flamegraph input
+    avt-bench trace stragglers t.jsonl    # shard wave utilization report
+    avt-bench trace tree a.jsonl --diff b.jsonl         # latency delta by span
 """
 
 from __future__ import annotations
@@ -38,7 +42,7 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="?",
         help=(
             "experiment id (fig03..fig12, table4, ablation_*), 'summary', "
-            "'datasets', 'backends', 'calibrate', or 'serve-sim'"
+            "'datasets', 'backends', 'calibrate', 'serve-sim', or 'trace'"
         ),
     )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
@@ -215,7 +219,10 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
         previous_enabled = tracer.set_enabled(True)
     engine = None
     try:
-        code, engine = _serve_sim_replay(args)
+        # When we own the sink, the JSONL file is the trace of record — drain
+        # the in-process buffer as the replay progresses so long replays stay
+        # bounded in memory instead of filling the 50k span buffer.
+        code, engine = _serve_sim_replay(args, drain_spans=sink is not None)
     finally:
         if sink is not None:
             tracer.set_enabled(previous_enabled)
@@ -230,9 +237,10 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
     return code
 
 
-def _serve_sim_replay(args: argparse.Namespace):
+def _serve_sim_replay(args: argparse.Namespace, drain_spans: bool = False):
     """The serve-sim replay loop; returns ``(exit_code, engine)``."""
     from repro.engine import StreamingAVTEngine
+    from repro.obs import tracer
 
     problem = build_problem(
         args.dataset,
@@ -281,6 +289,8 @@ def _serve_sim_replay(args: argparse.Namespace):
             f"t={step}  {result.summary()} "
             f"[version={engine.graph_version}, cached={len(engine.cache)}]"
         )
+        if drain_spans:
+            tracer.drain()
         if args.checkpoint is not None and step == checkpoint_step:
             checkpointed = True
             if not checkpoint_and_verify(step, result):
@@ -423,8 +433,204 @@ def _run_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace(path: Path):
+    from repro.errors import ParameterError
+    from repro.obs import read_spans_jsonl
+
+    try:
+        spans = read_spans_jsonl(path)
+    except OSError as error:
+        raise ParameterError(f"cannot read trace {path}: {error}") from error
+    if not spans:
+        raise ParameterError(f"trace {path} contains no spans")
+    return spans
+
+
+def _pick_trace_root(spans, root_name: Optional[str]):
+    """The longest root span (optionally restricted by name) in a trace file."""
+    from repro.errors import ParameterError
+    from repro.obs import build_span_trees
+
+    roots = build_span_trees(spans)
+    if root_name is not None:
+        roots = [root for root in roots if root.name == root_name]
+        if not roots:
+            raise ParameterError(f"no root span named {root_name!r} in the trace")
+    return max(roots, key=lambda root: root.duration)
+
+
+def _print_trace_diff(args: argparse.Namespace) -> int:
+    from repro.obs import diff_traces
+
+    report = diff_traces(_load_trace(args.trace), _load_trace(args.diff))
+    rows = [
+        {
+            "span": entry["name"],
+            "self_a_ms": f"{entry['self_seconds_a'] * 1e3:.3f}",
+            "self_b_ms": f"{entry['self_seconds_b'] * 1e3:.3f}",
+            "delta_ms": f"{entry['delta_seconds'] * 1e3:+.3f}",
+            "count_a": entry["count_a"],
+            "count_b": entry["count_b"],
+        }
+        for entry in report["by_name"][: args.top]
+    ]
+    print(f"latency delta by span name: {args.trace} -> {args.diff}")
+    print(format_table(rows))
+    print(
+        f"total self time {report['total_self_seconds_a'] * 1e3:.3f}ms -> "
+        f"{report['total_self_seconds_b'] * 1e3:.3f}ms "
+        f"({report['delta_seconds'] * 1e3:+.3f}ms)"
+    )
+    return 0
+
+
+def _run_trace(argv: Sequence[str]) -> int:
+    """``avt-bench trace`` — offline analytics over a ``--trace-out`` file."""
+    from repro.obs import (
+        critical_path,
+        flame_stacks,
+        render_collapsed,
+        render_tree,
+        straggler_report,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="avt-bench trace",
+        description=(
+            "Analyze a span trace captured with --trace-out (JSON lines): "
+            "span trees, critical paths, flamegraph stacks, shard straggler "
+            "reports, and two-trace latency diffs."
+        ),
+    )
+    parser.add_argument(
+        "command",
+        choices=["tree", "critical-path", "flame", "stragglers"],
+        help="analysis to run over the trace",
+    )
+    parser.add_argument("trace", type=Path, help="JSON-lines span file")
+    parser.add_argument(
+        "--diff",
+        type=Path,
+        default=None,
+        help=(
+            "second trace: print the per-span-name self-time delta between "
+            "the two traces instead of the single-trace report"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="restrict tree/critical-path to roots with this span name",
+    )
+    parser.add_argument("--depth", type=int, default=None, help="tree: printed depth limit")
+    parser.add_argument("--top", type=int, default=15, help="rows/roots to print")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="flame: write the collapsed stacks to this file instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if args.diff is not None:
+        return _print_trace_diff(args)
+    spans = _load_trace(args.trace)
+
+    if args.command == "tree":
+        from repro.obs import build_span_trees
+
+        roots = build_span_trees(spans)
+        if args.root is not None:
+            roots = [root for root in roots if root.name == args.root]
+        roots = sorted(roots, key=lambda root: root.duration, reverse=True)[: args.top]
+        print(
+            f"{len(spans)} spans in {args.trace}; "
+            f"showing the {len(roots)} longest trace(s):"
+        )
+        print(render_tree(roots, max_depth=args.depth))
+        return 0
+
+    if args.command == "critical-path":
+        root = _pick_trace_root(spans, args.root)
+        steps = critical_path(root)
+        wall = root.duration
+        covered = sum(step.seconds for step in steps)
+        rows = [
+            {
+                "span": step.node.name,
+                "on_path_ms": f"{step.seconds * 1e3:.3f}",
+                "pct_of_wall": f"{step.seconds / wall * 100:.1f}%" if wall else "-",
+            }
+            for step in steps
+        ]
+        print(
+            f"critical path through {root.name!r} "
+            f"(trace {root.trace_id}, wall {wall * 1e3:.3f}ms):"
+        )
+        print(format_table(rows))
+        pct = covered / wall * 100 if wall else 100.0
+        print(
+            f"critical path covers {covered * 1e3:.3f}ms of "
+            f"{wall * 1e3:.3f}ms wall ({pct:.1f}%)"
+        )
+        return 0
+
+    if args.command == "flame":
+        collapsed = render_collapsed(flame_stacks(spans))
+        if args.out is not None:
+            args.out.write_text(collapsed + "\n", encoding="utf-8")
+            print(
+                f"{len(collapsed.splitlines())} collapsed stacks written to "
+                f"{args.out} (feed to flamegraph.pl / speedscope / inferno)"
+            )
+        else:
+            print(collapsed)
+        return 0
+
+    # stragglers
+    report = straggler_report(spans)
+    if not report["num_exchanges"]:
+        print(
+            "no shard.exchange spans in the trace — run the workload with "
+            "--backend sharded (async exchange) to produce wave spans"
+        )
+        return 0
+    rows = []
+    for entry in report["exchanges"][: args.top]:
+        worst = entry["stragglers"][0] if entry["stragglers"] else "-"
+        busy = entry["shards"].get(worst, {}).get("busy_fraction", 0.0)
+        rows.append(
+            {
+                "op": entry["op"],
+                "wall_ms": f"{entry['wall_seconds'] * 1e3:.3f}",
+                "waves": entry["waves"],
+                "ops": entry["ops"],
+                "resubmits": entry["resubmissions"],
+                "skew": f"{entry['skew']:.2f}",
+                "straggler": f"shard {worst} ({busy * 100:.0f}% busy)",
+            }
+        )
+    print(format_table(rows))
+    print(
+        f"totals: {report['num_exchanges']} exchanges, "
+        f"{report['total_waves']} waves, "
+        f"{report['total_ops_dispatched']} ops dispatched "
+        "(reconcile with the coordinator's exchange_waves / ops_dispatched counters)"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``avt-bench`` console script."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        # The trace analyzer has its own positional grammar (command + file);
+        # dispatch before the experiment parser sees it.
+        try:
+            return _run_trace(argv[1:])
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     parser = _build_parser()
     args = parser.parse_args(argv)
 
@@ -438,6 +644,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("  backends               Show the registered execution backends.")
         print("  calibrate              Measure backends per size band for the 'auto' policy.")
         print("  serve-sim              Replay a dataset through the online streaming engine.")
+        print("  trace                  Analyze a --trace-out span file (tree, critical-path,")
+        print("                         flame, stragglers; --diff compares two traces).")
         return 0
 
     try:

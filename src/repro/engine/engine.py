@@ -306,7 +306,9 @@ class StreamingAVTEngine:
                     doomed.append(warm_key)
             for warm_key in doomed:
                 del self._warm[warm_key]
-        self._stats.observe_latency("update", time.perf_counter() - started)
+        self._stats.observe_latency(
+            "update", time.perf_counter() - started, trace_id=tracer.current_trace_id()
+        )
         flush_span.set(
             inserted=len(delta.inserted),
             removed=len(delta.removed),
@@ -367,7 +369,11 @@ class StreamingAVTEngine:
                 cached = None
             if cached is not None:
                 self._stats.cache_hits += 1
-                self._stats.observe_latency("hit", time.perf_counter() - started)
+                self._stats.observe_latency(
+                    "hit",
+                    time.perf_counter() - started,
+                    trace_id=tracer.current_trace_id(),
+                )
                 query_span.set(outcome="hit", version=self._version)
                 return cached
             self._stats.cache_misses += 1
@@ -412,7 +418,9 @@ class StreamingAVTEngine:
             solver_stats.runtime_seconds = time.perf_counter() - started
             warm_span.set(anchors=len(anchors), followers=len(followers))
         self._stats.warm_solves += 1
-        self._stats.observe_latency("warm", solver_stats.runtime_seconds)
+        self._stats.observe_latency(
+            "warm", solver_stats.runtime_seconds, trace_id=tracer.current_trace_id()
+        )
         return AnchoredKCoreResult(
             algorithm=WARM_ALGORITHM,
             k=k,
@@ -435,7 +443,9 @@ class StreamingAVTEngine:
             result = solver.select()
             cold_span.set(anchors=len(result.anchors), followers=result.num_followers)
         self._stats.cold_solves += 1
-        self._stats.observe_latency("cold", time.perf_counter() - started)
+        self._stats.observe_latency(
+            "cold", time.perf_counter() - started, trace_id=tracer.current_trace_id()
+        )
         return result
 
     # ------------------------------------------------------------------
@@ -581,17 +591,47 @@ class StreamingAVTEngine:
         return engine
 
     def checkpoint(self, path: Any) -> None:
-        """Persist the engine to ``path`` (see :mod:`repro.engine.checkpoint`)."""
-        from repro.engine.checkpoint import save_checkpoint
+        """Persist the engine to ``path`` (see :mod:`repro.engine.checkpoint`).
 
-        save_checkpoint(self, path)
+        A failed save dumps the flight recorder (recent spans + metric
+        deltas) before re-raising, so post-mortems of checkpoint failures in
+        long-running engines have the surrounding context.
+        """
+        from repro.engine.checkpoint import save_checkpoint
+        from repro.obs.flight import default_recorder
+
+        try:
+            save_checkpoint(self, path)
+        except CheckpointError as error:
+            default_recorder().dump(
+                "checkpoint-save-failed", path=str(path), error=str(error)
+            )
+            raise
 
     @classmethod
     def restore(cls, path: Any, **overrides: Any) -> "StreamingAVTEngine":
         """Rebuild an engine from a checkpoint file written by :meth:`checkpoint`."""
         from repro.engine.checkpoint import load_checkpoint
+        from repro.obs.flight import default_recorder
 
-        return load_checkpoint(path, **overrides)
+        try:
+            return load_checkpoint(path, **overrides)
+        except CheckpointError as error:
+            default_recorder().dump(
+                "checkpoint-restore-failed", path=str(path), error=str(error)
+            )
+            raise
+
+    def flight_record(self) -> Dict[str, Any]:
+        """The live flight record: recent spans, metric deltas, past dumps.
+
+        Delegates to the process-wide always-on recorder
+        (:func:`repro.obs.flight.default_recorder`); cheap to call from an
+        operator endpoint or a crash handler.
+        """
+        from repro.obs.flight import default_recorder
+
+        return default_recorder().record()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         graph = self._maintainer.graph

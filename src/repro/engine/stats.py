@@ -104,12 +104,19 @@ class EngineStats:
     # ------------------------------------------------------------------
     # Instrumentation helpers
     # ------------------------------------------------------------------
-    def observe_latency(self, path: str, seconds: float) -> None:
-        """Accumulate ``seconds`` on ``<path>_seconds`` and its histogram."""
+    def observe_latency(
+        self, path: str, seconds: float, trace_id: Optional[str] = None
+    ) -> None:
+        """Accumulate ``seconds`` on ``<path>_seconds`` and its histogram.
+
+        ``trace_id`` (when tracing is on) is stored as the bucket's exemplar
+        if this is the slowest recent observation for its latency bucket, so
+        a p99 bucket links straight to an inspectable trace.
+        """
         if path not in self._latency:
             raise ValueError(f"unknown latency path {path!r}")
         self._metrics[f"{path}_seconds"].inc(seconds)
-        self._latency[path].observe(seconds)
+        self._latency[path].observe(seconds, trace_id=trace_id)
 
     def latency_histogram(self, path: str):
         """The :class:`~repro.obs.metrics.Histogram` behind ``path``."""

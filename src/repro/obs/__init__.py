@@ -13,14 +13,44 @@ piece              role
                    legacy stats surfaces are views over it.
 ``exporters``      JSON-lines span sink, Prometheus text exposition, and
                    snapshot writers for the CLI and benches.
+``analyze``        Trace analytics over finished spans: span-tree
+                   reconstruction, Dapper-style critical-path extraction,
+                   per-name self-time flamegraph aggregation
+                   (collapsed-stack output), shard straggler/utilization
+                   reports, and two-trace latency diffs.
+``profile``        Thread-based wall-clock sampling profiler
+                   (``sys._current_frames`` at a configurable hz) that
+                   attributes samples to the open span stack as well as to
+                   code, with an enforced ≤5% overhead floor.
+``flight``         Always-on flight recorder: a bounded ring of recent
+                   spans + metric deltas that survives ``enabled=False``
+                   cheaply and dumps automatically on span errors, broken
+                   worker pools and checkpoint failures
+                   (``engine.flight_record()``).
 =================  ==========================================================
 
 Enable tracing programmatically (``tracer.set_enabled(True)``), per run
 (``avt-bench serve-sim --trace-out trace.jsonl``), or process-wide via the
-``REPRO_TRACE=1`` environment variable.
+``REPRO_TRACE=1`` environment variable.  Analyze a trace offline with
+``avt-bench trace {tree,critical-path,flame,stragglers} trace.jsonl``.
 """
 
 from repro.obs import tracer
+from repro.obs.analyze import (
+    CriticalStep,
+    SpanNode,
+    build_span_trees,
+    critical_path,
+    critical_path_by_name,
+    diff_traces,
+    flame_stacks,
+    render_collapsed,
+    render_tree,
+    self_time_by_name,
+    straggler_report,
+)
+from repro.obs.flight import FlightRecorder, default_recorder
+from repro.obs.profile import SamplingProfiler
 from repro.obs.exporters import (
     JsonLinesSpanSink,
     read_spans_jsonl,
@@ -42,6 +72,20 @@ __all__ = [
     "tracer",
     "Span",
     "Tracer",
+    "SpanNode",
+    "CriticalStep",
+    "build_span_trees",
+    "critical_path",
+    "critical_path_by_name",
+    "self_time_by_name",
+    "flame_stacks",
+    "render_collapsed",
+    "render_tree",
+    "straggler_report",
+    "diff_traces",
+    "SamplingProfiler",
+    "FlightRecorder",
+    "default_recorder",
     "Counter",
     "Gauge",
     "Histogram",

@@ -95,7 +95,7 @@ class Histogram:
     stored (sparse dict), so an idle histogram costs a few attributes.
     """
 
-    __slots__ = ("name", "labels", "count", "sum", "min", "max", "buckets", "samples")
+    __slots__ = ("name", "labels", "count", "sum", "min", "max", "buckets", "samples", "exemplars")
     kind = "histogram"
 
     def __init__(
@@ -113,6 +113,10 @@ class Histogram:
         self.max = -math.inf
         self.buckets: Dict[int, int] = {}
         self.samples: Optional[List[float]] = [] if track_values else None
+        #: Per-bucket exemplar: ``{bucket_index: (value, trace_id)}`` for the
+        #: slowest recent observation that carried a trace id, so a p99 bucket
+        #: links straight to an inspectable trace.
+        self.exemplars: Dict[int, Tuple[float, str]] = {}
 
     @staticmethod
     def bucket_index(value: float) -> int:
@@ -124,7 +128,7 @@ class Histogram:
     def bucket_upper_bound(index: int) -> float:
         return _BUCKET_BASE * (_BUCKET_GROWTH ** index)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: Optional[str] = None) -> None:
         self.count += 1
         self.sum += value
         if value < self.min:
@@ -135,6 +139,12 @@ class Histogram:
         self.buckets[index] = self.buckets.get(index, 0) + 1
         if self.samples is not None:
             self.samples.append(value)
+        if trace_id is not None:
+            # Keep the slowest observation per bucket; ``>=`` so the exemplar
+            # is the most *recent* of equally slow observations.
+            held = self.exemplars.get(index)
+            if held is None or value >= held[0]:
+                self.exemplars[index] = (value, trace_id)
 
     @property
     def mean(self) -> float:
@@ -176,6 +186,11 @@ class Histogram:
         }
         if self.samples is not None:
             value["samples"] = list(self.samples)
+        if self.exemplars:
+            value["exemplars"] = {
+                str(index): {"value": observed, "trace_id": trace_id}
+                for index, (observed, trace_id) in sorted(self.exemplars.items())
+            }
         return {"name": self.name, "type": self.kind, "value": value, "labels": dict(self.labels)}
 
     def restore(self, value: Dict[str, Any]) -> None:
@@ -188,6 +203,10 @@ class Histogram:
             self.samples = list(value["samples"])
         elif self.samples is not None:
             self.samples = []
+        self.exemplars = {
+            int(index): (float(entry["value"]), str(entry["trace_id"]))
+            for index, entry in value.get("exemplars", {}).items()
+        }
 
 
 Metric = Union[Counter, Gauge, Histogram]

@@ -25,6 +25,7 @@ its trace id, which is how a sharded decompose shows per-shard timings.
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 import time
@@ -37,6 +38,8 @@ __all__ = [
     "Tracer",
     "span",
     "current_span",
+    "current_trace_id",
+    "thread_span_stacks",
     "drain",
     "add_sink",
     "remove_sink",
@@ -46,6 +49,8 @@ __all__ = [
     "is_enabled",
     "default_tracer",
 ]
+
+logger = logging.getLogger("repro.obs")
 
 SpanDict = Dict[str, Any]
 Sink = Callable[[SpanDict], None]
@@ -57,7 +62,12 @@ MAX_BUFFERED_SPANS = 50_000
 #: Reassigned by :func:`set_enabled`; read directly by :func:`span`.
 enabled: bool = os.environ.get("REPRO_TRACE", "").strip().lower() in {"1", "true", "yes", "on"}
 
-_local = threading.local()
+#: Per-thread open-span stacks, keyed by thread ident.  A plain dict (not
+#: ``threading.local``) so the sampling profiler can read *other* threads'
+#: stacks; all accesses are single dict/list ops, atomic under the GIL.
+#: Entries are removed when a thread's outermost span exits, so the dict does
+#: not grow with thread churn.
+_STACKS: Dict[int, List["Span"]] = {}
 _id_lock = threading.Lock()
 _id_state = {"pid": os.getpid(), "next": 1}
 
@@ -75,9 +85,10 @@ def _next_span_id() -> str:
 
 
 def _stack() -> List["Span"]:
-    stack = getattr(_local, "stack", None)
+    ident = threading.get_ident()
+    stack = _STACKS.get(ident)
     if stack is None:
-        stack = _local.stack = []
+        stack = _STACKS[ident] = []
     return stack
 
 
@@ -146,6 +157,8 @@ class Span:
             stack.pop()
         elif self in stack:  # pragma: no cover - unbalanced exit safety net
             stack.remove(self)
+        if not stack:
+            _STACKS.pop(threading.get_ident(), None)
         if exc_type is not None:
             self.attrs["error"] = exc_type.__name__
         self._tracer._record(self.to_dict())
@@ -174,6 +187,7 @@ class Tracer:
         registry = global_registry()
         self._recorded = registry.counter("obs.spans_recorded")
         self._dropped = registry.counter("obs.spans_dropped")
+        self._drop_warned = False
 
     def span(self, name: str, **attrs: Any):
         """Start a span (context manager).  No-op singleton while disabled."""
@@ -187,12 +201,21 @@ class Tracer:
             self._buffer.append(span_dict)
         else:
             self._dropped.inc()
+            if not self._drop_warned:
+                self._drop_warned = True
+                logger.warning(
+                    "span buffer full (max_buffered=%d); dropping further spans "
+                    "until drain() — attach a streaming sink for long runs "
+                    "(obs.spans_dropped counts the loss)",
+                    self.max_buffered,
+                )
         for sink in self._sinks:
             sink(span_dict)
 
     def drain(self) -> List[SpanDict]:
         """Return all buffered spans and clear the buffer."""
         spans, self._buffer = self._buffer, []
+        self._drop_warned = False
         return spans
 
     def add_sink(self, sink: Sink) -> None:
@@ -242,8 +265,35 @@ def span(name: str, **attrs: Any):
 
 def current_span() -> Optional[Span]:
     """The innermost open span on this thread, or None."""
-    stack = getattr(_local, "stack", None)
+    stack = _STACKS.get(threading.get_ident())
     return stack[-1] if stack else None
+
+
+def current_trace_id() -> Optional[str]:
+    """Trace id of this thread's innermost open span, or None.
+
+    Cheap enough for hot paths even while tracing is disabled (one dict
+    lookup); used to attach trace-id exemplars to latency histograms.
+    """
+    stack = _STACKS.get(threading.get_ident())
+    return stack[-1].trace_id if stack else None
+
+
+def thread_span_stacks() -> Dict[int, List[str]]:
+    """Snapshot of every thread's open span-name stack, outermost first.
+
+    Read-only view for the sampling profiler: it maps each thread ident with
+    at least one open span to the span names on its stack.  Safe to call from
+    any thread — iteration copies under the GIL and tolerates concurrent
+    push/pop (a stack observed mid-mutation just yields a slightly stale
+    list, which is fine for statistical sampling).
+    """
+    snapshot: Dict[int, List[str]] = {}
+    for ident, stack in list(_STACKS.items()):
+        names = [open_span.name for open_span in list(stack)]
+        if names:
+            snapshot[ident] = names
+    return snapshot
 
 
 def drain() -> List[SpanDict]:

@@ -113,7 +113,7 @@ from multiprocessing import get_context
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ParameterError
-from repro.obs import tracer
+from repro.obs import flight, tracer
 from repro.obs.metrics import MetricsRegistry
 from repro.shard import shm
 from repro.shard.partition import ShardPlan, ShardState
@@ -978,6 +978,10 @@ def _discard_pool(slot: int) -> None:
         pool = _POOLS.pop(slot, None)
     if pool is not None:
         logger.warning("shard worker slot %d broke; respawning on next use", slot)
+        # Freeze the flight recorder before the respawn erases the evidence:
+        # the ring holds the spans leading up to the crash even if tracing
+        # was toggled off since.
+        flight.default_recorder().dump("broken-process-pool", slot=slot)
         pool.shutdown(wait=False)
 
 

@@ -10,6 +10,7 @@ counts and durations must agree with the engine's counters.
 from __future__ import annotations
 
 import json
+import logging
 import math
 import os
 import pickle
@@ -137,6 +138,31 @@ class TestSpans:
                 pass
         assert len(private.drain()) == 2
         assert dropped.value == before + 1
+
+    def test_buffer_overflow_warns_once_until_drained(self, traced, caplog):
+        private = Tracer(max_buffered=1)
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            for index in range(4):
+                with private.span("overflow", index=index):
+                    pass
+        warnings = [
+            record
+            for record in caplog.records
+            if "span buffer full" in record.getMessage()
+        ]
+        assert len(warnings) == 1
+        assert "max_buffered=1" in warnings[0].getMessage()
+
+        # drain() re-arms the warning for the next overflow
+        private.drain()
+        caplog.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            for index in range(3):
+                with private.span("overflow-again", index=index):
+                    pass
+        assert sum(
+            "span buffer full" in record.getMessage() for record in caplog.records
+        ) == 1
 
     def test_adopt_reparents_worker_roots(self, traced):
         worker = [

@@ -344,6 +344,77 @@ class TestCrossProcessTracing:
                 cursor = by_id[cursor["parent_id"]]
             assert cursor["span_id"] == root_dict["span_id"]
 
+    def test_async_adopt_multiwave_reparents_under_exchange(self, process_pools):
+        """Multi-wave async exchanges adopt worker roots under the right spot.
+
+        A ring+chords graph over 3 hash shards keeps boundary traffic flowing
+        for several waves, so worker ops from different waves interleave.
+        Every adopted worker-root ``shard.op`` must land under the exchange
+        for its own op (via the ``shard.wave`` spans the coordinator opens
+        while resolving), carry its shard tag, and the reconstructed
+        straggler report must reconcile exactly with the coordinator's
+        ``exchange_waves`` / ``ops_dispatched`` counters.
+        """
+        import os
+
+        from repro.obs import build_span_trees, straggler_report, tracer
+
+        n = 36
+        edges = [(i, (i + 1) % n) for i in range(n)] + [
+            (i, (i + 5) % n) for i in range(n)
+        ]
+        cgraph = CompactGraph.from_graph(
+            Graph(edges=edges, vertices=range(n)), ordered=True
+        )
+        plan = partition_compact_graph(cgraph, 3)
+        pooled = ShardCoordinator(plan, executor="process")
+        previous = tracer.set_enabled(True)
+        tracer.drain()
+        try:
+            with tracer.span("test.root"):
+                pooled.decompose(anchor_ids=[0, 7])
+                pooled.k_core_ids(3, [1])
+            spans = tracer.drain()
+            waves_expected = pooled.exchange_waves
+            ops_expected = pooled.ops_dispatched
+        finally:
+            tracer.set_enabled(previous)
+            pooled.close()
+
+        (root,) = build_span_trees(spans)
+        exchanges = [
+            node for node in root.walk() if node.name == "shard.exchange"
+        ]
+        assert exchanges, "no async exchange recorded"
+        assert any(node.attrs["waves"] >= 2 for node in exchanges), (
+            "workload failed to produce a multi-wave exchange"
+        )
+
+        coordinator_pid = os.getpid()
+        adopted_ops = 0
+        for exchange in exchanges:
+            for node in exchange.walk():
+                if node.name != "shard.op" or node.span["pid"] == coordinator_pid:
+                    continue
+                adopted_ops += 1
+                # Worker roots are re-parented onto the span open at resolve
+                # time: a wave of this exchange (resubmission or first
+                # completion) — never a sibling exchange's wave.
+                assert node.parent is not None
+                assert node.parent.name in {"shard.wave", "shard.exchange"}
+                assert node.attrs["op"] == exchange.attrs["op"]
+                assert node.attrs["shard"] in {0, 1, 2}
+                assert node.trace_id == root.trace_id
+        assert adopted_ops > 0, "no worker ops adopted under the exchanges"
+
+        report = straggler_report(spans)
+        assert report["total_waves"] == waves_expected
+        assert report["total_ops_dispatched"] == ops_expected
+        multiwave = [entry for entry in report["exchanges"] if entry["waves"] >= 2]
+        assert multiwave
+        # Multi-wave means at least one shard ran beyond its initial op.
+        assert any(entry["resubmissions"] >= 1 for entry in multiwave)
+
     def test_untraced_process_run_returns_no_spans(self, process_pools):
         from repro.obs import tracer
 
@@ -727,8 +798,22 @@ class TestSharedMemoryStates:
             crash.result(timeout=30)
         # Close must still drop the sibling worker's state and unlink every
         # shared block, and the broken pool must respawn for the next user.
+        from repro.obs.flight import default_recorder
+
+        seq_before = max(
+            (dump["seq"] for dump in default_recorder().dumps), default=0
+        )
         pooled.close()
         assert shm.live_block_names() == []
+        # Retiring the broken pool dumps the flight recorder for post-mortems.
+        # The dump deque is bounded, so identify new dumps by sequence number.
+        pool_dumps = [
+            dump
+            for dump in default_recorder().dumps
+            if dump["seq"] > seq_before and dump["reason"] == "broken-process-pool"
+        ]
+        assert len(pool_dumps) == 1
+        assert pool_dumps[0]["context"]["slot"] == victim_slot
         fresh = ShardCoordinator(
             partition_compact_graph(cgraph, 2), executor="process"
         )

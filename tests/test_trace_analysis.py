@@ -1,0 +1,577 @@
+"""Tests for the PR-9 analysis tier: :mod:`repro.obs.analyze`,
+:mod:`repro.obs.profile`, :mod:`repro.obs.flight`, histogram exemplars and
+the ``avt-bench trace`` CLI.
+
+Includes the acceptance criteria: the critical path of a serve-sim
+``--trace-out`` artifact sums to within 10% of the root span's wall time,
+and the straggler report reconciles exactly with the coordinator's
+``exchange_waves`` / ``ops_dispatched`` counters.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.engine import StreamingAVTEngine
+from repro.engine.stats import EngineStats
+from repro.errors import CheckpointError, ParameterError
+from repro.graph.compact import CompactGraph
+from repro.graph.static import Graph
+from repro.obs.profile import UNTRACED
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    SamplingProfiler,
+    build_span_trees,
+    critical_path,
+    critical_path_by_name,
+    default_recorder,
+    diff_traces,
+    flame_stacks,
+    read_spans_jsonl,
+    render_collapsed,
+    render_tree,
+    self_time_by_name,
+    straggler_report,
+    tracer,
+)
+from repro.shard.coordinator import ShardCoordinator
+from repro.shard.partition import partition_compact_graph
+
+
+@pytest.fixture
+def traced():
+    previous = tracer.set_enabled(True)
+    tracer.drain()
+    yield
+    tracer.drain()
+    tracer.set_enabled(previous)
+
+
+def _span(name, span_id, parent_id, start, duration, **attrs):
+    """Synthetic span dict with exact, hand-chosen intervals."""
+    return {
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "trace_id": "t-1",
+        "pid": 1,
+        "start": start,
+        "duration": duration,
+        "attrs": attrs,
+    }
+
+
+def _busy(seconds):
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(200))
+
+
+class TestSpanTrees:
+    def test_forest_reconstruction_and_ordering(self):
+        spans = [
+            _span("child.b", "s3", "s1", 6.0, 2.0),
+            _span("root", "s1", None, 0.0, 10.0),
+            _span("child.a", "s2", "s1", 1.0, 3.0),
+            _span("other.root", "s9", "missing-parent", 20.0, 1.0),
+        ]
+        roots = build_span_trees(spans)
+        assert [root.name for root in roots] == ["root", "other.root"]
+        root = roots[0]
+        assert [child.name for child in root.children] == ["child.a", "child.b"]
+        assert root.children[0].parent is root
+        assert root.end == 10.0
+        assert [node.name for node in root.walk()] == ["root", "child.a", "child.b"]
+
+    def test_self_time_clamps_for_concurrent_children(self):
+        # Async fan-out: two children overlap, their durations sum past the
+        # parent's wall time; self time must clamp at zero, not go negative.
+        spans = [
+            _span("wave", "w1", None, 0.0, 1.0),
+            _span("op", "o1", "w1", 0.0, 0.9, shard=0),
+            _span("op", "o2", "w1", 0.05, 0.9, shard=1),
+        ]
+        (root,) = build_span_trees(spans)
+        assert root.self_time == 0.0
+        totals = self_time_by_name(spans)
+        assert totals["wave"]["self_seconds"] == 0.0
+        assert totals["op"]["self_seconds"] == pytest.approx(1.8)
+
+
+class TestCriticalPath:
+    def test_sequential_children_and_gaps(self):
+        # root [0,10]: a [1,4], b [5,9] -> path: root 1s, a 3s, root 1s, b 4s, root 1s
+        spans = [
+            _span("root", "s1", None, 0.0, 10.0),
+            _span("a", "s2", "s1", 1.0, 3.0),
+            _span("b", "s3", "s1", 5.0, 4.0),
+        ]
+        (root,) = build_span_trees(spans)
+        steps = critical_path(root)
+        assert [(step.node.name, step.seconds) for step in steps] == [
+            ("root", 1.0),
+            ("a", 3.0),
+            ("root", 1.0),
+            ("b", 4.0),
+            ("root", 1.0),
+        ]
+        assert sum(step.seconds for step in steps) == pytest.approx(root.duration)
+        by_name = critical_path_by_name(steps)
+        assert by_name == {"root": 3.0, "a": 3.0, "b": 4.0}
+
+    def test_concurrent_children_last_finisher_wins(self):
+        # Two overlapping children: the straggler (later end) owns the
+        # overlap; the early child only contributes its unshadowed prefix.
+        spans = [
+            _span("exchange", "e1", None, 0.0, 10.0),
+            _span("fast", "f1", "e1", 0.0, 4.0),
+            _span("slow", "f2", "e1", 1.0, 9.0),
+        ]
+        (root,) = build_span_trees(spans)
+        steps = critical_path(root)
+        assert [(step.node.name, step.seconds) for step in steps] == [
+            ("fast", 1.0),
+            ("slow", 9.0),
+        ]
+        assert sum(step.seconds for step in steps) == pytest.approx(10.0)
+
+    def test_nested_recursion_and_full_coverage(self):
+        spans = [
+            _span("root", "r", None, 0.0, 8.0),
+            _span("mid", "m", "r", 2.0, 5.0),
+            _span("leaf", "l", "m", 3.0, 2.0),
+        ]
+        (root,) = build_span_trees(spans)
+        steps = critical_path(root)
+        assert sum(step.seconds for step in steps) == pytest.approx(8.0)
+        names = [step.node.name for step in steps]
+        assert names == ["root", "mid", "leaf", "mid", "root"]
+
+    def test_real_trace_sums_to_root_wall(self, traced):
+        with tracer.span("outer"):
+            with tracer.span("first"):
+                _busy(0.01)
+            with tracer.span("second"):
+                with tracer.span("inner"):
+                    _busy(0.01)
+        (root,) = build_span_trees(tracer.drain())
+        steps = critical_path(root)
+        total = sum(step.seconds for step in steps)
+        assert total == pytest.approx(root.duration, rel=1e-3)
+
+
+class TestFlamegraph:
+    def test_collapsed_stack_output(self):
+        spans = [
+            _span("root", "s1", None, 0.0, 10.0),
+            _span("a", "s2", "s1", 1.0, 3.0),
+            _span("b", "s3", "s1", 5.0, 4.0),
+            _span("a.inner", "s4", "s2", 1.5, 1.0),
+        ]
+        stacks = flame_stacks(spans)
+        assert stacks == {
+            "root": pytest.approx(3.0),
+            "root;a": pytest.approx(2.0),
+            "root;a;a.inner": pytest.approx(1.0),
+            "root;b": pytest.approx(4.0),
+        }
+        collapsed = render_collapsed(stacks)
+        lines = collapsed.splitlines()
+        assert "root 3000000" in lines
+        assert "root;a;a.inner 1000000" in lines
+        # standard collapsed format: one "stack<space>integer" per line
+        for line in lines:
+            stack, _, weight = line.rpartition(" ")
+            assert stack and weight.isdigit()
+
+    def test_render_tree_depth_limit(self):
+        spans = [
+            _span("root", "s1", None, 0.0, 1.0),
+            _span("mid", "s2", "s1", 0.0, 0.5),
+            _span("leaf", "s3", "s2", 0.0, 0.25),
+        ]
+        full = render_tree(build_span_trees(spans))
+        assert "leaf" in full and "  mid" in full
+        shallow = render_tree(build_span_trees(spans), max_depth=1)
+        assert "leaf" not in shallow and "mid" in shallow
+
+
+class TestDiff:
+    def test_delta_attributed_per_name(self):
+        before = [
+            _span("root", "s1", None, 0.0, 10.0),
+            _span("solve", "s2", "s1", 0.0, 6.0),
+        ]
+        after = [
+            _span("root", "x1", None, 0.0, 15.0),
+            _span("solve", "x2", "x1", 0.0, 12.0),
+        ]
+        report = diff_traces(before, after)
+        by_name = {entry["name"]: entry for entry in report["by_name"]}
+        assert by_name["solve"]["delta_seconds"] == pytest.approx(6.0)
+        assert by_name["root"]["delta_seconds"] == pytest.approx(-1.0)
+        assert report["delta_seconds"] == pytest.approx(5.0)
+        # sorted by |delta|: solve moved most
+        assert report["by_name"][0]["name"] == "solve"
+
+    def test_empty_diff_raises(self):
+        with pytest.raises(ParameterError):
+            diff_traces([], [])
+
+
+def _coupled_graph(n=36):
+    """Ring + chords: every hash shard has boundary edges to its neighbours,
+    so async exchanges need several waves and resubmissions to converge."""
+    edges = [(i, (i + 1) % n) for i in range(n)] + [(i, (i + 5) % n) for i in range(n)]
+    return Graph(edges=edges, vertices=range(n))
+
+
+class TestStragglerReconciliation:
+    """Acceptance criterion: report totals == coordinator counters, exactly."""
+
+    def test_report_reconciles_with_coordinator_counters(self, traced):
+        cgraph = CompactGraph.from_graph(_coupled_graph(), ordered=True)
+        coordinator = ShardCoordinator(partition_compact_graph(cgraph, 3))
+        with tracer.span("test.root"):
+            coordinator.decompose(anchor_ids=[0, 7])
+            coordinator.k_core_ids(3, [1])
+        spans = tracer.drain()
+
+        report = straggler_report(spans)
+        assert report["num_exchanges"] > 0
+        assert report["total_waves"] == coordinator.exchange_waves
+        assert report["total_ops_dispatched"] == coordinator.ops_dispatched
+
+        for entry in report["exchanges"]:
+            assert entry["wall_seconds"] > 0
+            assert entry["waves"] >= 1
+            assert entry["skew"] >= 1.0
+            for shard_entry in entry["shards"].values():
+                assert 0.0 <= shard_entry["busy_fraction"]
+                assert shard_entry["ops"] >= 1
+            # resubmissions = ops beyond each shard's initial submission
+            assert entry["resubmissions"] == entry["ops"] - len(entry["shards"])
+
+    def test_no_exchanges_yields_empty_report(self):
+        report = straggler_report(
+            [_span("engine.query", "s1", None, 0.0, 1.0)]
+        )
+        assert report["num_exchanges"] == 0
+        assert report["total_waves"] == 0
+        assert report["total_ops_dispatched"] == 0
+
+
+class TestServeSimCriticalPath:
+    """Acceptance criterion: the CLI critical path on a serve-sim trace
+    covers the root span's wall time to within 10%."""
+
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "serve.jsonl"
+        code = main(
+            [
+                "serve-sim",
+                "--dataset",
+                "gnutella",
+                "--scale",
+                "0.15",
+                "--snapshots",
+                "4",
+                "--budget",
+                "3",
+                "--trace-out",
+                str(path),
+            ]
+        )
+        tracer.drain()
+        assert code == 0
+        return path
+
+    def test_critical_path_covers_root_wall(self, trace_path):
+        spans = read_spans_jsonl(trace_path)
+        queries = [
+            root for root in build_span_trees(spans) if root.name == "engine.query"
+        ]
+        assert queries
+        for root in queries:
+            steps = critical_path(root)
+            total = sum(step.seconds for step in steps)
+            assert total == pytest.approx(root.duration, rel=0.10)
+
+    def test_cli_critical_path_prints_covering_chain(self, trace_path, capsys):
+        assert (
+            main(["trace", "critical-path", str(trace_path), "--root", "engine.query"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "critical path through 'engine.query'" in output
+        # "critical path covers Xms of Yms wall (Z%)" with Z within 10% of 100
+        tail = output.strip().splitlines()[-1]
+        pct = float(tail.rsplit("(", 1)[1].rstrip("%)"))
+        assert 90.0 <= pct <= 110.0
+
+    def test_cli_tree_flame_and_diff(self, trace_path, tmp_path, capsys):
+        assert main(["trace", "tree", str(trace_path), "--top", "2", "--depth", "2"]) == 0
+        assert "engine.query" in capsys.readouterr().out
+
+        out_path = tmp_path / "collapsed.txt"
+        assert main(["trace", "flame", str(trace_path), "--out", str(out_path)]) == 0
+        collapsed = out_path.read_text(encoding="utf-8")
+        assert any(
+            line.startswith("engine.query") for line in collapsed.splitlines()
+        )
+        capsys.readouterr()
+
+        assert main(["trace", "tree", str(trace_path), "--diff", str(trace_path)]) == 0
+        diff_output = capsys.readouterr().out
+        assert "latency delta by span name" in diff_output
+        assert "(+0.000ms)" in diff_output
+
+    def test_cli_stragglers_smoke(self, trace_path, capsys):
+        # The serve-sim backend is auto-selected; either outcome is a valid
+        # straggler report for this trace.
+        assert main(["trace", "stragglers", str(trace_path)]) == 0
+        output = capsys.readouterr().out
+        assert "no shard.exchange spans" in output or "totals:" in output
+
+    def test_cli_errors_are_reported(self, tmp_path, capsys):
+        assert main(["trace", "critical-path", str(tmp_path / "missing.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        assert main(["trace", "critical-path", str(empty)]) == 2
+
+
+class TestSamplingProfiler:
+    def test_samples_attributed_to_open_spans(self, traced):
+        with SamplingProfiler(hz=200) as profiler:
+            with tracer.span("profiled.outer"):
+                with tracer.span("profiled.inner"):
+                    _busy(0.25)
+        assert not profiler.running
+        assert profiler.samples > 0
+        assert profiler.duration_seconds > 0.2
+
+        # Idle helper threads (executor queue managers, etc.) sample as
+        # <untraced>; the hottest *traced* stack must be the busy spans.
+        traced_entries = [
+            entry
+            for entry in profiler.span_profile()
+            if entry["stack"] != list(UNTRACED)
+        ]
+        assert traced_entries, "no span-attributed samples"
+        hottest = traced_entries[0]
+        assert hottest["stack"] == ["profiled.outer", "profiled.inner"]
+        assert hottest["samples"] > 0
+        assert 0.0 < hottest["fraction"] <= 1.0
+
+        code_profile = profiler.code_profile()
+        assert code_profile
+        assert any(
+            any("_busy" in frame for frame in entry["stack"])
+            for entry in code_profile
+        )
+
+    def test_collapsed_output_and_untraced_attribution(self):
+        previous = tracer.set_enabled(False)
+        try:
+            with SamplingProfiler(hz=200) as profiler:
+                _busy(0.1)
+        finally:
+            tracer.set_enabled(previous)
+        assert profiler.samples > 0
+        collapsed = profiler.collapsed("span")
+        assert collapsed.startswith("<untraced> ")
+        for line in profiler.collapsed("code").splitlines():
+            stack, _, weight = line.rpartition(" ")
+            assert stack and weight.isdigit()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ParameterError):
+            SamplingProfiler(hz=100000)
+        profiler = SamplingProfiler(hz=50)
+        with pytest.raises(ParameterError):
+            profiler.collapsed("nope")
+        profiler.start()
+        try:
+            with pytest.raises(ParameterError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_records_registry_gauges(self):
+        from repro.obs import global_registry
+
+        with SamplingProfiler(hz=120):
+            _busy(0.05)
+        registry = global_registry()
+        assert registry.gauge("obs.profiler.hz").value == 120
+        assert registry.gauge("obs.profiler.samples").value >= 0
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded(self, traced):
+        recorder = FlightRecorder(capacity=3, auto_dump_on_error=False)
+        recorder.install()
+        try:
+            for index in range(7):
+                with tracer.span("ring", index=index):
+                    pass
+        finally:
+            recorder.uninstall()
+        assert len(recorder) == 3
+        record = recorder.record()
+        assert [entry["attrs"]["index"] for entry in record["spans"]] == [4, 5, 6]
+
+    def test_error_span_triggers_auto_dump(self, traced):
+        recorder = FlightRecorder(capacity=16)
+        recorder.install()
+        try:
+            with tracer.span("setup"):
+                pass
+            with pytest.raises(RuntimeError):
+                with tracer.span("exploding"):
+                    raise RuntimeError("boom")
+        finally:
+            recorder.uninstall()
+        assert len(recorder.dumps) == 1
+        dump = recorder.dumps[0]
+        assert dump["reason"] == "span-error:exploding"
+        assert dump["context"]["error"] == "RuntimeError"
+        assert [entry["name"] for entry in dump["spans"]] == ["setup", "exploding"]
+
+    def test_metric_deltas_since_baseline(self):
+        from repro.obs import global_registry
+
+        recorder = FlightRecorder(capacity=4, auto_dump_on_error=False)
+        counter = global_registry().counter("test.flight.delta")
+        counter.inc(5)
+        deltas = {entry["name"]: entry["delta"] for entry in recorder.metric_deltas()}
+        assert deltas["test.flight.delta"] == 5
+        # dump rolls the baseline
+        recorder.dump("manual")
+        assert all(
+            entry["name"] != "test.flight.delta" for entry in recorder.metric_deltas()
+        )
+
+    def test_dump_writes_file_when_dir_configured(self, tmp_path, traced):
+        recorder = FlightRecorder(capacity=4, dump_dir=str(tmp_path))
+        recorder.install()
+        try:
+            with tracer.span("kept"):
+                pass
+            recorder.dump("manual-test", detail=42)
+        finally:
+            recorder.uninstall()
+        files = list(tmp_path.glob("flight-*.json"))
+        assert len(files) == 1
+        payload = json.loads(files[0].read_text(encoding="utf-8"))
+        assert payload["reason"] == "manual-test"
+        assert payload["context"] == {"detail": 42}
+        assert [entry["name"] for entry in payload["spans"]] == ["kept"]
+
+    def test_default_recorder_survives_disabled_tracing(self, traced):
+        recorder = default_recorder()
+        with tracer.span("before.disable"):
+            pass
+        tracer.drain()
+        ring_names = [entry["name"] for entry in recorder.record()["spans"]]
+        assert "before.disable" in ring_names
+        tracer.set_enabled(False)
+        with tracer.span("while.disabled"):
+            pass
+        # nothing recorded while disabled, but the ring is intact
+        ring_names = [entry["name"] for entry in recorder.record()["spans"]]
+        assert "while.disabled" not in ring_names
+        assert "before.disable" in ring_names
+
+    def test_engine_flight_record_exposes_recent_spans(self, traced):
+        engine = StreamingAVTEngine(Graph(edges=[(0, 1), (1, 2), (2, 0)]))
+        engine.query(2, 1)
+        tracer.drain()
+        record = engine.flight_record()
+        assert {"spans", "metric_deltas", "dumps", "capacity"} <= set(record)
+        assert any(entry["name"] == "engine.query" for entry in record["spans"])
+
+    def test_checkpoint_failure_dumps_flight_record(self, tmp_path, traced):
+        engine = StreamingAVTEngine(Graph(edges=[(0, 1), (1, 2), (2, 0)]))
+        engine.query(2, 1)
+        recorder = default_recorder()
+        # The dump deque is bounded, so identify our dumps by the unique tmp
+        # paths rather than by position (earlier tests may have filled it).
+        bad_path = tmp_path / "no-such-dir" / "ck.json"
+        with pytest.raises(CheckpointError):
+            engine.checkpoint(bad_path)
+        dump = next(
+            d
+            for d in recorder.dumps
+            if d["reason"] == "checkpoint-save-failed"
+            and d["context"]["path"] == str(bad_path)
+        )
+        assert dump["context"]["error"]
+
+        missing = tmp_path / "missing.json"
+        with pytest.raises(CheckpointError):
+            StreamingAVTEngine.restore(missing)
+        assert any(
+            d["reason"] == "checkpoint-restore-failed"
+            and d["context"]["path"] == str(missing)
+            for d in recorder.dumps
+        )
+
+
+class TestExemplars:
+    def test_histogram_keeps_slowest_recent_per_bucket(self):
+        histogram = MetricsRegistry().histogram("engine.latency.cold")
+        histogram.observe(0.010, trace_id="trace-slowish")
+        histogram.observe(0.012, trace_id="trace-slowest")
+        histogram.observe(0.011, trace_id="trace-middling")
+        histogram.observe(0.00001, trace_id="trace-fast")
+        histogram.observe(0.5)  # no trace id: counted, no exemplar
+        slow_bucket = histogram.bucket_index(0.012)
+        fast_bucket = histogram.bucket_index(0.00001)
+        assert histogram.exemplars[slow_bucket] == (0.012, "trace-slowest")
+        assert histogram.exemplars[fast_bucket] == (0.00001, "trace-fast")
+        assert histogram.bucket_index(0.5) not in histogram.exemplars
+
+    def test_exemplars_serialise_and_restore(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("engine.latency.hit")
+        histogram.observe(0.004, trace_id="t-99")
+        snapshot = registry.snapshot()
+        (entry,) = snapshot
+        bucket = str(histogram.bucket_index(0.004))
+        assert entry["value"]["exemplars"][bucket] == {
+            "value": 0.004,
+            "trace_id": "t-99",
+        }
+        json.dumps(snapshot)
+        restored = MetricsRegistry()
+        restored.restore(snapshot)
+        assert restored.snapshot() == snapshot
+
+    def test_engine_latency_exemplars_link_to_query_traces(self, traced):
+        engine = StreamingAVTEngine(Graph(edges=[(0, 1), (1, 2), (2, 0), (0, 3)]))
+        engine.query(2, 1)
+        engine.query(2, 1)  # cache hit
+        spans = tracer.drain()
+        trace_ids = {
+            entry["trace_id"] for entry in spans if entry["name"] == "engine.query"
+        }
+        for path in ("cold", "hit"):
+            histogram = engine.stats.latency_histogram(path)
+            assert histogram.exemplars, f"no exemplar on the {path} path"
+            for _, trace_id in histogram.exemplars.values():
+                assert trace_id in trace_ids
+
+    def test_untraced_queries_record_no_exemplars(self):
+        stats = EngineStats()
+        stats.observe_latency("hit", 0.001)
+        assert stats.latency_histogram("hit").exemplars == {}
