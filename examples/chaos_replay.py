@@ -1,0 +1,151 @@
+"""Chaos replay: fault injection, supervised retry, degradation and recovery.
+
+The resilience promise of the serving stack is concrete: under injected
+worker crashes, slow shards, kernel exceptions and checkpoint corruption,
+every query is still answered — bit-identically via retry when the substrate
+recovers, or through a counted, observable degradation when it does not.
+This example walks the whole ladder on a replayed dataset:
+
+1. arm a deterministic :class:`repro.resilience.FaultSpec` that makes a
+   sharded kernel fail mid-exchange (the supervised coordinator resumes the
+   exchange and the answer stays bit-identical),
+2. arm an unrecoverable fault and watch the engine degrade to the compact
+   backend (``engine.health()`` reports the reason) and then *recover* at
+   flush time once the fault clears,
+3. corrupt a checkpoint's bytes and watch the digest verification name the
+   damaged section, then restore from the rotated sibling.
+
+Set ``REPRO_FAULTS`` (see :mod:`repro.resilience.faults`) to replace step
+1's demo plan with your own chaos — the CI chaos matrix runs exactly that::
+
+    REPRO_FAULTS="shard.op:action=crash,executor=process,op=hindex_round,at=2" \\
+        python examples/chaos_replay.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import StreamingAVTEngine, load_dataset
+from repro.engine.checkpoint import load_checkpoint, rotated_paths, save_checkpoint
+from repro.errors import CheckpointCorruptionError, CheckpointError
+from repro.resilience import FaultSpec, faults
+
+DATASET = "eu_core"
+K = 4
+BUDGET = 3
+
+
+def replay_under_faults(engine: StreamingAVTEngine, evolving) -> int:
+    """Replay every delta with interleaved queries; returns queries answered."""
+    answered = 0
+    result = engine.query(K, BUDGET)
+    answered += 1
+    print(
+        f"  t=0 anchors={list(result.anchors)} followers={result.num_followers} "
+        f"[backend={engine.backend}]"
+    )
+    for step, delta in enumerate(evolving.deltas, start=1):
+        engine.ingest(delta)
+        for _ in range(2):
+            result = engine.query(K, BUDGET)
+            answered += 1
+        print(
+            f"  t={step} anchors={list(result.anchors)} "
+            f"followers={result.num_followers} [backend={engine.backend}]"
+        )
+    return answered
+
+
+def main() -> None:
+    evolving = load_dataset(DATASET, num_snapshots=3, scale=0.3)
+
+    env_plan = os.environ.get("REPRO_FAULTS")
+    if env_plan:
+        print(f"Chaos replay with REPRO_FAULTS={env_plan!r}")
+        installed = None
+    else:
+        # Demo plan: the third h-index exchange round raises inside a shard
+        # op.  The coordinator restores the consumed payload, resumes the
+        # exchange, and the decomposition comes out bit-identical.
+        installed = faults.install_plan(
+            FaultSpec("shard.op", "error", match={"op": "hindex_round"}, at=3)
+        )
+        print("Chaos replay with the demo plan (transient shard-op fault):")
+
+    try:
+        engine = StreamingAVTEngine(evolving.base, backend="sharded")
+        answered = replay_under_faults(engine, evolving)
+        health = engine.health()
+        print(
+            f"replay done: {answered} queries answered, zero errors — "
+            f"status={health['status']}, degradations={health['degradations']}"
+        )
+
+        # --- unrecoverable fault: the degradation ladder -------------------
+        print("\nArming an unrecoverable shard fault (every op fails):")
+        with faults.inject(FaultSpec("shard.op", "error", times=0)):
+            result = engine.query(K + 1, BUDGET)
+        health = engine.health()
+        if health["status"] == "degraded":
+            print(
+                f"  query still answered (anchors={list(result.anchors)}) via "
+                f"backend={health['backend']}; health: status=degraded, "
+                f"reason={health['degraded']['reason'][:60]!r}"
+            )
+        else:
+            # In-process plans do not reach already-spawned worker processes
+            # (arm REPRO_FAULTS before startup for that), so under the
+            # process executor this leg can come back healthy.
+            print(
+                f"  query answered (anchors={list(result.anchors)}) with no "
+                f"degradation — the fault plan never reached the substrate"
+            )
+
+        # Fault cleared: the next flush probes the failed substrate and
+        # migrates back.
+        engine.ingest_insert("chaos-u", "chaos-v")
+        engine.flush()
+        health = engine.health()
+        print(
+            f"  after flush-time probe: status={health['status']}, "
+            f"backend={health['backend']}, recoveries={health['recoveries']}"
+        )
+    finally:
+        if installed is not None:
+            faults.clear_plan()
+
+    # --- verified checkpoints ---------------------------------------------
+    print("\nCheckpoint verification and fallback:")
+    path = "chaos_replay.ckpt"
+    try:
+        save_checkpoint(engine, path, keep=2)
+        save_checkpoint(engine, path, keep=2)
+        raw = bytearray(open(path, "rb").read())
+        raw[len(raw) // 2] ^= 0xFF  # one flipped bit-pattern mid-file
+        with open(path, "wb") as handle:
+            handle.write(bytes(raw))
+        try:
+            from repro.engine.checkpoint import read_state
+
+            read_state(path)
+        except CheckpointCorruptionError as error:
+            print(f"  corruption detected in section {error.section!r}: digest mismatch")
+        try:
+            restored = load_checkpoint(path, fallback=True)
+        except CheckpointError as error:
+            # Possible when a persistent checkpoint.bytes fault corrupted
+            # every rotation: the load refuses rather than silently
+            # restoring damaged state.
+            print(f"  every rotation corrupt — restore refused: {error}")
+        else:
+            match = restored.core_numbers() == engine.core_numbers()
+            print(f"  restored from rotated sibling; core numbers match: {match}")
+    finally:
+        for rotation in rotated_paths(path, 2):
+            if os.path.exists(rotation):
+                os.unlink(rotation)
+
+
+if __name__ == "__main__":
+    main()

@@ -255,6 +255,55 @@ aggregation.  The ``engine.latency.*`` histograms additionally carry
 observation, linking a latency outlier straight to its trace.  Engine lifecycle events also go to stdlib logging under
 the ``"repro"`` logger hierarchy (a :class:`logging.NullHandler` is
 installed at the package root, per library convention).
+
+Failure handling
+----------------
+:mod:`repro.resilience` makes the failure story testable: a deterministic
+fault-injection framework plus the supervision that turns faults into
+retries and degradations instead of wrong answers.
+
+*Fault injection* — :class:`~repro.resilience.FaultSpec` describes one fault
+(site, action, match filters, firing schedule); arm a plan programmatically
+(:func:`~repro.resilience.install_plan` / the
+:func:`~repro.resilience.inject` context manager) or from the environment::
+
+    REPRO_FAULTS="shard.op:action=crash,executor=process,op=hindex_round,at=2"
+
+Sites cover shard op dispatch (``shard.op`` — crash via ``os._exit`` inside
+sacrificial workers, slow, or raised :class:`~repro.errors.FaultError`),
+shared-memory attach (``shm.attach``), checkpoint byte corruption
+(``checkpoint.bytes``) and checkpoint flush failure (``checkpoint.write``).
+Every firing increments the ``resilience.faults_injected`` counter and lands
+in the flight recorder, tracing on or off.
+
+*Supervised shard execution* — the :class:`~repro.shard.ShardCoordinator`
+dispatches every kernel under a :class:`~repro.resilience.RetryPolicy`
+(bounded retries, exponential backoff with deterministic jitter, per-op
+deadlines; ``REPRO_RETRY_MAX`` / ``REPRO_RETRY_BASE_DELAY`` /
+``REPRO_SHARD_OP_TIMEOUT``).  A broken or timed-out worker pool is
+respawned, its shards reloaded from kept payloads, and the op replayed;
+in-flight boundary exchanges *resume* (monotone h-index rounds re-ship
+current estimates to reborn shards; confluent cascades restart from their
+reset op, which keeps results bit-identical).  When retries exhaust, the
+ladder degrades rather than fails: coordinator process pool → serial
+executor, then :class:`StreamingAVTEngine` → compact backend — the query is
+still answered, ``engine.health()`` reports ``"degraded"`` with the reason,
+and every subsequent flush probes the failed substrate, migrating back
+automatically once it is healthy again (``degradations`` /
+``recovery_probes`` / ``recoveries`` counters).
+
+*Verified checkpoints* — checkpoint files carry a versioned manifest with a
+SHA-256 digest per section (graph / core / warm / cache / stats); a
+truncated or bit-flipped file raises
+:class:`~repro.errors.CheckpointCorruptionError` naming the damaged section
+*before* any unpickling of that section.  ``save_checkpoint(engine, path,
+keep=N)`` rotates the last N checkpoints, and ``load_checkpoint`` falls back
+to the newest intact rotation on corruption.  ``avt-bench serve-sim
+--backend sharded --inject-faults`` replays a dataset with a persistent
+shard fault armed and fails unless every query was answered through the
+degradation path; ``examples/chaos_replay.py`` walks the same loop in code,
+and ``benchmarks/bench_resilience.py`` enforces a <=5% no-fault supervision
+overhead floor in ``BENCH_resilience.json``.
 """
 
 import logging as _logging
@@ -332,6 +381,15 @@ from repro.backends import (
     registered_backends,
     resolve_backend,
     run_calibration,
+)
+from repro.errors import CheckpointCorruptionError, FaultError
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    clear_plan,
+    inject,
+    install_plan,
 )
 from repro.graph import (
     CompactGraph,
@@ -428,6 +486,15 @@ __all__ = [
     "EngineStats",
     "save_checkpoint",
     "load_checkpoint",
+    # resilience
+    "CheckpointCorruptionError",
+    "FaultError",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "clear_plan",
+    "inject",
+    "install_plan",
     # observability
     "tracer",
     "MetricsRegistry",

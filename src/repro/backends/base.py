@@ -367,5 +367,20 @@ class ExecutionBackend(ABC):
         """
         return self
 
+    # ------------------------------------------------------------------
+    # Health (engine degradation/recovery)
+    # ------------------------------------------------------------------
+    def probe(self) -> bool:
+        """Whether this backend's substrate currently works end to end.
+
+        The engine calls this at flush time after degrading *away* from a
+        backend, to decide when to switch back.  Pure in-process backends
+        have no substrate that can fail independently, so the default is
+        unconditionally ``True``; backends with external moving parts (the
+        sharded backend's worker pools) override it with a real end-to-end
+        check.  Implementations must not raise — return ``False`` instead.
+        """
+        return True
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r}>"

@@ -342,6 +342,39 @@ class ShardedBackend(ExecutionBackend):
             shared_memory=self.shared_memory,
         )
 
+    def probe(self) -> bool:
+        """End-to-end health check: can a real coordinator still decompose?
+
+        Builds a tiny 4-vertex plan with this backend's executor and runs a
+        full decomposition through it — exercising pool spawn, state load
+        (shm attach included) and op dispatch, the exact substrate that fails
+        when workers die.  ``degrade_to_serial`` is off so a still-broken
+        process substrate cannot sneak through by silently falling back to
+        serial (which would make the engine thrash between backends under a
+        persistent fault).  Never raises.
+        """
+        try:
+            probe_graph = Graph(edges=[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")])
+            cgraph = CompactGraph.from_graph(probe_graph, ordered=True)
+            plan = partition_compact_graph(
+                cgraph, min(self.num_shards, 2), self.partitioner
+            )
+            coordinator = ShardCoordinator(
+                plan,
+                executor=self.executor,
+                max_workers=self.max_workers,
+                exchange=self.exchange,
+                shared_memory=self.shared_memory,
+                degrade_to_serial=False,
+            )
+            try:
+                core_ids, _ = coordinator.decompose()
+            finally:
+                coordinator.close()
+            return len(core_ids) == 4
+        except Exception:
+            return False
+
     def decompose(self, graph: Graph, anchors: FrozenSet[Vertex] = frozenset()):
         from repro.cores.decomposition import CoreDecomposition
 

@@ -116,6 +116,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "selects Prometheus text exposition, anything else JSON"
         ),
     )
+    serve.add_argument(
+        "--inject-faults",
+        action="store_true",
+        help=(
+            "chaos leg (requires --backend sharded): arm a persistent "
+            "shard-op fault for the replay and verify every query is still "
+            "answered via degradation (exit 2 if the engine never degraded "
+            "or any query failed)"
+        ),
+    )
     calibrate = parser.add_argument_group("calibrate options")
     calibrate.add_argument(
         "--out",
@@ -217,6 +227,15 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
         sink = JsonLinesSpanSink(args.trace_out)
         tracer.add_sink(sink)
         previous_enabled = tracer.set_enabled(True)
+    chaos = None
+    if args.inject_faults:
+        # Arm a persistent shard-op fault: every sharded kernel call fails, so
+        # the replay only succeeds through supervised degradation (sharded ->
+        # serial -> compact).  Cleared in the finally so a crashed replay
+        # cannot leave the process chaos-armed.
+        from repro.resilience import FaultSpec, faults as chaos
+
+        chaos.install_plan(FaultSpec("shard.op", "error", times=0))
     engine = None
     try:
         # When we own the sink, the JSONL file is the trace of record — drain
@@ -224,6 +243,8 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
         # bounded in memory instead of filling the 50k span buffer.
         code, engine = _serve_sim_replay(args, drain_spans=sink is not None)
     finally:
+        if chaos is not None:
+            chaos.clear_plan()
         if sink is not None:
             tracer.set_enabled(previous_enabled)
             tracer.remove_sink(sink)
@@ -241,6 +262,13 @@ def _serve_sim_replay(args: argparse.Namespace, drain_spans: bool = False):
     """The serve-sim replay loop; returns ``(exit_code, engine)``."""
     from repro.engine import StreamingAVTEngine
     from repro.obs import tracer
+
+    if args.inject_faults:
+        from repro.backends import BACKEND_SHARDED
+        from repro.errors import ParameterError
+
+        if args.backend != BACKEND_SHARDED:
+            raise ParameterError("--inject-faults requires --backend sharded")
 
     problem = build_problem(
         args.dataset,
@@ -308,6 +336,23 @@ def _serve_sim_replay(args: argparse.Namespace, drain_spans: bool = False):
         # promise.
         print("error: expected at least one cache hit", file=sys.stderr)
         return 2, engine
+    if args.inject_faults:
+        health = engine.health()
+        print(
+            f"chaos: status={health['status']} backend={health['backend']} "
+            f"degradations={engine.stats.degradations} "
+            f"recovery_probes={engine.stats.recovery_probes} "
+            f"recoveries={engine.stats.recoveries}"
+        )
+        if engine.stats.degradations < 1:
+            # Reaching here means every query was answered; with the fault
+            # armed that is only legitimate via the degradation path.
+            print(
+                "error: --inject-faults replay never degraded "
+                "(fault plan did not reach the sharded backend)",
+                file=sys.stderr,
+            )
+            return 2, engine
     return 0, engine
 
 

@@ -1,47 +1,166 @@
-"""Checkpoint persistence for the streaming engine.
+"""Verified checkpoint persistence for the streaming engine.
 
 A checkpoint captures everything a restarted server needs to resume without
 recomputation: the live graph, the maintained core numbers, the graph-version
 counter, the warm anchor states, the result-cache contents and the stats
-counters.  The payload is a plain state dict (see
-:meth:`StreamingAVTEngine.to_state`) wrapped in an envelope with a magic
-marker and a format version, serialised with :mod:`pickle` — vertex
-identifiers are arbitrary hashables, which rules out JSON without inventing a
-vertex codec.  Only load checkpoints you wrote yourself; this is server
-state, not an interchange format.
+counters.  Vertex identifiers are arbitrary hashables, which rules out JSON
+without inventing a vertex codec — the payload stays :mod:`pickle`.  Only
+load checkpoints you wrote yourself; this is server state, not an
+interchange format.
+
+Format 2 (written here) is *verified*: the file opens with an ASCII header
+line naming the format and the manifest digest, followed by a JSON manifest
+listing every section (name, byte length, SHA-256) and then the pickled
+section blobs back to back::
+
+    repro-engine-checkpoint 2 <manifest-bytes> <manifest-sha256>\\n
+    {"format": 2, "sections": [{"name": "graph", ...}, ...]}
+    <graph blob><core blob><engine blob><warm blob><cache blob><stats blob>
+
+:func:`read_state` verifies the manifest against the header digest and every
+section against its manifest digest *before* unpickling anything, so a
+truncated or bit-flipped file surfaces as a
+:class:`~repro.errors.CheckpointCorruptionError` naming the damaged section
+— never as an arbitrary unpickling exception deep inside restore.  Format-1
+files (a single pickled envelope) are still read transparently.
+
+Rotation and fallback: :func:`save_checkpoint` with ``keep=N`` shifts the
+previous file to ``<path>.1`` (and so on, keeping the newest ``N``);
+:func:`load_checkpoint` falls back to the newest intact rotated sibling when
+the primary is corrupted, dumping a flight record for the one it skipped.
+
+Fault-injection sites (:mod:`repro.resilience.faults`): ``checkpoint.write``
+(a ``fail`` action simulates a flush failure before the atomic rename) and
+``checkpoint.bytes`` (a ``corrupt`` action flips one byte after the file is
+written, optionally inside a named ``section=``).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import logging
 import pickle
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
-from repro.errors import CheckpointError
-from repro.obs import tracer
+from repro.errors import CheckpointCorruptionError, CheckpointError, ParameterError
+from repro.obs import flight, tracer
+from repro.resilience import faults
 
 logger = logging.getLogger("repro.engine.checkpoint")
 
 PathLike = Union[str, Path]
 
 CHECKPOINT_MAGIC = "repro-engine-checkpoint"
-CHECKPOINT_FORMAT = 1
+CHECKPOINT_FORMAT = 2
+#: Newest format readable; format 1 (single pickled envelope) stays loadable.
+_LEGACY_FORMAT = 1
+
+_MAGIC_PREFIX = (CHECKPOINT_MAGIC + " ").encode("ascii")
+_MAX_HEADER = 256
+
+#: Section layout: every state key belongs to exactly one named section so a
+#: digest mismatch can say *what* is damaged.  Keys not listed here land in
+#: the ``engine`` section (forward compatibility: a newer writer's extra keys
+#: ride along and ``from_snapshot``-style readers ignore what they don't
+#: know).
+_SECTION_KEYS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("graph", ("vertices", "edges")),
+    ("core", ("core",)),
+    ("warm", ("warm",)),
+    ("cache", ("cache",)),
+    ("stats", ("stats",)),
+)
+_ENGINE_SECTION = "engine"
+
+
+def _split_sections(state: Dict[str, Any]) -> List[Tuple[str, Dict[str, Any]]]:
+    """Partition a state dict into the named checkpoint sections."""
+    remaining = dict(state)
+    sections: List[Tuple[str, Dict[str, Any]]] = []
+    for name, keys in _SECTION_KEYS:
+        payload = {key: remaining.pop(key) for key in keys if key in remaining}
+        sections.append((name, payload))
+    sections.append((_ENGINE_SECTION, remaining))
+    return sections
+
+
+def _maybe_corrupt_bytes(
+    tmp_path: Path, header_len: int, manifest_len: int, manifest_sections: List[Dict[str, Any]]
+) -> None:
+    """The ``checkpoint.bytes`` fault site: flip one byte of the fresh file.
+
+    The site fires once per region (manifest first, then each section in
+    order) so a spec can target a named ``section=``; the flipped byte sits
+    mid-region, guaranteeing a digest mismatch on the next read.
+    """
+    regions: List[Tuple[str, int, int]] = [("manifest", header_len, manifest_len)]
+    offset = header_len + manifest_len
+    for entry in manifest_sections:
+        regions.append((entry["name"], offset, entry["length"]))
+        offset += entry["length"]
+    for name, start, length in regions:
+        spec = faults.fire("checkpoint.bytes", path=str(tmp_path), section=name)
+        if spec is None or length == 0:
+            continue
+        position = start + length // 2
+        with open(tmp_path, "r+b") as handle:
+            handle.seek(position)
+            byte = handle.read(1)
+            handle.seek(position)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        logger.warning(
+            "injected checkpoint corruption: flipped byte %d (section %r) of %s",
+            position,
+            name,
+            tmp_path,
+        )
+        return
 
 
 def write_state(state: Dict[str, Any], path: PathLike) -> None:
-    """Serialise an engine state dict to ``path`` (atomically via a temp file)."""
+    """Serialise an engine state dict to ``path`` (atomically via a temp file).
+
+    Every section is pickled separately and digested; the manifest and its
+    own digest go first so readers can verify before deserialising.
+    """
     path = Path(path)
-    envelope = {
-        "magic": CHECKPOINT_MAGIC,
-        "format": CHECKPOINT_FORMAT,
-        "state": state,
-    }
+    if faults.fire("checkpoint.write", path=str(path)) is not None:
+        # An injected flush failure: surface the same error class a full
+        # disk or dead NFS mount would, before any bytes move.
+        raise CheckpointError(f"cannot write checkpoint to {path}: injected flush failure")
     tmp_path = path.with_name(path.name + ".tmp")
     try:
+        blobs: List[bytes] = []
+        manifest_sections: List[Dict[str, Any]] = []
+        for name, payload in _split_sections(state):
+            blob = pickle.dumps(payload, protocol=4)
+            blobs.append(blob)
+            manifest_sections.append(
+                {
+                    "name": name,
+                    "length": len(blob),
+                    "sha256": hashlib.sha256(blob).hexdigest(),
+                }
+            )
+        manifest = json.dumps(
+            {"format": CHECKPOINT_FORMAT, "sections": manifest_sections},
+            sort_keys=True,
+        ).encode("ascii")
+        header = (
+            f"{CHECKPOINT_MAGIC} {CHECKPOINT_FORMAT} {len(manifest)} "
+            f"{hashlib.sha256(manifest).hexdigest()}\n"
+        ).encode("ascii")
         with open(tmp_path, "wb") as handle:
-            pickle.dump(envelope, handle, protocol=4)
+            handle.write(header)
+            handle.write(manifest)
+            for blob in blobs:
+                handle.write(blob)
+        _maybe_corrupt_bytes(tmp_path, len(header), len(manifest), manifest_sections)
         tmp_path.replace(path)
+    except CheckpointError:
+        raise
     except Exception as error:  # OSError, or pickling failures of exotic vertices
         raise CheckpointError(f"cannot write checkpoint to {path}: {error}") from error
     finally:
@@ -49,11 +168,8 @@ def write_state(state: Dict[str, Any], path: PathLike) -> None:
             tmp_path.unlink()
 
 
-def read_state(path: PathLike) -> Dict[str, Any]:
-    """Read and validate an engine state dict from ``path``."""
-    path = Path(path)
-    if not path.exists():
-        raise CheckpointError(f"checkpoint file not found: {path}")
+def _read_state_legacy(path: Path) -> Dict[str, Any]:
+    """Read a format-1 checkpoint: one pickled envelope, no digests."""
     try:
         with open(path, "rb") as handle:
             envelope = pickle.load(handle)
@@ -61,10 +177,10 @@ def read_state(path: PathLike) -> Dict[str, Any]:
         raise CheckpointError(f"cannot read checkpoint {path}: {error}") from error
     if not isinstance(envelope, dict) or envelope.get("magic") != CHECKPOINT_MAGIC:
         raise CheckpointError(f"{path} is not a repro engine checkpoint")
-    if envelope.get("format") != CHECKPOINT_FORMAT:
+    if envelope.get("format") != _LEGACY_FORMAT:
         raise CheckpointError(
             f"checkpoint format {envelope.get('format')!r} is not supported "
-            f"(expected {CHECKPOINT_FORMAT})"
+            f"(expected {_LEGACY_FORMAT} or {CHECKPOINT_FORMAT})"
         )
     state = envelope.get("state")
     if not isinstance(state, dict):
@@ -72,11 +188,129 @@ def read_state(path: PathLike) -> Dict[str, Any]:
     return state
 
 
-def save_checkpoint(engine: Any, path: PathLike) -> None:
-    """Persist ``engine`` (a :class:`StreamingAVTEngine`) to ``path``."""
+def read_state(path: PathLike) -> Dict[str, Any]:
+    """Read and digest-verify an engine state dict from ``path``.
+
+    Raises :class:`CheckpointCorruptionError` (naming the damaged section)
+    when any digest disagrees or the file is truncated; plain
+    :class:`CheckpointError` for missing/foreign files.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint file not found: {path}")
+    try:
+        handle = open(path, "rb")
+    except OSError as error:
+        raise CheckpointError(f"cannot read checkpoint {path}: {error}") from error
+    with handle:
+        header = handle.readline(_MAX_HEADER)
+        if not header.startswith(_MAGIC_PREFIX):
+            # Not a format-2 header: either a legacy single-pickle checkpoint
+            # or a foreign file — the legacy reader tells them apart.
+            return _read_state_legacy(path)
+        if not header.endswith(b"\n"):
+            raise CheckpointCorruptionError(path, "header", "unterminated header line")
+        parts = header.decode("ascii", "replace").split()
+        if len(parts) != 4:
+            raise CheckpointCorruptionError(
+                path, "header", f"expected 4 header fields, got {len(parts)}"
+            )
+        if parts[1] != str(CHECKPOINT_FORMAT):
+            raise CheckpointError(
+                f"checkpoint format {parts[1]!r} is not supported "
+                f"(expected {_LEGACY_FORMAT} or {CHECKPOINT_FORMAT})"
+            )
+        try:
+            manifest_len = int(parts[2])
+        except ValueError:
+            raise CheckpointCorruptionError(
+                path, "header", f"non-numeric manifest length {parts[2]!r}"
+            ) from None
+        manifest_bytes = handle.read(manifest_len)
+        if len(manifest_bytes) != manifest_len:
+            raise CheckpointCorruptionError(
+                path,
+                "manifest",
+                f"truncated: expected {manifest_len} bytes, got {len(manifest_bytes)}",
+            )
+        digest = hashlib.sha256(manifest_bytes).hexdigest()
+        if digest != parts[3]:
+            raise CheckpointCorruptionError(
+                path, "manifest", f"digest mismatch ({digest[:12]}… != {parts[3][:12]}…)"
+            )
+        try:
+            manifest = json.loads(manifest_bytes)
+            entries = manifest["sections"]
+        except (ValueError, KeyError, TypeError) as error:
+            raise CheckpointCorruptionError(
+                path, "manifest", f"undecodable manifest: {error}"
+            ) from error
+        state: Dict[str, Any] = {}
+        for entry in entries:
+            name = entry.get("name", "?")
+            length = entry["length"]
+            blob = handle.read(length)
+            if len(blob) != length:
+                raise CheckpointCorruptionError(
+                    path,
+                    name,
+                    f"truncated: expected {length} bytes, got {len(blob)}",
+                )
+            digest = hashlib.sha256(blob).hexdigest()
+            if digest != entry["sha256"]:
+                raise CheckpointCorruptionError(
+                    path,
+                    name,
+                    f"digest mismatch ({digest[:12]}… != {entry['sha256'][:12]}…)",
+                )
+            try:
+                payload = pickle.loads(blob)
+            except Exception as error:  # digest passed but payload undecodable
+                raise CheckpointCorruptionError(
+                    path, name, f"undecodable payload: {error}"
+                ) from error
+            if not isinstance(payload, dict):
+                raise CheckpointCorruptionError(
+                    path, name, f"section payload is {type(payload).__name__}, not dict"
+                )
+            state.update(payload)
+    if not state:
+        raise CheckpointError(f"checkpoint {path} carries no state payload")
+    return state
+
+
+def rotated_paths(path: PathLike, keep: int) -> List[Path]:
+    """The rotation chain for ``path``: ``[path, path.1, ..., path.<keep-1>]``."""
+    path = Path(path)
+    return [path] + [path.with_name(f"{path.name}.{i}") for i in range(1, keep)]
+
+
+def _rotate(path: Path, keep: int) -> None:
+    """Shift existing checkpoints down the chain, dropping the oldest."""
+    chain = rotated_paths(path, keep)
+    if chain[-1].exists():
+        chain[-1].unlink()
+    for index in range(len(chain) - 1, 0, -1):
+        if chain[index - 1].exists():
+            chain[index - 1].replace(chain[index])
+
+
+def save_checkpoint(engine: Any, path: PathLike, keep: int = 1) -> None:
+    """Persist ``engine`` (a :class:`StreamingAVTEngine`) to ``path``.
+
+    With ``keep > 1`` the previous checkpoint survives as ``<path>.1`` (and
+    so on, newest-first) — the rotation happens *before* the write, so a
+    write failure never destroys the last good checkpoint, and
+    :func:`load_checkpoint` can fall back down the chain.
+    """
+    if keep < 1:
+        raise ParameterError("save_checkpoint keep must be >= 1")
+    path = Path(path)
     with tracer.span("engine.checkpoint.save") as save_span:
+        if keep > 1:
+            _rotate(path, keep)
         write_state(engine.to_state(), path)
-        save_span.set(path=str(path))
+        save_span.set(path=str(path), keep=keep)
     engine.stats.checkpoints_saved += 1
     logger.info(
         "checkpoint saved to %s (version=%d, %d vertices)",
@@ -86,23 +320,73 @@ def save_checkpoint(engine: Any, path: PathLike) -> None:
     )
 
 
-def load_checkpoint(path: PathLike, **engine_kwargs: Any) -> Any:
+def load_checkpoint(
+    path: PathLike, fallback: bool = True, **engine_kwargs: Any
+) -> Any:
     """Rebuild a :class:`StreamingAVTEngine` from a checkpoint file.
 
     ``engine_kwargs`` override construction-time settings that are not part
     of the persisted state (e.g. ``cache_capacity`` to resize on restore).
+
+    With ``fallback`` (the default) a corrupted or unreadable primary falls
+    back to the newest intact rotated sibling (``<path>.1``, ``<path>.2``,
+    …), dumping a flight record naming each checkpoint skipped; the original
+    error is re-raised only when every candidate fails.
     """
     from repro.engine.engine import StreamingAVTEngine
 
+    primary = Path(path)
+    candidates = [primary]
+    if fallback:
+        index = 1
+        while True:
+            sibling = primary.with_name(f"{primary.name}.{index}")
+            if not sibling.exists():
+                break
+            candidates.append(sibling)
+            index += 1
+    first_error: Optional[CheckpointError] = None
     with tracer.span("engine.checkpoint.restore") as restore_span:
-        engine = StreamingAVTEngine.from_state(read_state(path), **engine_kwargs)
-        restore_span.set(path=str(path), version=engine.graph_version)
-    engine.stats.checkpoints_restored += 1
-    logger.info(
-        "checkpoint restored from %s (version=%d, %d vertices, backend=%s)",
-        path,
-        engine.graph_version,
-        engine.graph.num_vertices,
-        engine.backend,
-    )
-    return engine
+        for candidate in candidates:
+            try:
+                state = read_state(candidate)
+                engine = StreamingAVTEngine.from_state(state, **engine_kwargs)
+            except CheckpointError as error:
+                if first_error is None:
+                    first_error = error
+                if len(candidates) > 1:
+                    section = getattr(error, "section", None)
+                    flight.default_recorder().dump(
+                        "checkpoint-fallback",
+                        path=str(candidate),
+                        section=section,
+                        error=str(error),
+                    )
+                    logger.error(
+                        "checkpoint %s unusable (%s); trying next rotation",
+                        candidate,
+                        error,
+                    )
+                continue
+            if candidate is not primary:
+                logger.warning(
+                    "restored from rotated checkpoint %s (primary %s was unusable)",
+                    candidate,
+                    primary,
+                )
+            restore_span.set(
+                path=str(candidate),
+                version=engine.graph_version,
+                fallback=candidate is not primary,
+            )
+            engine.stats.checkpoints_restored += 1
+            logger.info(
+                "checkpoint restored from %s (version=%d, %d vertices, backend=%s)",
+                candidate,
+                engine.graph_version,
+                engine.graph.num_vertices,
+                engine.backend,
+            )
+            return engine
+    assert first_error is not None
+    raise first_error

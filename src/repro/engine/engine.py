@@ -48,13 +48,14 @@ from repro.engine.ingest import IngestBuffer
 from repro.engine.stats import EngineStats
 from repro.backends import (
     BACKEND_AUTO,
+    BACKEND_COMPACT,
     BACKEND_DICT,
     ExecutionBackend,
     active_calibration,
     get_backend,
     registered_backends,
 )
-from repro.errors import CheckpointError, ParameterError
+from repro.errors import CheckpointError, ParameterError, ShardExecutionError
 from repro.graph.dynamic import EdgeDelta
 from repro.graph.static import Graph, Vertex
 from repro.obs import tracer
@@ -143,12 +144,28 @@ class StreamingAVTEngine:
         # re-resolution; ``_backend`` is the currently resolved object.
         self._backend_policy = backend
         self._backend = get_backend(backend, initial_graph.num_vertices)
-        self._maintainer = CoreMaintainer(
-            initial_graph,
-            copy_graph=copy_graph,
-            core=core,
-            backend=self._backend,
-        )
+        init_failure: Optional[ShardExecutionError] = None
+        failed_backend: Optional[ExecutionBackend] = None
+        try:
+            self._maintainer = CoreMaintainer(
+                initial_graph,
+                copy_graph=copy_graph,
+                core=core,
+                backend=self._backend,
+            )
+        except ShardExecutionError as error:
+            # The requested substrate failed while computing the initial core
+            # numbers.  Construction must still succeed — build on the compact
+            # fallback and record the degradation once stats exist below.
+            init_failure = error
+            failed_backend = self._backend
+            self._backend = get_backend(BACKEND_COMPACT, initial_graph.num_vertices)
+            self._maintainer = CoreMaintainer(
+                initial_graph,
+                copy_graph=copy_graph,
+                core=core,
+                backend=self._backend,
+            )
         self._buffer = IngestBuffer(self._maintainer.graph)
         self._cache = ResultCache(cache_capacity)
         self._stats = EngineStats()
@@ -161,6 +178,14 @@ class StreamingAVTEngine:
         self._warm: "OrderedDict[Tuple[int, int, str], _WarmState]" = OrderedDict()
         self._warm_capacity = max(cache_capacity, 16)
         self._refresher = IncAVTTracker(backend=backend)
+        #: Degradation state (see :meth:`health`): set when a backend failure
+        #: forced a fallback to the compact backend; ``_degraded_from`` keeps
+        #: the failed backend object so flush-time recovery probes can ask it
+        #: whether its substrate is healthy again.
+        self._degraded: Optional[Dict[str, Any]] = None
+        self._degraded_from: Optional[ExecutionBackend] = None
+        if init_failure is not None and failed_backend is not None:
+            self._record_degradation("init", init_failure, failed_backend)
 
     # ------------------------------------------------------------------
     # Views
@@ -269,6 +294,7 @@ class StreamingAVTEngine:
                     self._maintainer.graph.num_vertices,
                     self._backend_policy,
                 )
+        self._probe_recovery()
         self._stats.deltas_applied += 1
         self._stats.edges_inserted += len(delta.inserted)
         self._stats.edges_removed += len(delta.removed)
@@ -380,12 +406,22 @@ class StreamingAVTEngine:
 
             warm_key = (k, budget, solver_name)
             state = self._warm.get(warm_key) if use_warm else None
-            if state is not None:
-                result = self._answer_warm(k, budget, state, started)
-                query_span.set(outcome="warm", version=self._version)
-            else:
+            try:
+                if state is not None:
+                    result = self._answer_warm(k, budget, state, started)
+                    query_span.set(outcome="warm", version=self._version)
+                else:
+                    result = self._answer_cold(k, budget, solver_name, started)
+                    query_span.set(outcome="cold", version=self._version)
+            except ShardExecutionError as error:
+                # The sharded substrate failed beyond its own retry budget
+                # (it already degraded process→serial internally and serial
+                # failed too).  Degrade the engine to the compact backend and
+                # answer the query there — queries must keep succeeding, only
+                # slower.
+                self._note_degradation("query", error)
                 result = self._answer_cold(k, budget, solver_name, started)
-                query_span.set(outcome="cold", version=self._version)
+                query_span.set(outcome="degraded", version=self._version)
             self._cache.put(key, result)
             self._warm[warm_key] = _WarmState(
                 version=self._version, anchors=tuple(result.anchors)
@@ -447,6 +483,117 @@ class StreamingAVTEngine:
             "cold", time.perf_counter() - started, trace_id=tracer.current_trace_id()
         )
         return result
+
+    # ------------------------------------------------------------------
+    # Degradation / recovery
+    # ------------------------------------------------------------------
+    def _note_degradation(self, where: str, error: BaseException) -> None:
+        """Fall back to the compact backend after a backend failure.
+
+        The failed backend object is kept so :meth:`_probe_recovery` can ask
+        it (cheaply, at flush time) whether its substrate is healthy again;
+        queries keep being answered on the compact fallback meanwhile.  The
+        moment of degradation is flight-dumped with the surrounding spans —
+        this is exactly the record an operator wants when paging on the
+        ``engine.degradations`` counter.
+        """
+        failed = self._backend
+        fallback = get_backend(BACKEND_COMPACT, self._maintainer.graph.num_vertices)
+        self._maintainer.switch_backend(fallback)
+        self._backend = fallback
+        self._record_degradation(where, error, failed)
+
+    def _record_degradation(
+        self, where: str, error: BaseException, failed: ExecutionBackend
+    ) -> None:
+        """Book-keep a degradation after ``self._backend`` is the fallback."""
+        from repro.obs.flight import default_recorder
+
+        self._stats.degradations += 1
+        logger.error(
+            "engine degrading from backend %r to %r after %s failure: %s",
+            failed.name,
+            self._backend.name,
+            where,
+            error,
+        )
+        default_recorder().record_event(
+            "engine.degraded", where=where, backend=failed.name, error=str(error)
+        )
+        default_recorder().dump(
+            "engine-degraded", where=where, backend=failed.name, error=str(error)
+        )
+        self._refresher = IncAVTTracker(backend=self._backend)
+        self._degraded = {
+            "reason": str(error),
+            "where": where,
+            "from_backend": failed.name,
+            "since_version": self._version,
+        }
+        self._degraded_from = failed
+
+    def _probe_recovery(self) -> None:
+        """While degraded, ask the failed backend whether it works again.
+
+        Runs at flush time (not per query — probing spins up real substrate,
+        e.g. a throwaway shard coordinator, so it rides the slower mutation
+        path).  A truthful probe migrates the maintainer state back and
+        clears the degradation; a failing or throwing probe keeps the engine
+        on the fallback.
+        """
+        if self._degraded is None or self._degraded_from is None:
+            return
+        from repro.obs.flight import default_recorder
+
+        self._stats.recovery_probes += 1
+        try:
+            healthy = bool(self._degraded_from.probe())
+        except Exception as error:  # a probe must never take a flush down
+            logger.info("recovery probe of %r failed: %s", self._degraded_from.name, error)
+            healthy = False
+        if not healthy:
+            return
+        if not self._maintainer.switch_backend(self._degraded_from):
+            return
+        self._backend = self._degraded_from
+        self._refresher = IncAVTTracker(backend=self._backend)
+        self._stats.recoveries += 1
+        logger.warning(
+            "engine recovered: backend %r healthy again after degradation at version %d",
+            self._backend.name,
+            self._degraded["since_version"],
+        )
+        default_recorder().record_event("engine.recovered", backend=self._backend.name)
+        default_recorder().dump("engine-recovered", backend=self._backend.name)
+        self._degraded = None
+        self._degraded_from = None
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness/degradation summary for operator endpoints.
+
+        ``status`` is ``"ok"`` or ``"degraded"``; while degraded, the
+        ``degraded`` dict carries the reason, the backend fallen back from
+        and the graph version at the moment of degradation.  Recovery is
+        automatic: every flush while degraded probes the failed backend
+        (``recovery_probes``/``recoveries`` count the attempts and
+        successes).
+        """
+        policy = (
+            self._backend_policy
+            if isinstance(self._backend_policy, str)
+            else self._backend_policy.name
+        )
+        return {
+            "status": "degraded" if self._degraded is not None else "ok",
+            "backend": self._backend.name,
+            "backend_policy": policy,
+            "degraded": dict(self._degraded) if self._degraded is not None else None,
+            "version": self._version,
+            "pending_updates": self.pending_updates,
+            "degradations": self._stats.degradations,
+            "recovery_probes": self._stats.recovery_probes,
+            "recoveries": self._stats.recoveries,
+        }
 
     # ------------------------------------------------------------------
     # Checkpoint / restore
@@ -590,9 +737,11 @@ class StreamingAVTEngine:
             raise CheckpointError(f"malformed engine state: {error}") from error
         return engine
 
-    def checkpoint(self, path: Any) -> None:
+    def checkpoint(self, path: Any, keep: int = 1) -> None:
         """Persist the engine to ``path`` (see :mod:`repro.engine.checkpoint`).
 
+        ``keep`` > 1 rotates previous checkpoints to ``<path>.1``… so
+        :meth:`restore` can fall back when the newest file is corrupted.
         A failed save dumps the flight recorder (recent spans + metric
         deltas) before re-raising, so post-mortems of checkpoint failures in
         long-running engines have the surrounding context.
@@ -601,7 +750,7 @@ class StreamingAVTEngine:
         from repro.obs.flight import default_recorder
 
         try:
-            save_checkpoint(self, path)
+            save_checkpoint(self, path, keep=keep)
         except CheckpointError as error:
             default_recorder().dump(
                 "checkpoint-save-failed", path=str(path), error=str(error)

@@ -39,6 +39,13 @@ _COUNT_FIELDS = (
     "cache_invalidations",
     "checkpoints_saved",
     "checkpoints_restored",
+    # Resilience: backend fallbacks forced by substrate failures, flush-time
+    # probes of the failed backend while degraded, and successful switches
+    # back.  from_snapshot ignores unknown keys, so checkpoints written
+    # before these fields existed restore cleanly.
+    "degradations",
+    "recovery_probes",
+    "recoveries",
 )
 
 #: Wall-clock accumulators (floats), one per answer path plus flushes.

@@ -63,3 +63,43 @@ class DatasetError(ReproError):
 
 class CheckpointError(ReproError):
     """Raised when an engine checkpoint cannot be written, read or verified."""
+
+
+class CheckpointCorruptionError(CheckpointError):
+    """Raised when a checkpoint section fails its digest or length check.
+
+    ``section`` names the manifest section that failed verification (or
+    ``"manifest"`` / ``"header"`` when the envelope itself is damaged), so
+    operators know *what* was lost, not just that the file is bad.
+    """
+
+    def __init__(self, path: object, section: str, detail: str) -> None:
+        super().__init__(f"checkpoint {path} is corrupted in section {section!r}: {detail}")
+        self.path = path
+        self.section = section
+
+
+class FaultError(ReproError):
+    """Raised by an injected ``error``-action fault (:mod:`repro.resilience`).
+
+    Deliberately a :class:`ReproError` subclass so chaos tests exercise the
+    exact handling paths a real kernel failure would take.
+    """
+
+    def __init__(self, site: str, detail: str = "") -> None:
+        super().__init__(f"injected fault at {site}" + (f": {detail}" if detail else ""))
+        self.site = site
+
+
+class ShardTimeoutError(ReproError):
+    """Raised when a shard op misses its per-op deadline (the worker is
+    killed and the pool respawned; supervision retries or degrades)."""
+
+
+class ShardExecutionError(ReproError):
+    """Raised when supervised shard execution exhausts every recovery rung.
+
+    Surfaced only after the retry budget is spent *and* (under the process
+    executor) the serial fallback failed too; the engine reacts by degrading
+    the backend (see ``StreamingAVTEngine.health()``).
+    """

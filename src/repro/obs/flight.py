@@ -20,6 +20,11 @@ with a reason and context.  Dumps happen automatically on:
 and manually via :meth:`FlightRecorder.dump`.  The engine exposes the live
 record through ``engine.flight_record()``.  Set ``REPRO_FLIGHT_DIR`` to also
 write each dump as a JSON file.
+
+Injected faults and resilience decisions (:mod:`repro.resilience`) land in
+the ring as synthetic span-shaped events via :meth:`FlightRecorder.record_event`
+— independent of the tracing flag, so a chaos run's dump always shows *which*
+faults fired before the failure being diagnosed.
 """
 
 from __future__ import annotations
@@ -115,6 +120,27 @@ class FlightRecorder:
         if self._installed_on is not None:
             self._installed_on.remove_sink(self)
             self._installed_on = None
+
+    def record_event(self, name: str, **attrs: Any) -> Dict[str, Any]:
+        """Append a synthetic span-shaped event to the ring, tracing or not.
+
+        Injected faults and degradation decisions must be visible in a
+        post-mortem dump even when tracing was off at the time — a real span
+        would never have reached the sink.  The event mimics the span dict
+        shape (``name`` + ``attrs`` + timestamps) so the dump analyzers and
+        the JSON exporters treat it uniformly; ``event=True`` marks it as
+        zero-duration bookkeeping rather than a measured interval.
+        """
+        now = time.time()
+        event = {
+            "name": name,
+            "attrs": {"event": True, **attrs},
+            "start": now,
+            "end": now,
+            "pid": os.getpid(),
+        }
+        self._ring.append(event)
+        return event
 
     # -- record / dump -------------------------------------------------
     def metric_deltas(self) -> List[Dict[str, Any]]:

@@ -1,0 +1,43 @@
+"""Fault injection and the retry/degradation machinery behind it.
+
+``repro.resilience`` is the hardening layer the serving stack stands on:
+
+* :mod:`repro.resilience.faults` — a deterministic, seedable fault-injection
+  framework (worker crashes, slow shards, kernel exceptions, shm-attach
+  failures, checkpoint corruption, flush failures) armed programmatically or
+  through ``REPRO_FAULTS``.
+* :mod:`repro.resilience.retry` — the :class:`RetryPolicy` (bounded retries,
+  exponential backoff with deterministic jitter, per-op deadlines) that
+  supervised shard execution runs under.
+
+The consumers live where the failures do: the shard coordinator retries and
+degrades (:mod:`repro.shard.coordinator`), the engine falls back across
+backends and probes for recovery (:mod:`repro.engine.engine`), and the
+checkpoint layer verifies section digests and restores from rotated siblings
+(:mod:`repro.engine.checkpoint`).
+"""
+
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    clear_plan,
+    fire,
+    inject,
+    install_plan,
+    parse_faults,
+)
+from repro.resilience.retry import RetryPolicy, default_retry_policy
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "active_plan",
+    "clear_plan",
+    "default_retry_policy",
+    "fire",
+    "inject",
+    "install_plan",
+    "parse_faults",
+]

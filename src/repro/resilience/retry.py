@@ -1,0 +1,88 @@
+"""The retry policy behind supervised shard execution.
+
+A :class:`RetryPolicy` bounds how hard the coordinator fights a failing op
+dispatch before falling down the degradation ladder: ``max_retries`` bounded
+attempts, exponential backoff with **deterministic jitter** (the jitter is a
+hash of the attempt number and a caller token, not a random draw, so chaos
+runs are bit-reproducible) and an optional per-op deadline enforced via
+``future.result(timeout=...)`` / bounded ``wait(...)`` calls — a worker that
+misses the deadline is killed and treated exactly like a crashed one.
+
+Environment knobs (read by :func:`default_retry_policy`):
+
+``REPRO_RETRY_MAX``
+    Retry budget per supervised kernel call (default 2).
+``REPRO_RETRY_BASE_DELAY``
+    First backoff delay in seconds (default 0.05).
+``REPRO_SHARD_OP_TIMEOUT``
+    Per-op deadline in seconds (default: none — ops may run indefinitely).
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ParameterError
+
+__all__ = ["RetryPolicy", "default_retry_policy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries + exponential backoff with deterministic jitter."""
+
+    #: Retries after the first failed attempt (0 disables retrying).
+    max_retries: int = 2
+    #: Backoff before retry 1; doubles (``backoff``) each further retry.
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 2.0
+    #: Per-op deadline in seconds (None = no deadline).  Enforced by the
+    #: coordinator's bounded waits; a miss kills the worker and retries.
+    op_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ParameterError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ParameterError("retry delays must be >= 0")
+        if self.backoff < 1.0:
+            raise ParameterError("backoff factor must be >= 1")
+        if self.op_timeout is not None and self.op_timeout <= 0:
+            raise ParameterError("op_timeout must be positive (or None)")
+
+    def delay_for(self, attempt: int, token: str = "") -> float:
+        """Backoff before retry ``attempt`` (1-based), jittered deterministically.
+
+        The jitter multiplies the exponential delay by a factor in
+        ``[0.5, 1.0)`` derived from ``crc32(token:attempt)`` — spreading
+        concurrent retries without sacrificing reproducibility.
+        """
+        raw = min(self.base_delay * (self.backoff ** (attempt - 1)), self.max_delay)
+        draw = zlib.crc32(f"{token}:{attempt}".encode("utf-8", "replace")) % 1000
+        return raw * (0.5 + draw / 2000.0)
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ParameterError(f"{name} must be a number, got {raw!r}") from None
+
+
+def default_retry_policy() -> RetryPolicy:
+    """The environment-configured policy coordinators use when none is given."""
+    max_retries = _env_float("REPRO_RETRY_MAX")
+    base_delay = _env_float("REPRO_RETRY_BASE_DELAY")
+    op_timeout = _env_float("REPRO_SHARD_OP_TIMEOUT")
+    return RetryPolicy(
+        max_retries=int(max_retries) if max_retries is not None else 2,
+        base_delay=base_delay if base_delay is not None else 0.05,
+        op_timeout=op_timeout,
+    )

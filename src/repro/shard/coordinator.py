@@ -96,6 +96,28 @@ the blocks and unlinks them on :meth:`ShardCoordinator.close` (also via a
 nor a crashed worker can leak ``/dev/shm`` segments).  Disable with
 ``shared_memory=False`` (or ``REPRO_SHARD_SHM=0`` through the backend) to
 fall back to pickled state loads.
+
+Supervised execution
+--------------------
+Every public kernel runs under a :class:`~repro.resilience.RetryPolicy`
+(:meth:`ShardCoordinator._supervised`): a retryable failure — a dead worker
+pool, a missed per-op deadline (the hung worker is killed so the stall
+becomes a broken pool) or an injected :class:`~repro.errors.FaultError` —
+triggers bounded retries with deterministic-jitter backoff.  Recovery
+respawns broken slots and reloads exactly the shards whose worker died (the
+shm blocks outlive the worker), replaying the cached ``set_core`` broadcast;
+each retry restarts the kernel from its reset op, because shard ops mutate
+scratch across rounds and are not individually replayable — the kernels are
+monotone/confluent, so the restart stays bit-identical.  The async exchange
+goes further and *resumes in place* where that is provably safe: consumed
+buckets are captured per in-flight op and restored on failure, and the bound
+refinement re-ships current boundary estimates to reborn shards (idempotent
+under min-combination).  When the retry budget is spent the coordinator
+degrades gracefully to the serial executor (``degrade_to_serial=False``
+disables this, surfacing :class:`~repro.errors.ShardExecutionError` instead
+— the engine's recovery probe relies on that).  Fault-injection sites live
+in the op dispatch path (:mod:`repro.resilience.faults`); only worker
+processes may honour ``crash`` faults, so chaos never kills the coordinator.
 """
 
 from __future__ import annotations
@@ -105,20 +127,35 @@ import heapq
 import logging
 import math
 import threading
+import time
 import uuid
 import weakref
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import ParameterError
+from repro.errors import (
+    FaultError,
+    ParameterError,
+    ShardExecutionError,
+    ShardTimeoutError,
+)
 from repro.obs import flight, tracer
 from repro.obs.metrics import MetricsRegistry
+from repro.resilience import faults
+from repro.resilience.retry import RetryPolicy, default_retry_policy
 from repro.shard import shm
 from repro.shard.partition import ShardPlan, ShardState
 
 logger = logging.getLogger("repro.shard")
+
+#: Failure classes the supervision layer recovers from: a dead worker pool,
+#: a missed per-op deadline (the hung worker is killed, funnelling into the
+#: same broken-pool path) and injected kernel exceptions.  Anything else is a
+#: programming error and propagates untouched.
+_RETRYABLE_FAILURES = (BrokenProcessPool, ShardTimeoutError, FaultError)
 
 #: Valid ``executor=`` values for :class:`ShardCoordinator`.
 EXECUTOR_SERIAL = "serial"
@@ -361,6 +398,33 @@ def _op_hindex_round(state: ShardState, updates: Dict[int, int], first: bool) ->
 def _op_hindex_collect(state: ShardState) -> List[float]:
     """Converged estimates (== core numbers) aligned with ``state.owned``."""
     return state.est
+
+
+def _op_hindex_reship(state: ShardState, target: int) -> Buckets:
+    """Re-emit every current boundary estimate subscribed by shard ``target``.
+
+    Crash recovery for the bound refinement: a reborn shard restarts its
+    ghost table at infinity, but the live senders' ``sent_est`` still says
+    those estimates were already shipped — without a re-ship the crashed
+    shard would converge against phantom infinite support.  Estimates are
+    absolute and monotonically non-increasing with ``min`` combination, so
+    re-shipping the *current* value is idempotent and subsumes every update
+    the crash lost.
+    """
+    out: Buckets = {}
+    bucket: Dict[int, int] = {}
+    est = state.est
+    anchor = state.anchor
+    owned = state.owned
+    for li in state.boundary_locals:
+        if anchor[li]:
+            continue
+        targets = state.subs_of.get(li)
+        if targets and target in targets:
+            bucket[owned[li]] = est[li]
+    if bucket:
+        out[target] = bucket
+    return out
 
 
 def _op_peel_reset(state: ShardState, anchor_gvids: List[int]) -> None:
@@ -723,6 +787,7 @@ _OPS = {
     "hindex_reset": _op_hindex_reset,
     "hindex_round": _op_hindex_round,
     "hindex_collect": _op_hindex_collect,
+    "hindex_reship": _op_hindex_reship,
     "peel_reset": _op_peel_reset,
     "peel_cascade": _op_peel_cascade,
     "alive_collect": _op_alive_collect,
@@ -824,17 +889,16 @@ class _SerialExecutor:
 
     def run(self, op: str, args_per_shard: List[Optional[tuple]]) -> List[object]:
         func = _OPS[op]
-        if not tracer.enabled:
-            return [
-                None if args is None else func(state, *args)
-                for state, args in zip(self._shards, args_per_shard)
-            ]
         results: List[object] = []
         for shard_id, (state, args) in enumerate(zip(self._shards, args_per_shard)):
             if args is None:
                 results.append(None)
                 continue
-            with tracer.span("shard.op", op=op, shard=shard_id):
+            faults.fire("shard.op", op=op, shard=shard_id, executor="serial")
+            if tracer.enabled:
+                with tracer.span("shard.op", op=op, shard=shard_id):
+                    results.append(func(state, *args))
+            else:
                 results.append(func(state, *args))
         return results
 
@@ -842,18 +906,19 @@ class _SerialExecutor:
         future: "Future[object]" = Future()
         state = self._shards[shard_id]
         try:
+            faults.fire("shard.op", op=op, shard=shard_id, executor="serial")
             if tracer.enabled:
                 with tracer.span("shard.op", op=op, shard=shard_id):
                     result = _OPS[op](state, *args)
             else:
                 result = _OPS[op](state, *args)
-        except BaseException as error:  # pragma: no cover - op bugs only
+        except BaseException as error:
             future.set_exception(error)
         else:
             future.set_result(result)
         return future
 
-    def resolve(self, future: "Future[object]") -> object:
+    def resolve(self, future: "Future[object]", timeout: Optional[float] = None) -> object:
         return future.result()
 
     def run_tasks(self, tasks: List[Tuple[str, tuple]]) -> List[object]:
@@ -940,7 +1005,15 @@ def _worker_exec(
     """Run one op in the worker.  With ``trace``, the op executes inside a
     worker-local span and the result is returned as ``(result, spans)`` so the
     coordinator can merge the worker's trace into its own (shard-id tagged,
-    pid-prefixed span ids keep everything unique across processes)."""
+    pid-prefixed span ids keep everything unique across processes).
+
+    This is also the process-side fault-injection point: only here may a
+    ``crash`` fault actually take the interpreter down (``allow_crash``) —
+    everywhere else crashes are downgraded to raised :class:`FaultError`\\ s
+    so injected chaos can never kill the coordinator process itself."""
+    faults.fire(
+        "shard.op", op=op, shard=shard_id, executor="process", allow_crash=True
+    )
     if not trace:
         return _OPS[op](_WORKER_STATES[(key, shard_id)], *args)
     tracer.set_enabled(True)
@@ -1013,10 +1086,17 @@ def _release_states(key: str, slots: Tuple[int, ...]) -> None:
     The unlink must run even when a worker crashed: a broken pool means the
     worker-side attachments died with the process, but the segment *names*
     live until the creator unlinks them — exactly what this does last.
+    Slots without a live pool are skipped outright — their worker (and with
+    it every state under this key) is already gone, and respawning a fresh
+    interpreter just to drop nothing would turn cleanup into a spawn storm.
     """
     for slot in slots:
+        with _POOLS_LOCK:
+            pool = _POOLS.get(slot)
+        if pool is None:
+            continue
         try:
-            _get_pool(slot).submit(_worker_drop, key)
+            pool.submit(_worker_drop, key)
         except BrokenProcessPool:
             _discard_pool(slot)
         except RuntimeError:  # pool already shut down — nothing to release
@@ -1037,6 +1117,16 @@ class _ProcessExecutor:
     and each worker attaches zero-copy instead of unpickling the state.  The
     executor's ``key`` doubles as the shm owner key, so
     :func:`_release_states` can unlink every block the coordinator created.
+
+    Supervision hooks: the executor remembers every shard's load payload and
+    which slots have lost their worker (``broken``), so :meth:`recover` can
+    respawn the pools on demand and reload exactly the shards whose
+    worker-side state died — a crash takes down *every* shard sharing the
+    dead slot, in flight or not.  ``op_timeout`` (set by the coordinator
+    from its :class:`~repro.resilience.RetryPolicy`) bounds each
+    ``future.result`` wait; a miss gets the hung worker killed
+    (:meth:`kill_slot`) so the deadline path funnels into the same
+    broken-pool recovery as a genuine crash.
     """
 
     is_process = True
@@ -1054,28 +1144,90 @@ class _ProcessExecutor:
         self.key = uuid.uuid4().hex
         self.shared_memory = shared_memory
         self.slots = [i % self.num_workers for i in range(plan.num_shards)]
-        payloads: List[object] = (
-            [shm.pack_state(state, self.key) for state in plan.shards]
-            if shared_memory
-            else list(plan.shards)
-        )
+        self.broken: Set[int] = set()
+        self.op_timeout: Optional[float] = None
+        try:
+            payloads: List[object] = (
+                [shm.pack_state(state, self.key) for state in plan.shards]
+                if shared_memory
+                else list(plan.shards)
+            )
+            loads = [
+                _submit_to_slot(self.slots[shard_id], _worker_load, self.key, shard_id, payload)
+                for shard_id, payload in enumerate(payloads)
+            ]
+            for future in loads:
+                future.result()
+        except BaseException:
+            # Partial construction must not leak: blocks already packed for
+            # earlier shards are registered under this executor's key but no
+            # finalizer owns them yet — unlink them (and drop any states the
+            # workers already loaded) before propagating.
+            _release_states(self.key, tuple(set(self.slots)))
+            raise
+        self._payloads = payloads
+
+    def note_broken(self, slot: int) -> None:
+        """Record a dead worker and retire its pool (idempotent)."""
+        self.broken.add(slot)
+        _discard_pool(slot)
+
+    def kill_slot(self, slot: int) -> None:
+        """Terminate a (presumably hung) worker and mark its slot broken."""
+        with _POOLS_LOCK:
+            pool = _POOLS.get(slot)
+        if pool is not None:
+            for process in list(getattr(pool, "_processes", {}).values()):
+                process.terminate()
+        self.note_broken(slot)
+
+    def recover(self) -> List[int]:
+        """Respawn broken slots and reload their shards' states.
+
+        Returns the reloaded shard ids.  Only shards on broken slots are
+        reloaded: live workers still hold their states (and on the shm path
+        their attachments), so a blanket reload would leak attachments.
+        The shm blocks themselves survive worker crashes — the coordinator
+        owns the segment names — so reloading is a cheap re-attach.
+        """
+        slots = set(self.broken)
+        self.broken.clear()
+        if not slots:
+            return []
+        reloaded = [
+            shard_id
+            for shard_id in range(len(self.slots))
+            if self.slots[shard_id] in slots
+        ]
         loads = [
-            _submit_to_slot(self.slots[shard_id], _worker_load, self.key, shard_id, payload)
-            for shard_id, payload in enumerate(payloads)
+            _submit_to_slot(
+                self.slots[shard_id],
+                _worker_load,
+                self.key,
+                shard_id,
+                self._payloads[shard_id],
+            )
+            for shard_id in reloaded
         ]
         for future in loads:
             future.result()
+        return reloaded
 
     def submit(self, op: str, shard_id: int, args: tuple) -> "Future[object]":
         trace = tracer.is_enabled()
-        future = _submit_to_slot(
-            self.slots[shard_id], _worker_exec, self.key, shard_id, op, args, trace
-        )
+        slot = self.slots[shard_id]
+        try:
+            future = _submit_to_slot(
+                slot, _worker_exec, self.key, shard_id, op, args, trace
+            )
+        except BrokenProcessPool:
+            self.broken.add(slot)  # _submit_to_slot already retired the pool
+            raise
         future._repro_traced = trace  # type: ignore[attr-defined]
         return future
 
-    def resolve(self, future: "Future[object]") -> object:
-        value = future.result()
+    def resolve(self, future: "Future[object]", timeout: Optional[float] = None) -> object:
+        value = future.result(timeout)
         if getattr(future, "_repro_traced", False):
             value, spans = value
             tracer.adopt(spans)
@@ -1086,9 +1238,23 @@ class _ProcessExecutor:
             None if args is None else self.submit(op, shard_id, args)
             for shard_id, args in enumerate(args_per_shard)
         ]
-        return [
-            None if future is None else self.resolve(future) for future in futures
-        ]
+        results: List[object] = []
+        for shard_id, future in enumerate(futures):
+            if future is None:
+                results.append(None)
+                continue
+            try:
+                results.append(self.resolve(future, timeout=self.op_timeout))
+            except FutureTimeout:
+                self.kill_slot(self.slots[shard_id])
+                raise ShardTimeoutError(
+                    f"shard {shard_id} op {op!r} missed its "
+                    f"{self.op_timeout}s deadline"
+                ) from None
+            except BrokenProcessPool:
+                self.note_broken(self.slots[shard_id])
+                raise
+        return results
 
     def run_tasks(self, tasks: List[Tuple[str, tuple]]) -> List[object]:
         trace = tracer.is_enabled()
@@ -1097,8 +1263,18 @@ class _ProcessExecutor:
             for index, (name, args) in enumerate(tasks)
         ]
         results = []
-        for future in futures:
-            value = future.result()
+        for index, future in enumerate(futures):
+            slot = index % self.num_workers
+            try:
+                value = future.result(self.op_timeout)
+            except FutureTimeout:
+                self.kill_slot(slot)
+                raise ShardTimeoutError(
+                    f"shard task batch {index} missed its {self.op_timeout}s deadline"
+                ) from None
+            except BrokenProcessPool:
+                self.note_broken(slot)
+                raise
             if trace:
                 value, spans = value
                 tracer.adopt(spans)
@@ -1121,6 +1297,10 @@ _COUNTER_FIELDS = (
     "shard_rounds_skipped",
     "exchange_waves",
     "ops_dispatched",
+    "op_failures",
+    "op_retries",
+    "exchange_resumes",
+    "degradations",
 )
 
 
@@ -1141,6 +1321,8 @@ class ShardCoordinator:
         max_workers: Optional[int] = None,
         exchange: str = EXCHANGE_ASYNC,
         shared_memory: Optional[bool] = None,
+        retry: Optional[RetryPolicy] = None,
+        degrade_to_serial: bool = True,
     ) -> None:
         if executor not in EXECUTORS:
             raise ParameterError(
@@ -1179,11 +1361,20 @@ class ShardCoordinator:
         self.registry.gauge("shard.cut_edges").set(plan.cut_edge_count)
         self.registry.gauge("shard.cut_edge_ratio").set(plan.cut_edge_ratio)
         self.registry.gauge("shard.balance").set(plan.balance)
+        #: Supervision: the retry policy bounding how hard a failing kernel
+        #: is fought (respawn + replay) before the coordinator degrades to
+        #: the serial executor, and the cached ``set_core`` broadcast so a
+        #: recovered (or serial-degraded) shard set can be re-armed with the
+        #: anchored-index state it missed.
+        self._retry = retry if retry is not None else default_retry_policy()
+        self._degrade = degrade_to_serial
+        self._last_core_state: Optional[Tuple[List[float], Optional[List[int]]]] = None
         self._finalizer = None
         if executor == EXECUTOR_PROCESS:
             self._exec = _ProcessExecutor(
                 plan, max_workers, shared_memory=self.shared_memory
             )
+            self._exec.op_timeout = self._retry.op_timeout
             self.num_workers = self._exec.num_workers
             self._finalizer = weakref.finalize(
                 self, _release_states, self._exec.key, tuple(set(self._exec.slots))
@@ -1205,6 +1396,118 @@ class ShardCoordinator:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Supervision: bounded retry -> recovery -> degradation ladder
+    # ------------------------------------------------------------------
+    def _supervised(self, label: str, fn: Callable[[], Any]) -> Any:
+        """Run a kernel under the retry policy; degrade to serial on exhaustion.
+
+        Shard ops mutate worker-side scratch across rounds, so recovery never
+        replays individual ops — each retry restarts the *kernel* from its
+        reset op, which re-arms every shard's scratch and is therefore
+        bit-identical to a fault-free run (the kernels are monotone or
+        confluent).  Before a retry, :meth:`_recover` respawns any broken
+        worker slots and reloads their shards' states; after the budget is
+        spent the coordinator swaps in the serial executor (the plan's own
+        states never left this process, so the fallback always has a
+        consistent base) and tries once more.  Only when even that fails
+        does a :class:`ShardExecutionError` escape to the caller.
+        """
+        policy = self._retry
+        error: Optional[BaseException] = None
+        for attempt in range(policy.max_retries + 1):
+            if attempt:
+                self.op_retries += 1
+                time.sleep(policy.delay_for(attempt, token=label))
+                try:
+                    self._recover()
+                except _RETRYABLE_FAILURES as recover_error:
+                    logger.warning(
+                        "recovery before retry %d of %r failed: %s",
+                        attempt,
+                        label,
+                        recover_error,
+                    )
+                    error = recover_error
+                    continue
+            try:
+                return fn()
+            except _RETRYABLE_FAILURES as caught:
+                error = caught
+                self.op_failures += 1
+                logger.warning(
+                    "shard kernel %r attempt %d/%d failed: %s",
+                    label,
+                    attempt + 1,
+                    policy.max_retries + 1,
+                    caught,
+                )
+        if self._degrade and self._exec.is_process:
+            self._degrade_to_serial(label, error)
+            try:
+                return fn()
+            except _RETRYABLE_FAILURES as serial_error:
+                raise ShardExecutionError(
+                    f"shard kernel {label!r} failed even after degrading to "
+                    f"the serial executor: {serial_error}"
+                ) from serial_error
+        raise ShardExecutionError(
+            f"shard kernel {label!r} failed after {policy.max_retries + 1} "
+            f"attempt(s): {error}"
+        ) from error
+
+    def _recover(self) -> None:
+        """Respawn broken worker slots and re-arm the reloaded shards.
+
+        Freshly reloaded states are static CSR only — any ``set_core``
+        broadcast they held died with the worker, so the cached one is
+        replayed to exactly those shards (kernel resets rebuild the rest).
+        """
+        if not self._exec.is_process:
+            return
+        reloaded = self._exec.recover()
+        if reloaded and self._last_core_state is not None:
+            targets = set(reloaded)
+            core, rank = self._last_core_state
+            self._exec.run(
+                "set_core",
+                [
+                    (core, rank) if shard_id in targets else None
+                    for shard_id in range(self.plan.num_shards)
+                ],
+            )
+
+    def _degrade_to_serial(self, label: str, error: Optional[BaseException]) -> None:
+        """Swap the process executor for the serial one (graceful degradation).
+
+        The serial executor runs against the plan's own in-process states, so
+        no worker-side scratch survives into it — which is fine, because
+        every kernel entry point re-arms its scratch from a reset op.  The
+        one piece of cross-kernel state, the ``set_core`` broadcast, is
+        replayed from the coordinator-side cache.
+        """
+        logger.error(
+            "shard coordinator degrading to the serial executor after %r "
+            "exhausted its retry budget: %s",
+            label,
+            error,
+        )
+        self.degradations += 1
+        recorder = flight.default_recorder()
+        recorder.record_event(
+            "shard.degraded", op=label, error=str(error), executor_from=self.executor
+        )
+        recorder.dump("shard-degraded-serial", op=label, error=str(error))
+        if self._finalizer is not None:
+            self._finalizer()  # drop worker states, unlink the shm blocks
+            self._finalizer = None
+        self._exec = _SerialExecutor(self.plan.shards)
+        self.executor = EXECUTOR_SERIAL
+        self.num_workers = 1
+        if self._last_core_state is not None:
+            core, rank = self._last_core_state
+            self._exec.run("set_core", [(core, rank)] * self.plan.num_shards)
 
     def _run(
         self,
@@ -1237,8 +1540,65 @@ class ShardCoordinator:
                     bucket[gvid] = bucket.get(gvid, 0) + count
         return pending, produced
 
+    def _route(
+        self,
+        out: Buckets,
+        pending: List[Dict[int, int]],
+        combine: Callable[[int, int], int],
+    ) -> None:
+        """Route one op's boundary output into the destination buckets."""
+        for target, payload in out.items():
+            if not payload:
+                continue
+            self.messages += len(payload)
+            bucket = pending[target]
+            for gvid, value in payload.items():
+                if gvid in bucket:
+                    bucket[gvid] = combine(bucket[gvid], value)
+                else:
+                    bucket[gvid] = value
+
+    def _resolve_with_deadline(self, shard_id: int, future: "Future[object]") -> object:
+        """Resolve a future under the per-op deadline; a miss kills the worker."""
+        timeout = self._retry.op_timeout
+        if not self._exec.is_process or timeout is None:
+            return self._exec.resolve(future)
+        try:
+            return self._exec.resolve(future, timeout=timeout)
+        except FutureTimeout:
+            self._exec.kill_slot(self._exec.slots[shard_id])
+            raise ShardTimeoutError(
+                f"shard {shard_id} missed its {timeout}s op deadline"
+            ) from None
+
+    def _note_shard_failure(self, shard_id: int, error: BaseException) -> None:
+        """Bookkeeping for a failed shard op inside the async exchange."""
+        self.op_failures += 1
+        if isinstance(error, BrokenProcessPool) and self._exec.is_process:
+            # The future completed *carrying* the pool's exception — unlike a
+            # submit-time raise nothing retired the pool yet, so do it here.
+            self._exec.note_broken(self._exec.slots[shard_id])
+        logger.warning("shard %d failed mid-exchange: %s", shard_id, error)
+
+    def _kill_inflight(self, shard_ids: List[int]) -> None:
+        """Deadline missed by every in-flight op: kill the hung workers.
+
+        Their futures then complete broken, so the next wait() pass funnels
+        the stall into the ordinary crash-recovery path.
+        """
+        slots = {self._exec.slots[shard_id] for shard_id in shard_ids}
+        logger.warning(
+            "no shard op completed within the %ss deadline; killing %d "
+            "hung worker slot(s)",
+            self._retry.op_timeout,
+            len(slots),
+        )
+        for slot in slots:
+            self._exec.kill_slot(slot)
+
     def _exchange_until_fixpoint(
-        self, op: str, first_args, next_args, extract, combine=None
+        self, op: str, first_args, next_args, extract, combine=None, reinit=None,
+        reship_op=None,
     ) -> None:
         """The futures-based exchange: run ``op`` to the global fixpoint.
 
@@ -1267,51 +1627,197 @@ class ShardCoordinator:
         refinement is a monotone relaxation with a unique fixpoint and the
         deletion cascades are confluent (module docstring) — so stragglers
         can finish whenever they finish.
+
+        Failure handling: a shard op failing mid-exchange (injected fault,
+        missed deadline, dead worker) no longer restarts the exchange from
+        scratch.  Each in-flight shard remembers the bucket it consumed, so
+        the payloads of failed *and still-pending* ops are captured and
+        re-routed (:meth:`_resume_exchange`) and the exchange resumes where
+        it was.  Worker crashes additionally lose shard scratch; only
+        exchanges that provide ``reinit``/``reship_op`` hooks (the bound
+        refinement, whose absolute min-combined estimates make a re-ship
+        idempotent) resume across those — cascades ship deltas and re-raise
+        to the kernel-level retry instead, which restarts from the reset op.
         """
         num_shards = self.plan.num_shards
         pending: List[Dict[int, int]] = [dict() for _ in range(num_shards)]
         inflight: Dict[int, "Future[object]"] = {}
+        #: The bucket each in-flight op consumed (None = first-round args):
+        #: this is what lets a failed or orphaned op's input be restored
+        #: instead of lost.
+        inflight_args: Dict[int, Optional[Dict[int, int]]] = {}
         submit = self._exec.submit
-        resolve = self._exec.resolve
         if combine is None:
             combine = lambda old, new: old + new  # noqa: E731 - delta sum
+        resumes = 0
         with tracer.span(
             "shard.exchange", op=op, mode=EXCHANGE_ASYNC, shards=num_shards
         ) as exchange_span:
             for shard_id in range(num_shards):
                 inflight[shard_id] = submit(op, shard_id, first_args(shard_id))
+                inflight_args[shard_id] = None
             self.ops_dispatched += num_shards
             self.rounds += 1
             waves = 0
             while inflight:
-                done, _ = wait(inflight.values(), return_when=FIRST_COMPLETED)
+                done, _ = wait(
+                    inflight.values(),
+                    timeout=self._retry.op_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    self._kill_inflight(list(inflight))
+                    continue
                 waves += 1
                 finished = [sid for sid, future in inflight.items() if future in done]
+                failures: Dict[int, Tuple[BaseException, Optional[Dict[int, int]]]] = {}
                 with tracer.span("shard.wave", op=op, completed=len(finished)):
                     for shard_id in finished:
-                        out = extract(resolve(inflight.pop(shard_id)))
-                        for target, payload in out.items():
-                            if not payload:
-                                continue
-                            self.messages += len(payload)
-                            bucket = pending[target]
-                            for gvid, value in payload.items():
-                                if gvid in bucket:
-                                    bucket[gvid] = combine(bucket[gvid], value)
-                                else:
-                                    bucket[gvid] = value
+                        future = inflight.pop(shard_id)
+                        updates = inflight_args.pop(shard_id)
+                        try:
+                            out = extract(self._exec.resolve(future))
+                        except _RETRYABLE_FAILURES as error:
+                            self._note_shard_failure(shard_id, error)
+                            failures[shard_id] = (error, updates)
+                            continue
+                        self._route(out, pending, combine)
+                    if failures:
+                        resumes += 1
+                        self._resume_exchange(
+                            op,
+                            failures,
+                            inflight,
+                            inflight_args,
+                            pending,
+                            combine,
+                            extract,
+                            first_args,
+                            reinit,
+                            reship_op,
+                            resumes,
+                        )
                     dispatched = 0
                     for shard_id in range(num_shards):
                         if pending[shard_id] and shard_id not in inflight:
                             updates = pending[shard_id]
                             pending[shard_id] = {}
                             inflight[shard_id] = submit(op, shard_id, next_args(updates))
+                            inflight_args[shard_id] = updates
                             dispatched += 1
                     if dispatched:
                         self.ops_dispatched += dispatched
                         self.rounds += 1
             self.exchange_waves += waves
             exchange_span.set(waves=waves)
+
+    def _resume_exchange(
+        self,
+        op: str,
+        failures: Dict[int, Tuple[BaseException, Optional[Dict[int, int]]]],
+        inflight: Dict[int, "Future[object]"],
+        inflight_args: Dict[int, Optional[Dict[int, int]]],
+        pending: List[Dict[int, int]],
+        combine: Callable[[int, int], int],
+        extract,
+        first_args,
+        reinit,
+        reship_op,
+        resumes: int,
+    ) -> None:
+        """Salvage an async exchange after one or more shard ops failed.
+
+        First every *other* in-flight future is drained: healthy completions
+        carry boundary payloads that must be routed (losing them was the old
+        restart-from-scratch bug), and futures riding a broken pool complete
+        with the pool's exception and simply join the failure set — their
+        consumed buckets captured rather than lost.  Then:
+
+        * Pure op failures (injected :class:`FaultError`\\ s raise at op
+          entry, before any scratch mutation): the consumed buckets are
+          restored and the ops resubmitted — valid for *every* kernel,
+          cascades included, precisely because nothing ran.
+        * Worker crashes: every shard on a dead slot lost its scratch
+          (in flight or not).  With ``reinit``/``reship_op`` hooks the slots
+          are respawned, the crashed shards re-armed, live shards re-ship
+          the current boundary estimates the reborn ghost tables need, and
+          the crashed shards restart from their first round — idempotent
+          under min-combination, hence still bit-identical.  Without hooks
+          (delta-shipping cascades) the failure re-raises to the kernel-level
+          retry, which restarts from the reset op.
+        """
+        for shard_id in list(inflight):
+            future = inflight.pop(shard_id)
+            updates = inflight_args.pop(shard_id)
+            try:
+                out = extract(self._resolve_with_deadline(shard_id, future))
+            except _RETRYABLE_FAILURES as error:
+                self._note_shard_failure(shard_id, error)
+                failures[shard_id] = (error, updates)
+                continue
+            self._route(out, pending, combine)
+        first_error = next(iter(failures.values()))[0]
+        crashed: Set[int] = set()
+        if self._exec.is_process and self._exec.broken:
+            broken_slots = set(self._exec.broken)
+            crashed = {
+                shard_id
+                for shard_id in range(self.plan.num_shards)
+                if self._exec.slots[shard_id] in broken_slots
+            }
+        if resumes > self._retry.max_retries:
+            raise first_error
+        if crashed and (reinit is None or reship_op is None):
+            raise first_error
+        self.exchange_resumes += 1
+        flight.default_recorder().record_event(
+            "shard.exchange_resume",
+            op=op,
+            failures=len(failures),
+            crashed=sorted(crashed),
+        )
+        logger.warning(
+            "resuming %r exchange after %d shard failure(s) (%d shard(s) rebuilt)",
+            op,
+            len(failures),
+            len(crashed),
+        )
+        if crashed:
+            self._exec.recover()
+            for shard_id in sorted(crashed):
+                reinit(shard_id)
+            live = [
+                shard_id
+                for shard_id in range(self.plan.num_shards)
+                if shard_id not in crashed
+            ]
+            reships = [
+                (source, self._exec.submit(reship_op, source, (target,)))
+                for target in sorted(crashed)
+                for source in live
+            ]
+            for source, future in reships:
+                self._route(
+                    self._resolve_with_deadline(source, future), pending, combine
+                )
+            self.ops_dispatched += len(reships)
+        # Restore the payloads the failed ops never consumed; crashed shards
+        # (and failed first rounds) restart from their first-round args, the
+        # rest drain through the caller's normal dispatch pass.  A crashed
+        # shard's stale payload is skipped: the re-ship above re-emitted the
+        # senders' *current* estimates, which subsume it.
+        needs_first: Set[int] = set(crashed)
+        for shard_id, (error, updates) in failures.items():
+            if updates is None:
+                needs_first.add(shard_id)
+            elif shard_id not in crashed:
+                self._route({shard_id: updates}, pending, combine)
+        for shard_id in sorted(needs_first):
+            inflight[shard_id] = self._exec.submit(op, shard_id, first_args(shard_id))
+            inflight_args[shard_id] = None
+        if needs_first:
+            self.ops_dispatched += len(needs_first)
+            self.rounds += 1
 
     def _cascade(self, op: str, level_args: tuple) -> int:
         """Drive a local-cascade op to the global fixpoint; return removals."""
@@ -1393,7 +1899,9 @@ class ShardCoordinator:
             executor=self.executor,
             anchors=len(anchor_list),
         ):
-            return self._decompose(anchor_list, n)
+            return self._supervised(
+                "decompose", lambda: self._decompose(anchor_list, n)
+            )
 
     def _decompose(
         self, anchor_list: List[int], n: int
@@ -1405,12 +1913,23 @@ class ShardCoordinator:
         self.shard_cache_hits += peel_hits
         self.shard_cache_misses += num_shards - peel_hits
         if self.exchange == EXCHANGE_ASYNC:
+
+            def reinit(shard_id: int) -> None:
+                # Re-arm a reborn shard's refinement scratch: the reset is
+                # idempotent and self-contained, so running it mid-exchange
+                # only touches the crashed shard.
+                self._exec.resolve(
+                    self._exec.submit("hindex_reset", shard_id, (anchor_list,))
+                )
+
             self._exchange_until_fixpoint(
                 "hindex_round",
                 first_args=lambda shard_id: ({}, True),
                 next_args=lambda updates: (updates, False),
                 extract=lambda out: out,
                 combine=min,
+                reinit=reinit,
+                reship_op="hindex_reship",
             )
         else:
             updates: List[Dict[int, int]] = [dict() for _ in range(num_shards)]
@@ -1481,7 +2000,8 @@ class ShardCoordinator:
         if self.plan.num_vertices == 0:
             return set()
         anchor_list = sorted({int(a) for a in anchor_ids})
-        with tracer.span("shard.k_core", k=k, anchors=len(anchor_list)):
+
+        def kernel() -> Set[int]:
             self._run("peel_reset", shared=(anchor_list,))
             self._cascade("peel_cascade", (k - 1,))
             survivors: Set[int] = set()
@@ -1489,23 +2009,42 @@ class ShardCoordinator:
                 survivors.update(part)
             return survivors
 
+        with tracer.span("shard.k_core", k=k, anchors=len(anchor_list)):
+            return self._supervised("k_core", kernel)
+
     def remaining_degree_ids(self, rank_ids: List[int]) -> Dict[int, int]:
         """``deg+`` for every id with ``rank_ids[id] >= 0`` (one round)."""
-        merged: Dict[int, int] = {}
-        for part in self._run("deg_plus", shared=(rank_ids,)):
-            merged.update(part)
-        return merged
+
+        def kernel() -> Dict[int, int]:
+            merged: Dict[int, int] = {}
+            for part in self._run("deg_plus", shared=(rank_ids,)):
+                merged.update(part)
+            return merged
+
+        return self._supervised("deg_plus", kernel)
 
     def set_core_state(self, core: List[float], rank: Optional[List[int]]) -> None:
-        """Broadcast the global core/rank arrays (anchored-index state)."""
-        self._run("set_core", shared=(core, rank))
+        """Broadcast the global core/rank arrays (anchored-index state).
+
+        The broadcast is cached coordinator-side: it is the one piece of
+        cross-kernel worker state, so recovery and degradation replay it to
+        any shard whose worker-side copy was lost.
+        """
+        self._last_core_state = (core, rank)
+        self._supervised(
+            "set_core", lambda: self._run("set_core", shared=(core, rank))
+        )
 
     def candidate_anchor_ids(self, k: int, order_pruning: bool) -> List[int]:
         """Theorem-3 candidates under the broadcast core/rank state."""
-        out: List[int] = []
-        for part in self._run("candidate_scan", shared=(k, order_pruning)):
-            out.extend(part)
-        return out
+
+        def kernel() -> List[int]:
+            out: List[int] = []
+            for part in self._run("candidate_scan", shared=(k, order_pruning)):
+                out.extend(part)
+            return out
+
+        return self._supervised("candidate_scan", kernel)
 
     def marginal_follower_ids(
         self, k: int, candidate_id: int, region_out: Optional[Set[int]] = None
@@ -1517,7 +2056,12 @@ class ShardCoordinator:
         ``region_out`` receives the explored region ids when supplied.
         """
         with tracer.span("shard.marginal_followers", k=k) as mf_span:
-            return self._marginal_follower_ids(k, candidate_id, region_out, mf_span)
+            return self._supervised(
+                "marginal_followers",
+                lambda: self._marginal_follower_ids(
+                    k, candidate_id, region_out, mf_span
+                ),
+            )
 
     def _marginal_follower_ids(
         self,
@@ -1565,7 +2109,8 @@ class ShardCoordinator:
         self, k: int, candidate_id: int
     ) -> Tuple[Set[int], int]:
         """Whole-shell follower cascade (OLAK baseline); same contract."""
-        with tracer.span("shard.full_shell_followers", k=k):
+
+        def kernel() -> Tuple[Set[int], int]:
             counts = self._run("support_init", shared=(k, candidate_id, None))
             shell_size = sum(counts)
             if shell_size == 0:
@@ -1575,6 +2120,9 @@ class ShardCoordinator:
             for part in self._run("support_collect"):
                 survivors.update(part)
             return survivors, shell_size + removed_total
+
+        with tracer.span("shard.full_shell_followers", k=k):
+            return self._supervised("full_shell_followers", kernel)
 
     def stats(self) -> Dict[str, int]:
         """Observability counters, including the shard-local cache hits.
@@ -1589,6 +2137,11 @@ class ShardCoordinator:
         exchange and ``ops_dispatched`` its individual op submissions.
         ``cut_edges`` / ``cut_edge_ratio`` / ``balance`` echo the partition
         quality of the plan this coordinator runs on.
+
+        Supervision counters: ``op_failures`` (shard ops that raised a
+        retryable failure), ``op_retries`` (kernel-level retry attempts),
+        ``exchange_resumes`` (async exchanges salvaged in place instead of
+        restarted) and ``degradations`` (process→serial executor fallbacks).
         """
         counters = {name: self._metrics[name].value for name in _COUNTER_FIELDS}
         counters["cut_edges"] = self.plan.cut_edge_count

@@ -276,7 +276,9 @@ def attach_state(
     — the creator owns the segment's name, not the attacher.
     """
     from repro.shard.partition import ShardState
+    from repro.resilience import faults
 
+    faults.fire("shm.attach", shard=handle.shard_id)
     block = _attach_untracked(handle.block_name)
     view = memoryview(block.buf).cast("q")
     fields = {}

@@ -1,0 +1,545 @@
+"""Chaos tests for :mod:`repro.resilience` and the supervision it drives.
+
+Covers the fault-injection mini-language (parsing, deterministic schedules,
+crash downgrading outside workers), supervised shard execution on both
+executors (retry to bit-identical results, timeout handling, degradation to
+the serial executor), the engine's degradation ladder with probe-based
+recovery, and the verified checkpoint format (per-section digest detection,
+rotation, fallback restore).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.engine import StreamingAVTEngine
+from repro.engine.checkpoint import (
+    load_checkpoint,
+    read_state,
+    rotated_paths,
+    save_checkpoint,
+    write_state,
+)
+from repro.errors import (
+    CheckpointCorruptionError,
+    CheckpointError,
+    FaultError,
+    ParameterError,
+    ShardExecutionError,
+)
+from repro.graph.compact import CompactGraph
+from repro.graph.static import Graph
+from repro.obs.metrics import global_registry
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    faults,
+    parse_faults,
+)
+from repro.resilience.retry import default_retry_policy
+from repro.shard.coordinator import ShardCoordinator, shutdown_shard_pools
+from repro.shard.partition import partition_compact_graph
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    """No test leaks an armed plan (programmatic or environment)."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+def chaos_graph(num_vertices: int = 80, num_edges: int = 260, seed: int = 11) -> Graph:
+    import random
+
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < num_edges:
+        u, v = rng.sample(range(num_vertices), 2)
+        edges.add((min(u, v), max(u, v)))
+    return Graph(edges=sorted(edges))
+
+
+def make_coordinator(graph: Graph, num_shards: int = 3, **kwargs) -> ShardCoordinator:
+    cgraph = CompactGraph.from_graph(graph, ordered=True)
+    plan = partition_compact_graph(cgraph, num_shards, "hash")
+    return ShardCoordinator(plan, **kwargs)
+
+
+class TestFaultSpecParsing:
+    def test_parse_round_trip(self):
+        plan = parse_faults(
+            "shard.op:action=crash,executor=process,op=hindex_round,at=2;"
+            "checkpoint.bytes:action=corrupt,section=core,times=3;"
+            "shard.op:action=slow,delay=0.5,rate=0.25,seed=7"
+        )
+        assert [spec.site for spec in plan.specs] == [
+            "shard.op",
+            "checkpoint.bytes",
+            "shard.op",
+        ]
+        crash, corrupt, slow = plan.specs
+        assert crash.action == "crash"
+        assert crash.match == {"executor": "process", "op": "hindex_round"}
+        assert crash.at == 2
+        assert corrupt.times == 3
+        assert corrupt.match == {"section": "core"}
+        assert slow.delay == 0.5 and slow.rate == 0.25 and slow.seed == 7
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "no-colon-here",
+            "shard.op:action",
+            "shard.op:at=notanumber",
+            "shard.op:times=-1",
+            "shard.op:rate=2.0",
+            "shard.op:action=unknown",
+        ],
+    )
+    def test_malformed_specs_rejected(self, raw):
+        with pytest.raises(ParameterError):
+            parse_faults(raw)
+
+    def test_times_cap_and_at_pin(self):
+        spec = FaultSpec("shard.op", "error", at=2, times=1)
+        plan = FaultPlan([spec])
+        assert plan.fire("shard.op") is None  # hit 1: before `at`
+        with pytest.raises(FaultError):
+            plan.fire("shard.op")  # hit 2: fires
+        assert plan.fire("shard.op") is None  # spent
+        assert spec.fired == 1 and spec.hits >= 2
+
+    def test_rate_draws_are_deterministic(self):
+        def firing_pattern(seed):
+            spec = FaultSpec("s", "corrupt", rate=0.4, times=0, seed=seed)
+            plan = FaultPlan([spec])
+            return [plan.fire("s") is not None for _ in range(50)]
+
+        assert firing_pattern(3) == firing_pattern(3)
+        assert firing_pattern(3) != firing_pattern(4)
+
+    def test_match_filters_compare_stringified(self):
+        plan = FaultPlan([FaultSpec("s", "corrupt", match={"shard": "1"})])
+        assert plan.fire("s", shard=0) is None
+        assert plan.fire("s", shard=1) is not None
+
+    def test_crash_downgrades_to_error_outside_workers(self):
+        # Without allow_crash a crash spec must not take this process down.
+        with faults.inject(FaultSpec("shard.op", "crash")):
+            with pytest.raises(FaultError):
+                faults.fire("shard.op")
+
+    def test_inject_restores_previous_plan(self):
+        outer = faults.install_plan(FaultSpec("a", "corrupt"))
+        with faults.inject(FaultSpec("b", "corrupt")) as inner:
+            assert faults.active_plan() is inner
+        assert faults.active_plan() is outer
+
+    def test_env_plan_cached_and_refreshed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "a:action=corrupt")
+        first = faults.active_plan()
+        assert first is faults.active_plan()  # cached on the raw string
+        monkeypatch.setenv("REPRO_FAULTS", "b:action=corrupt")
+        assert faults.active_plan().specs[0].site == "b"
+
+    def test_fired_faults_counted_and_flight_recorded(self):
+        from repro.obs.flight import default_recorder
+
+        counter = global_registry().counter(
+            "resilience.faults_injected", site="shard.op", action="error"
+        )
+        before = counter.value
+        with faults.inject(FaultSpec("shard.op", "error")):
+            with pytest.raises(FaultError):
+                faults.fire("shard.op", op="probe")
+        assert counter.value == before + 1
+        names = [span["name"] for span in default_recorder().record()["spans"]]
+        assert "fault.injected" in names
+
+
+class TestRetryPolicy:
+    def test_backoff_is_bounded_and_jittered(self):
+        policy = RetryPolicy(max_retries=4, base_delay=0.1, backoff=2.0, max_delay=0.3)
+        delays = [policy.delay_for(attempt, token="t") for attempt in (1, 2, 3, 4)]
+        assert all(0.0 < delay <= 0.3 for delay in delays)
+        # Deterministic: same token, same delays.
+        assert delays == [policy.delay_for(attempt, token="t") for attempt in (1, 2, 3, 4)]
+        assert delays != [policy.delay_for(attempt, token="u") for attempt in (1, 2, 3, 4)]
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_MAX", "5")
+        monkeypatch.setenv("REPRO_RETRY_BASE_DELAY", "0.25")
+        monkeypatch.setenv("REPRO_SHARD_OP_TIMEOUT", "9.5")
+        policy = default_retry_policy()
+        assert policy.max_retries == 5
+        assert policy.base_delay == 0.25
+        assert policy.op_timeout == 9.5
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ParameterError):
+            RetryPolicy(backoff=0.0)
+
+
+class TestSupervisedSerial:
+    def test_transient_kernel_fault_is_retried_bit_identical(self):
+        graph = chaos_graph()
+        baseline = make_coordinator(graph, executor="serial")
+        expected_core, expected_order = baseline.decompose([5])
+        baseline.close()
+
+        supervised = make_coordinator(
+            graph,
+            executor="serial",
+            retry=RetryPolicy(max_retries=2, base_delay=0.0),
+        )
+        with faults.inject(
+            FaultSpec("shard.op", "error", match={"op": "hindex_round"}, at=3)
+        ):
+            core, order = supervised.decompose([5])
+        assert core == expected_core
+        assert order == expected_order
+        stats = supervised.stats()
+        assert stats["op_failures"] >= 1
+        assert stats["exchange_resumes"] >= 1
+        assert stats["degradations"] == 0
+        supervised.close()
+
+    def test_transient_cascade_fault_restarts_kernel(self):
+        graph = chaos_graph()
+        baseline = make_coordinator(graph, executor="serial")
+        expected = baseline.k_core_ids(3)
+        baseline.close()
+
+        supervised = make_coordinator(
+            graph,
+            executor="serial",
+            retry=RetryPolicy(max_retries=2, base_delay=0.0),
+        )
+        with faults.inject(
+            FaultSpec("shard.op", "error", match={"op": "peel_cascade"}, at=1)
+        ):
+            assert supervised.k_core_ids(3) == expected
+        # An injected fault fires at op entry (shard scratch untouched), so
+        # the exchange resumes in place instead of restarting the kernel.
+        stats = supervised.stats()
+        assert stats["op_failures"] >= 1
+        assert stats["exchange_resumes"] + stats["op_retries"] >= 1
+        supervised.close()
+
+    def test_persistent_fault_exhausts_into_shard_execution_error(self):
+        supervised = make_coordinator(
+            chaos_graph(),
+            executor="serial",
+            retry=RetryPolicy(max_retries=1, base_delay=0.0),
+        )
+        with faults.inject(FaultSpec("shard.op", "error", times=0)):
+            with pytest.raises(ShardExecutionError):
+                supervised.k_core_ids(3)
+        supervised.close()
+
+
+@pytest.fixture(scope="module")
+def process_pools():
+    yield
+    shutdown_shard_pools()
+
+
+class TestSupervisedProcess:
+    """Spawn-executor chaos: env-armed faults reach the worker processes."""
+
+    def run_with_env_faults(self, monkeypatch, spec: str, retry: RetryPolicy):
+        graph = chaos_graph()
+        baseline = make_coordinator(graph, executor="serial")
+        expected = baseline.decompose([5])
+        baseline.close()
+
+        monkeypatch.setenv("REPRO_FAULTS", spec)
+        shutdown_shard_pools()  # fresh workers that see the env plan
+        try:
+            supervised = make_coordinator(
+                graph, executor="process", max_workers=3, retry=retry
+            )
+            got = supervised.decompose([5])
+            stats = supervised.stats()
+            supervised.close()
+        finally:
+            monkeypatch.delenv("REPRO_FAULTS", raising=False)
+            shutdown_shard_pools()  # do not leak chaos-armed workers
+        return expected, got, stats
+
+    def test_worker_crash_recovers_bit_identical(self, process_pools, monkeypatch):
+        expected, got, stats = self.run_with_env_faults(
+            monkeypatch,
+            "shard.op:action=crash,executor=process,op=hindex_round,at=2",
+            RetryPolicy(max_retries=3, base_delay=0.01, op_timeout=60.0),
+        )
+        assert got == expected
+        assert stats["op_failures"] >= 1
+        # Either an in-exchange resume or a kernel retry (or the serial
+        # fallback when the env plan keeps killing respawned workers) carried
+        # the run to the correct answer.
+        assert stats["exchange_resumes"] + stats["op_retries"] + stats["degradations"] >= 1
+
+    def test_slow_worker_hits_deadline_and_recovers(self, process_pools, monkeypatch):
+        expected, got, stats = self.run_with_env_faults(
+            monkeypatch,
+            "shard.op:action=slow,delay=5.0,executor=process,op=hindex_reset,times=1",
+            RetryPolicy(max_retries=2, base_delay=0.01, op_timeout=1.0),
+        )
+        assert got == expected
+        assert stats["op_failures"] >= 1
+
+    def test_exhaustion_degrades_to_serial_executor(self, process_pools, monkeypatch):
+        expected, got, stats = self.run_with_env_faults(
+            monkeypatch,
+            "shard.op:action=crash,executor=process,op=hindex_reset",
+            RetryPolicy(max_retries=1, base_delay=0.01, op_timeout=30.0),
+        )
+        assert got == expected
+        assert stats["degradations"] == 1
+
+    def test_degradation_disabled_raises(self, process_pools, monkeypatch):
+        graph = chaos_graph()
+        monkeypatch.setenv("REPRO_FAULTS", "shard.op:action=crash,executor=process,op=hindex_reset")
+        shutdown_shard_pools()
+        try:
+            supervised = make_coordinator(
+                graph,
+                executor="process",
+                max_workers=3,
+                retry=RetryPolicy(max_retries=0, base_delay=0.01, op_timeout=30.0),
+                degrade_to_serial=False,
+            )
+            with pytest.raises(ShardExecutionError):
+                supervised.decompose([5])
+            supervised.close()
+        finally:
+            monkeypatch.delenv("REPRO_FAULTS", raising=False)
+            shutdown_shard_pools()
+
+
+class TestEngineDegradation:
+    def test_query_degrades_to_compact_and_recovers(self):
+        graph = chaos_graph()
+        engine = StreamingAVTEngine(graph, backend="sharded")
+        compact = StreamingAVTEngine(graph, backend="compact")
+        assert engine.health()["status"] == "ok"
+
+        with faults.inject(FaultSpec("shard.op", "error", times=0)):
+            degraded = engine.query(4, 2)
+        health = engine.health()
+        assert health["status"] == "degraded"
+        assert health["backend"] == "compact"
+        assert health["degraded"]["from_backend"] == "sharded"
+        assert sorted(degraded.anchors) == sorted(compact.query(4, 2).anchors)
+
+        # Substrate healthy again: the next flush probes and migrates back.
+        engine.ingest_insert(0, 79)
+        engine.flush()
+        health = engine.health()
+        assert health["status"] == "ok"
+        assert health["backend"] == "sharded"
+        assert engine.stats.degradations == 1
+        assert engine.stats.recovery_probes >= 1
+        assert engine.stats.recoveries == 1
+
+    def test_probe_keeps_engine_degraded_while_faults_persist(self):
+        engine = StreamingAVTEngine(chaos_graph(), backend="sharded")
+        with faults.inject(FaultSpec("shard.op", "error", times=0)):
+            engine.query(4, 2)
+            engine.ingest_insert(0, 79)
+            engine.flush()
+            assert engine.health()["status"] == "degraded"
+            assert engine.stats.recovery_probes >= 1
+            assert engine.stats.recoveries == 0
+
+    def test_construction_under_faults_degrades_instead_of_raising(self):
+        with faults.inject(FaultSpec("shard.op", "error", times=0)):
+            engine = StreamingAVTEngine(chaos_graph(), backend="sharded")
+            result = engine.query(4, 2)
+        assert result.anchors is not None
+        health = engine.health()
+        assert health["status"] == "degraded"
+        assert health["backend"] == "compact"
+        assert engine.stats.degradations == 1
+
+
+SECTIONS = ("graph", "core", "warm", "cache", "stats")
+
+
+def checkpointed_engine() -> StreamingAVTEngine:
+    engine = StreamingAVTEngine(
+        Graph(edges=[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d"), ("d", "e")])
+    )
+    engine.query(2, 1)
+    return engine
+
+
+def section_regions(path):
+    """(start, length) byte regions per manifest section of a checkpoint."""
+    with open(path, "rb") as handle:
+        header = handle.readline()
+        parts = header.split()
+        manifest_len = int(parts[2])
+        manifest = json.loads(handle.read(manifest_len))
+    offset = len(header) + manifest_len
+    regions = {}
+    for section in manifest["sections"]:
+        regions[section["name"]] = (offset, section["length"])
+        offset += section["length"]
+    return regions
+
+
+class TestCheckpointVerification:
+    def test_format2_round_trip(self, tmp_path):
+        engine = checkpointed_engine()
+        path = tmp_path / "ck"
+        save_checkpoint(engine, path)
+        restored = load_checkpoint(path)
+        assert restored.to_state()["core"] == engine.to_state()["core"]
+        assert restored.query(2, 1).anchors == engine.query(2, 1).anchors
+
+    @pytest.mark.parametrize("section", SECTIONS)
+    def test_bit_flip_names_damaged_section(self, tmp_path, section):
+        engine = checkpointed_engine()
+        path = tmp_path / "ck"
+        save_checkpoint(engine, path)
+        start, length = section_regions(path)[section]
+        assert length > 0
+        with open(path, "r+b") as handle:
+            handle.seek(start + length // 2)
+            byte = handle.read(1)
+            handle.seek(start + length // 2)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(CheckpointCorruptionError) as excinfo:
+            read_state(path)
+        assert excinfo.value.section == section
+
+    @pytest.mark.parametrize("section", SECTIONS)
+    def test_injected_corruption_names_damaged_section(self, tmp_path, section):
+        engine = checkpointed_engine()
+        path = tmp_path / "ck"
+        with faults.inject(
+            FaultSpec("checkpoint.bytes", "corrupt", match={"section": section})
+        ):
+            save_checkpoint(engine, path)
+        with pytest.raises(CheckpointCorruptionError) as excinfo:
+            read_state(path)
+        assert excinfo.value.section == section
+
+    @pytest.mark.parametrize("section", SECTIONS)
+    def test_truncation_names_damaged_section(self, tmp_path, section):
+        engine = checkpointed_engine()
+        path = tmp_path / "ck"
+        save_checkpoint(engine, path)
+        start, length = section_regions(path)[section]
+        with open(path, "r+b") as handle:
+            handle.truncate(start + max(0, length - 1))
+        with pytest.raises(CheckpointCorruptionError) as excinfo:
+            read_state(path)
+        # Truncating section S damages S itself; every later section is gone
+        # too, but the reader must report the *first* damaged one.
+        assert excinfo.value.section == section
+
+    def test_manifest_corruption_detected(self, tmp_path):
+        engine = checkpointed_engine()
+        path = tmp_path / "ck"
+        with faults.inject(FaultSpec("checkpoint.bytes", "corrupt", match={"section": "manifest"})):
+            save_checkpoint(engine, path)
+        with pytest.raises(CheckpointCorruptionError) as excinfo:
+            read_state(path)
+        assert excinfo.value.section == "manifest"
+
+    def test_rotation_keeps_last_n(self, tmp_path):
+        engine = checkpointed_engine()
+        path = tmp_path / "ck"
+        for _ in range(5):
+            save_checkpoint(engine, path, keep=3)
+        existing = [p for p in rotated_paths(path, 3) if p.exists()]
+        assert [p.name for p in existing] == ["ck", "ck.1", "ck.2"]
+        assert not (tmp_path / "ck.3").exists()
+        for rotation in existing:
+            assert read_state(rotation)["core"] == engine.to_state()["core"]
+
+    def test_fallback_restores_newest_intact_rotation(self, tmp_path):
+        engine = checkpointed_engine()
+        path = tmp_path / "ck"
+        save_checkpoint(engine, path, keep=2)
+        save_checkpoint(engine, path, keep=2)
+        start, length = section_regions(path)["core"]
+        with open(path, "r+b") as handle:
+            handle.seek(start)
+            handle.write(b"\xff" * min(4, length))
+        restored = load_checkpoint(path, fallback=True)
+        assert restored.to_state()["core"] == engine.to_state()["core"]
+        with pytest.raises(CheckpointCorruptionError):
+            load_checkpoint(path, fallback=False)
+
+    def test_all_rotations_corrupt_reraises_first_error(self, tmp_path):
+        engine = checkpointed_engine()
+        path = tmp_path / "ck"
+        save_checkpoint(engine, path, keep=2)
+        save_checkpoint(engine, path, keep=2)
+        for candidate in rotated_paths(path, 2):
+            with open(candidate, "r+b") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                handle.seek(size // 2)
+                byte = handle.read(1)
+                handle.seek(size // 2)
+                handle.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, fallback=True)
+
+    def test_flush_failure_fault_surfaces_as_checkpoint_error(self, tmp_path):
+        engine = checkpointed_engine()
+        path = tmp_path / "ck"
+        with faults.inject(FaultSpec("checkpoint.write", "fail")):
+            with pytest.raises(CheckpointError):
+                save_checkpoint(engine, path)
+        assert not path.exists()
+
+    def test_failed_write_preserves_previous_rotation(self, tmp_path):
+        engine = checkpointed_engine()
+        path = tmp_path / "ck"
+        save_checkpoint(engine, path, keep=2)
+        with faults.inject(FaultSpec("checkpoint.write", "fail")):
+            with pytest.raises(CheckpointError):
+                save_checkpoint(engine, path, keep=2)
+        # The last good checkpoint survived (as the rotated sibling).
+        restored = load_checkpoint(path, fallback=True)
+        assert restored.to_state()["core"] == engine.to_state()["core"]
+
+    def test_legacy_format1_still_reads(self, tmp_path):
+        engine = checkpointed_engine()
+        path = tmp_path / "legacy"
+        envelope = {
+            "magic": "repro-engine-checkpoint",
+            "format": 1,
+            "state": engine.to_state(),
+        }
+        with open(path, "wb") as handle:
+            pickle.dump(envelope, handle, protocol=4)
+        restored = load_checkpoint(path)
+        assert restored.to_state()["core"] == engine.to_state()["core"]
+
+    def test_keep_must_be_positive(self, tmp_path):
+        engine = checkpointed_engine()
+        with pytest.raises(ParameterError):
+            save_checkpoint(engine, tmp_path / "ck", keep=0)
+
+    def test_foreign_file_is_plain_checkpoint_error(self, tmp_path):
+        path = tmp_path / "foreign"
+        path.write_bytes(b"this is not a checkpoint at all")
+        with pytest.raises(CheckpointError) as excinfo:
+            read_state(path)
+        assert not isinstance(excinfo.value, CheckpointCorruptionError)
